@@ -1,0 +1,269 @@
+//! ASM — the Application Slowdown Model (Subramanian et al., MICRO 2015).
+//!
+//! ASM is *invasive*: it rotates a high-priority token between cores every
+//! epoch ("a few thousand clock cycles", §II). While a core holds the
+//! token the memory controller services its requests first
+//! ([`gdp_sim::mem::MemoryController::set_priority_core`]), approximating
+//! interference-free conditions. ASM then extrapolates:
+//!
+//! ```text
+//! slowdown = CAR_alone / CAR_shared,   π̂ = CPI_shared / slowdown
+//! ```
+//!
+//! where `CAR` is the LLC access rate, `CAR_alone` measured during the
+//! core's own high-priority epochs with (a) an ATD correction removing the
+//! service time of interference-induced LLC misses from the epoch time,
+//! and (b) interpolation by the memory-bound fraction of the interval so
+//! compute phases do not use the CAR ratio.
+//!
+//! Two paper-documented pathologies reproduce naturally:
+//! * **backlogs** (Fig. 1c): a core exiting a low-priority epoch drags a
+//!   queue backlog into its high-priority epoch, corrupting `CAR_alone`;
+//! * **exploding estimates** (§VII-A, applu): when interference-miss
+//!   service time consumes nearly the whole epoch, the corrected epoch
+//!   time approaches zero and `CAR_alone` diverges — the source of ASM's
+//!   astronomic 8-core L-workload errors.
+
+use gdp_core::model::{sigma_other, sigma_sms_from_cpi, IntervalMeasurement, PrivateEstimate,
+    PrivateModeEstimator};
+use gdp_dief::Dief;
+use gdp_sim::probe::ProbeEvent;
+use gdp_sim::types::{CoreId, Cycle};
+use gdp_sim::SimConfig;
+
+/// Default epoch length in cycles (paper: "a few thousand clock cycles").
+pub const DEFAULT_EPOCH_CYCLES: u64 = 2_000;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CoreAcc {
+    /// LLC accesses over the whole interval.
+    llc_total: u64,
+    /// LLC accesses during this core's high-priority epochs.
+    llc_hp: u64,
+    /// Interference-miss service cycles observed during HP epochs
+    /// (subtracted from the HP epoch time).
+    intf_correction_hp: u64,
+}
+
+/// The ASM estimator and its priority-epoch schedule.
+#[derive(Debug)]
+pub struct Asm {
+    cores: usize,
+    epoch_len: u64,
+    dief: Dief,
+    acc: Vec<CoreAcc>,
+}
+
+impl Asm {
+    /// Build ASM with the default epoch length.
+    pub fn new(cfg: &SimConfig, sampled_sets: usize) -> Self {
+        Self::with_epoch(cfg, sampled_sets, DEFAULT_EPOCH_CYCLES)
+    }
+
+    /// Build ASM with an explicit epoch length.
+    pub fn with_epoch(cfg: &SimConfig, sampled_sets: usize, epoch_len: u64) -> Self {
+        assert!(epoch_len > 0);
+        Asm {
+            cores: cfg.cores,
+            epoch_len,
+            dief: Dief::new(cfg, sampled_sets),
+            acc: vec![CoreAcc::default(); cfg.cores],
+        }
+    }
+
+    /// Epoch length in cycles.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// Which core holds the memory-controller priority token at `cycle`.
+    /// The experiment driver applies this to the controller — that is the
+    /// invasive part of ASM.
+    pub fn priority_core_at(&self, cycle: Cycle) -> CoreId {
+        CoreId(((cycle / self.epoch_len) % self.cores as u64) as u8)
+    }
+
+    fn in_own_hp_epoch(&self, core: CoreId, cycle: Cycle) -> bool {
+        self.priority_core_at(cycle) == core
+    }
+}
+
+impl PrivateModeEstimator for Asm {
+    fn name(&self) -> &'static str {
+        "ASM"
+    }
+
+    fn observe(&mut self, ev: &ProbeEvent) {
+        self.dief.observe(ev);
+        match ev {
+            ProbeEvent::LlcAccess { core, cycle, .. } => {
+                let acc = &mut self.acc[core.idx()];
+                acc.llc_total += 1;
+                if self.in_own_hp_epoch(*core, *cycle) {
+                    self.acc[core.idx()].llc_hp += 1;
+                }
+            }
+            ProbeEvent::LoadL1MissDone { core, req, cycle, sms: true, post_llc, .. } => {
+                if self.in_own_hp_epoch(*core, *cycle)
+                    && self.dief.was_interference_miss(*core, *req)
+                {
+                    self.acc[core.idx()].intf_correction_hp += post_llc;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn estimate(&mut self, core: CoreId, m: &IntervalMeasurement) -> PrivateEstimate {
+        let acc = std::mem::take(&mut self.acc[core.idx()]);
+        let _ = self.dief.interval_estimate(core);
+
+        let interval_cycles = m.stats.cycles.max(1) as f64;
+        // Each core owns 1/n of the interval's epochs.
+        let hp_cycles = interval_cycles / self.cores as f64;
+        let hp_effective = (hp_cycles - acc.intf_correction_hp as f64).max(1.0);
+
+        let car_shared = acc.llc_total as f64 / interval_cycles;
+        let car_alone = acc.llc_hp as f64 / hp_effective;
+
+        // Memory-bound fraction weights the CAR ratio (the MISE/ASM model
+        // treats compute phases as unslowed).
+        let f_mem = (m.stats.stall_sms as f64 / interval_cycles).clamp(0.0, 1.0);
+        let car_ratio = if car_shared > 0.0 && acc.llc_hp > 0 {
+            car_alone / car_shared
+        } else {
+            1.0
+        };
+        let slowdown = (f_mem * car_ratio + (1.0 - f_mem)).max(1.0);
+
+        let cpi_shared = interval_cycles / m.stats.committed_instrs.max(1) as f64;
+        let cpi = cpi_shared / slowdown;
+
+        let so = sigma_other(&m.stats, m.lambda, m.shared_latency);
+        let sigma_sms = sigma_sms_from_cpi(&m.stats, cpi, so);
+        PrivateEstimate { cpi, sigma_sms, cpl: 0, overlap: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_sim::mem::Interference;
+    use gdp_sim::stats::CoreStats;
+    use gdp_sim::types::ReqId;
+
+    fn asm2() -> Asm {
+        Asm::with_epoch(&SimConfig::scaled(2), 32, 1000)
+    }
+
+    fn measurement(cycles: u64, instrs: u64, stall_sms: u64) -> IntervalMeasurement {
+        IntervalMeasurement {
+            stats: CoreStats {
+                committed_instrs: instrs,
+                commit_cycles: instrs,
+                stall_sms,
+                cycles,
+                ..Default::default()
+            },
+            lambda: 100.0,
+            shared_latency: 150.0,
+        }
+    }
+
+    fn llc_access(core: CoreId, cycle: Cycle, req: u64) -> ProbeEvent {
+        ProbeEvent::LlcAccess { core, block: 0x40 * req, cycle, hit: true, req: ReqId(req) }
+    }
+
+    #[test]
+    fn priority_token_rotates_per_epoch() {
+        let a = asm2();
+        assert_eq!(a.priority_core_at(0), CoreId(0));
+        assert_eq!(a.priority_core_at(999), CoreId(0));
+        assert_eq!(a.priority_core_at(1000), CoreId(1));
+        assert_eq!(a.priority_core_at(2000), CoreId(0));
+    }
+
+    #[test]
+    fn higher_hp_access_rate_means_larger_slowdown() {
+        let mut a = asm2();
+        // Core 0's HP epochs on a 2-core, 1000-cycle-epoch schedule are
+        // [0,1000) and [2000,3000). Pack HP accesses densely and shared
+        // accesses sparsely: CAR_alone >> CAR_shared.
+        for i in 0..100u64 {
+            a.observe(&llc_access(CoreId(0), i * 10, i)); // HP epoch
+        }
+        for i in 0..20u64 {
+            a.observe(&llc_access(CoreId(0), 1000 + i * 40, 200 + i)); // LP epoch
+        }
+        // Memory-bound interval.
+        let est = a.estimate(CoreId(0), &measurement(4000, 1000, 3000));
+        let cpi_shared = 4.0;
+        assert!(est.cpi < cpi_shared, "slowdown must shrink the CPI estimate");
+    }
+
+    #[test]
+    fn compute_bound_interval_reports_no_slowdown() {
+        let mut a = asm2();
+        // No LLC accesses, no SMS stalls.
+        let est = a.estimate(CoreId(0), &measurement(4000, 4000, 0));
+        assert!((est.cpi - 1.0).abs() < 1e-9, "CPI_shared / 1.0");
+        assert_eq!(est.sigma_sms, 0.0);
+    }
+
+    #[test]
+    fn interference_correction_can_explode_the_estimate() {
+        // The applu pathology: interference-miss service time eats the
+        // whole HP epoch → corrected epoch time ≈ 0 → slowdown explodes.
+        let mut a = asm2();
+        let core = CoreId(0);
+        // Prime the ATD (set 0 is sampled) so block 0 is a private hit.
+        a.observe(&ProbeEvent::LlcAccess { core, block: 0, cycle: 1, hit: false, req: ReqId(1) });
+        a.observe(&ProbeEvent::LoadL1MissDone {
+            core,
+            req: ReqId(1),
+            block: 0,
+            cycle: 10,
+            sms: true,
+            latency: 100,
+            interference: Interference::default(),
+            llc_hit: Some(false),
+            post_llc: 60,
+        });
+        // A storm of interference misses completing inside the HP epoch,
+        // whose combined residency exceeds the epoch share.
+        for i in 0..40u64 {
+            a.observe(&ProbeEvent::LlcAccess {
+                core,
+                block: 0,
+                cycle: 20 + i,
+                hit: false,
+                req: ReqId(100 + i),
+            });
+            a.observe(&ProbeEvent::LoadL1MissDone {
+                core,
+                req: ReqId(100 + i),
+                block: 0,
+                cycle: 30 + i,
+                sms: true,
+                latency: 300,
+                interference: Interference::default(),
+                llc_hit: Some(false),
+                post_llc: 200,
+            });
+        }
+        let est = a.estimate(core, &measurement(4000, 100, 3900));
+        // CPI_shared = 40; the corrected epoch time collapsed to the 1.0
+        // floor, so the slowdown is enormous and π̂ ≈ 0.
+        assert!(est.cpi < 1.0, "pathological overestimate of slowdown: {est:?}");
+    }
+
+    #[test]
+    fn interval_reset_clears_accumulators() {
+        let mut a = asm2();
+        a.observe(&llc_access(CoreId(0), 5, 1));
+        let _ = a.estimate(CoreId(0), &measurement(4000, 1000, 100));
+        // Second interval with no events: slowdown 1.
+        let est = a.estimate(CoreId(0), &measurement(4000, 1000, 0));
+        assert!((est.cpi - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,185 @@
+//! ITCA — Inter-Task Conflict-Aware CPU accounting (Luque et al.,
+//! PACT 2009 / IEEE TC 2012).
+//!
+//! ITCA takes shared-mode execution time as the baseline and discounts
+//! cycles matching a fixed set of architectural conditions (paper §VII-A):
+//!
+//! 1. commit stalled with an *inter-task miss* (a miss caused by another
+//!    task, identified with sampled ATDs) at the ROB head;
+//! 2. all active MSHRs holding inter-task misses;
+//! 3. an empty ROB caused by an inter-task *instruction* miss.
+//!
+//! Our cores model no instruction cache, so condition (3) never fires
+//! (DESIGN.md §7); condition (2) is subsumed by (1) whenever the head
+//! blocks on one of those misses, which is the dominant case in this
+//! pipeline. The paper's observation — that the conditions catch only a
+//! small part of interference, making ITCA *conservative* (its private
+//! estimates stay close to shared performance) — is preserved.
+
+use gdp_core::model::{private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate,
+    PrivateModeEstimator};
+use gdp_dief::Dief;
+use gdp_sim::probe::{ProbeEvent, StallCause};
+use gdp_sim::types::CoreId;
+use gdp_sim::SimConfig;
+
+/// The ITCA estimator.
+#[derive(Debug)]
+pub struct Itca {
+    dief: Dief,
+    /// Per-core interference cycles discounted in this interval.
+    discounted: Vec<u64>,
+}
+
+impl Itca {
+    /// Build ITCA with its own sampled ATDs.
+    pub fn new(cfg: &SimConfig, sampled_sets: usize) -> Self {
+        Itca { dief: Dief::new(cfg, sampled_sets), discounted: vec![0; cfg.cores] }
+    }
+}
+
+impl PrivateModeEstimator for Itca {
+    fn name(&self) -> &'static str {
+        "ITCA"
+    }
+
+    fn observe(&mut self, ev: &ProbeEvent) {
+        self.dief.observe(ev);
+        if let ProbeEvent::Stall {
+            core,
+            start,
+            end,
+            cause: StallCause::Load,
+            blocking_sms: Some(true),
+            blocking_req: Some(req),
+            ..
+        } = ev
+        {
+            // Condition (1): the blocking load was an inter-task miss.
+            if self.dief.was_interference_miss(*core, *req) {
+                self.discounted[core.idx()] += end - start;
+            }
+        }
+    }
+
+    fn estimate(&mut self, core: CoreId, m: &IntervalMeasurement) -> PrivateEstimate {
+        let discounted = std::mem::take(&mut self.discounted[core.idx()]);
+        let _ = self.dief.interval_estimate(core);
+        // Shared SMS stalls minus the cycles matching ITCA's conditions.
+        let sigma_sms = (m.stats.stall_sms.saturating_sub(discounted)) as f64;
+        let so = sigma_other(&m.stats, m.lambda, m.shared_latency);
+        PrivateEstimate {
+            cpi: private_cpi(&m.stats, sigma_sms, so),
+            sigma_sms,
+            cpl: 0,
+            overlap: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_sim::mem::Interference;
+    use gdp_sim::stats::CoreStats;
+    use gdp_sim::types::ReqId;
+
+    fn measurement(stall_sms: u64) -> IntervalMeasurement {
+        IntervalMeasurement {
+            stats: CoreStats {
+                committed_instrs: 1000,
+                commit_cycles: 1000,
+                stall_sms,
+                cycles: 1000 + stall_sms,
+                ..Default::default()
+            },
+            lambda: 100.0,
+            shared_latency: 150.0,
+        }
+    }
+
+    /// Flow an interference miss through the ATD then stall on it.
+    fn interference_scenario(itca: &mut Itca, core: CoreId) {
+        // Prime the ATD so block 0 is a private-mode hit.
+        itca.observe(&ProbeEvent::LlcAccess { core, block: 0, cycle: 1, hit: false, req: ReqId(1) });
+        itca.observe(&ProbeEvent::LoadL1MissDone {
+            core,
+            req: ReqId(1),
+            block: 0,
+            cycle: 10,
+            sms: true,
+            latency: 100,
+            interference: Interference::default(),
+            llc_hit: Some(false),
+            post_llc: 50,
+        });
+        // Second access: shared miss, ATD hit → inter-task miss.
+        itca.observe(&ProbeEvent::LlcAccess { core, block: 0, cycle: 20, hit: false, req: ReqId(2) });
+        itca.observe(&ProbeEvent::LoadL1MissDone {
+            core,
+            req: ReqId(2),
+            block: 0,
+            cycle: 200,
+            sms: true,
+            latency: 180,
+            interference: Interference::default(),
+            llc_hit: Some(false),
+            post_llc: 120,
+        });
+        itca.observe(&ProbeEvent::Stall {
+            core,
+            start: 50,
+            end: 200,
+            cause: StallCause::Load,
+            blocking_block: Some(0),
+            blocking_req: Some(ReqId(2)),
+            blocking_sms: Some(true),
+            blocking_interference: None,
+        });
+    }
+
+    #[test]
+    fn discounts_stalls_on_inter_task_misses() {
+        let mut itca = Itca::new(&SimConfig::scaled(2), 32);
+        interference_scenario(&mut itca, CoreId(0));
+        let est = itca.estimate(CoreId(0), &measurement(300));
+        // 150 cycles discounted out of 300 SMS stall cycles.
+        assert!((est.sigma_sms - 150.0).abs() < 1e-9, "{est:?}");
+    }
+
+    #[test]
+    fn without_inter_task_misses_nothing_is_discounted() {
+        let mut itca = Itca::new(&SimConfig::scaled(2), 32);
+        // A stall on an ordinary (capacity) miss.
+        itca.observe(&ProbeEvent::Stall {
+            core: CoreId(0),
+            start: 0,
+            end: 100,
+            cause: StallCause::Load,
+            blocking_block: Some(0x40),
+            blocking_req: Some(ReqId(5)),
+            blocking_sms: Some(true),
+            blocking_interference: None,
+        });
+        let est = itca.estimate(CoreId(0), &measurement(300));
+        assert_eq!(est.sigma_sms, 300.0, "conservative: keeps all shared stalls");
+    }
+
+    #[test]
+    fn interval_reset() {
+        let mut itca = Itca::new(&SimConfig::scaled(2), 32);
+        interference_scenario(&mut itca, CoreId(0));
+        let _ = itca.estimate(CoreId(0), &measurement(300));
+        let est = itca.estimate(CoreId(0), &measurement(300));
+        assert_eq!(est.sigma_sms, 300.0);
+    }
+
+    #[test]
+    fn discount_never_exceeds_measured_stalls() {
+        let mut itca = Itca::new(&SimConfig::scaled(2), 32);
+        interference_scenario(&mut itca, CoreId(0));
+        // Interval reports fewer SMS stalls than were discounted.
+        let est = itca.estimate(CoreId(0), &measurement(100));
+        assert_eq!(est.sigma_sms, 0.0, "saturating subtraction");
+    }
+}

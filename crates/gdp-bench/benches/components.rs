@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks for the substrate and accounting hardware
+//! models: per-operation costs of the structures the paper sizes in
+//! hardware (PRB/PCB updates, ATD lookups, cache/DRAM/ring operations)
+//! plus whole-system simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use gdp_core::GdpUnit;
+use gdp_dief::Atd;
+use gdp_sim::core::{Instr, InstrStream};
+use gdp_sim::mem::{Cache, MemoryController};
+use gdp_sim::probe::ProbeEvent;
+use gdp_sim::types::{CoreId, ReqId};
+use gdp_sim::{DramConfig, SimConfig, System};
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = SimConfig::scaled(4);
+    c.bench_function("cache/llc_access_miss_fill", |b| {
+        let mut cache = Cache::new(&cfg.llc);
+        let mut addr = 0u64;
+        b.iter(|| {
+            cache.access(addr, false);
+            cache.fill(addr, CoreId(0), false);
+            addr = addr.wrapping_add(64);
+        });
+    });
+}
+
+fn bench_atd(c: &mut Criterion) {
+    c.bench_function("dief/atd_sampled_access", |b| {
+        let mut atd = Atd::new(1024, 32, 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            atd.access((i % 65_536) * 64);
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+        });
+    });
+}
+
+fn bench_gdp_unit(c: &mut Criterion) {
+    c.bench_function("gdp/prb_issue_complete_resume", |b| {
+        let mut unit = GdpUnit::new(32);
+        let mut t = 0u64;
+        b.iter(|| {
+            let a = 0x40 * (t % 64);
+            unit.observe(&ProbeEvent::LoadL1Miss {
+                core: CoreId(0),
+                req: ReqId(t),
+                block: a,
+                cycle: t,
+            });
+            unit.observe(&ProbeEvent::LoadL1MissDone {
+                core: CoreId(0),
+                req: ReqId(t),
+                block: a,
+                cycle: t + 200,
+                sms: true,
+                latency: 200,
+                interference: Default::default(),
+                llc_hit: Some(true),
+                post_llc: 0,
+            });
+            unit.observe(&ProbeEvent::Stall {
+                core: CoreId(0),
+                start: t + 10,
+                end: t + 201,
+                cause: gdp_sim::StallCause::Load,
+                blocking_block: Some(a),
+                blocking_req: Some(ReqId(t)),
+                blocking_sms: Some(true),
+                blocking_interference: None,
+            });
+            t += 300;
+            if t % 30_000 == 0 {
+                let _ = unit.take_cpl(t);
+                let _ = unit.take_average_overlap(t);
+            }
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/frfcfs_tick_with_queue", |b| {
+        b.iter_batched(
+            || {
+                let mut mc = MemoryController::new(&DramConfig::ddr2_800(1), 4);
+                for i in 0..32u64 {
+                    mc.enqueue_read(ReqId(i), CoreId((i % 4) as u8), i * 4096, 0);
+                }
+                mc
+            },
+            |mut mc| {
+                let mut out = Vec::new();
+                for t in 0..512u64 {
+                    mc.tick(t, &mut out);
+                }
+                out
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_system(c: &mut Criterion) {
+    c.bench_function("system/4core_step_x1000", |b| {
+        let cfg = SimConfig::scaled(4);
+        let prog: Vec<Instr> = (0..512)
+            .map(|i| Instr::load(0x100000 + i * 512, &[]))
+            .collect();
+        b.iter_batched(
+            || {
+                System::new(
+                    cfg.clone(),
+                    (0..4).map(|c| {
+                        let mut p = prog.clone();
+                        for ins in &mut p {
+                            ins.addr += (c as u64) << 36;
+                        }
+                        InstrStream::cyclic(p)
+                    }).collect(),
+                )
+            },
+            |mut sys| {
+                sys.run_cycles(1_000);
+                sys
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cache, bench_atd, bench_gdp_unit, bench_dram, bench_system
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! The paper's headline numbers (§I, §VII):
+//!
+//! * GDP mean IPC estimation error: 3.4% (4-core) and 9.8% (8-core);
+//! * GDP private-performance RMS error 7.4× / huge-factor better than ASM
+//!   on the 4-/8-core CMPs;
+//! * GDP-O reduces stall-cycle RMS error vs GDP by 13.5% / 10.8%;
+//! * MCP improves average STP by 11.9% / 20.8% over ASM partitioning;
+//! * ASM's invasive accounting slowed individual processes by up to 57%.
+
+use gdp_bench::{banner, class_workloads, Scale};
+use gdp_experiments::{evaluate_workload, run_policy_study, PolicyKind, Technique};
+use gdp_metrics::mean;
+use gdp_workloads::LlcClass;
+
+fn tech_idx(t: Technique) -> usize {
+    Technique::ALL.iter().position(|x| *x == t).unwrap()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Headline numbers (paper §I / §VII)", scale);
+
+    for cores in [4usize, 8] {
+        let xcfg = scale.xcfg(cores);
+        let mut rel_ipc_gdp = Vec::new();
+        let mut ipc_gdp = Vec::new();
+        let mut ipc_asm = Vec::new();
+        let mut stall_gdp = Vec::new();
+        let mut stall_gdpo = Vec::new();
+        let mut worst_slowdown = 1.0f64;
+        for class in [LlcClass::H, LlcClass::M, LlcClass::L] {
+            for w in class_workloads(cores, class, scale) {
+                let r = evaluate_workload(&w, &xcfg);
+                for b in &r.benches {
+                    let g = tech_idx(Technique::Gdp);
+                    let go = tech_idx(Technique::GdpO);
+                    let a = tech_idx(Technique::Asm);
+                    if !b.ipc_err[g].is_empty() {
+                        rel_ipc_gdp.push(b.ipc_err[g].rms_rel().abs() * 100.0);
+                        ipc_gdp.push(b.ipc_err[g].rms_abs());
+                        stall_gdp.push(b.stall_err[g].rms_abs());
+                        stall_gdpo.push(b.stall_err[go].rms_abs());
+                    }
+                    if !b.ipc_err[a].is_empty() {
+                        ipc_asm.push(b.ipc_err[a].rms_abs());
+                    }
+                }
+                for s in &r.invasive_slowdown {
+                    worst_slowdown = worst_slowdown.max(*s);
+                }
+            }
+            eprintln!("[headline] finished {cores}c-{class}");
+        }
+        println!("\n--- {cores}-core CMP ---");
+        println!(
+            "GDP mean relative IPC estimation error: {:.1}%   (paper: {}%)",
+            mean(&rel_ipc_gdp),
+            if cores == 4 { "3.4" } else { "9.8" }
+        );
+        let ratio = mean(&ipc_asm) / mean(&ipc_gdp).max(1e-12);
+        println!(
+            "ASM/GDP IPC RMS error ratio: {:.1}x   (paper: {} better for GDP)",
+            ratio,
+            if cores == 4 { "7.4x" } else { "7.7e12x" }
+        );
+        let gdpo_gain = 100.0 * (1.0 - mean(&stall_gdpo) / mean(&stall_gdp).max(1e-12));
+        println!(
+            "GDP-O stall RMS improvement over GDP: {:.1}%   (paper: {}%)",
+            gdpo_gain,
+            if cores == 4 { "13.5" } else { "10.8" }
+        );
+        println!(
+            "Worst per-process slowdown from ASM's invasive accounting: {:.0}%   (paper: up to 57%)",
+            (worst_slowdown - 1.0) * 100.0
+        );
+
+        // MCP vs ASM partitioning STP.
+        let mut stp_mcp = Vec::new();
+        let mut stp_asm = Vec::new();
+        for class in [LlcClass::H, LlcClass::M, LlcClass::L] {
+            for w in class_workloads(cores, class, scale) {
+                let out =
+                    run_policy_study(&w, &xcfg, &[PolicyKind::AsmPart, PolicyKind::Mcp]);
+                stp_asm.push(out[0].stp);
+                stp_mcp.push(out[1].stp);
+            }
+            eprintln!("[headline] STP finished {cores}c-{class}");
+        }
+        println!(
+            "MCP avg STP improvement over ASM partitioning: {:+.1}%   (paper: {}%)",
+            100.0 * (mean(&stp_mcp) / mean(&stp_asm).max(1e-12) - 1.0),
+            if cores == 4 { "+11.9" } else { "+20.8" }
+        );
+    }
+}

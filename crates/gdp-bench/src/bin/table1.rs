@@ -1,0 +1,65 @@
+//! Regenerates Table I: CMP model parameters, for both the paper preset
+//! and the scaled preset actually used in the experiments.
+
+use gdp_sim::SimConfig;
+
+fn print_config(label: &str, cfg: &SimConfig) {
+    println!("--- {label} ({} cores) ---", cfg.cores);
+    println!("Clock frequency        4 GHz (all latencies in CPU cycles)");
+    let c = &cfg.core;
+    println!(
+        "Processor cores        {} entry ROB, {} entry LSQ, {} entry IQ, {} instr/cycle,",
+        c.rob_entries, c.lsq_entries, c.iq_entries, c.width
+    );
+    println!(
+        "                       {} int ALU, {} int mul/div, {} FP ALU, {} FP mul/div, {} mem ports",
+        c.int_alu, c.int_mul_div, c.fp_alu, c.fp_mul_div, c.mem_ports
+    );
+    println!(
+        "L1 data cache          {}-way, {} KB, {} cycles, {} MSHRs",
+        cfg.l1d.ways,
+        cfg.l1d.size_bytes >> 10,
+        cfg.l1d.latency,
+        cfg.l1d.mshrs
+    );
+    println!(
+        "L2 private cache       {}-way, {} KB, {} cycles, {} MSHRs",
+        cfg.l2.ways,
+        cfg.l2.size_bytes >> 10,
+        cfg.l2.latency,
+        cfg.l2.mshrs
+    );
+    println!(
+        "L3 shared cache        {}-way, {} KB, {} cycles, {} MSHRs/bank, {} banks",
+        cfg.llc.ways,
+        cfg.llc.size_bytes >> 10,
+        cfg.llc.latency,
+        cfg.llc.mshrs,
+        cfg.llc_banks
+    );
+    println!(
+        "Ring interconnect      {} cycles/hop, {} entry queues, {} request ring(s), {} response ring",
+        cfg.ring.hop_latency, cfg.ring.queue_entries, cfg.ring.request_rings, cfg.ring.response_rings
+    );
+    let d = &cfg.dram;
+    println!(
+        "Main memory            {:?}, {}-{}-{}-{} timing, {} entry read queue, {} entry write queue,",
+        d.kind, d.t_cl, d.t_rcd, d.t_rp, d.t_ras, d.read_queue, d.write_queue
+    );
+    println!(
+        "                       {} B pages, {} banks, FR-FCFS, open page, {} channel(s)",
+        d.row_bytes, d.banks, d.channels
+    );
+    println!();
+}
+
+fn main() {
+    println!("Table I: CMP model parameters");
+    println!("(multiple-value encoding in the paper: 2-core/4-core/8-core)\n");
+    for cores in [2usize, 4, 8] {
+        print_config(&format!("paper preset, {cores}-core"), &SimConfig::paper(cores));
+    }
+    for cores in [2usize, 4, 8] {
+        print_config(&format!("scaled preset, {cores}-core"), &SimConfig::scaled(cores));
+    }
+}

@@ -1,0 +1,189 @@
+//! # gdp-bench — figure and table regeneration harness
+//!
+//! One binary per table/figure of the paper's evaluation:
+//!
+//! | Target | Paper artefact |
+//! |---|---|
+//! | `table1` | Table I — CMP model parameters |
+//! | `fig3` | Fig. 3 — IPC / SMS-stall estimation RMS error, 5 techniques |
+//! | `fig4` | Fig. 4 — sorted per-benchmark stall-error distributions |
+//! | `fig5` | Fig. 5 — CPL / overlap / latency component error distributions |
+//! | `fig6` | Fig. 6 — STP under LRU/UCP/ASM/MCP/MCP-O partitioning |
+//! | `fig7` | Fig. 7 — GDP-O sensitivity sweeps |
+//! | `headline` | §I / §VII headline numbers |
+//!
+//! Every binary accepts `--quick` (fewer workloads, shorter samples;
+//! the default) and `--full` (paper-scale workload counts — hours).
+//! Results go to stdout as aligned tables; EXPERIMENTS.md records a
+//! reference transcript.
+
+use gdp_experiments::{evaluate_workload, ExperimentConfig, Technique, WorkloadAccuracy};
+use gdp_metrics::mean;
+use gdp_workloads::{generate_workloads, LlcClass, Workload};
+
+/// Sweep scale selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smallest meaningful sweep (CI / smoke transcripts; ~minutes total).
+    Tiny,
+    /// Reduced workload counts and sample sizes (default).
+    Quick,
+    /// The paper's 30/15/5 workloads per class (hours).
+    Full,
+}
+
+impl Scale {
+    /// Parse from argv: `--full` / `--tiny` select those scales, anything
+    /// else quick.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else if std::env::args().any(|a| a == "--tiny") {
+            Scale::Tiny
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Workloads per class (H, M, L).
+    pub fn class_counts(self) -> (usize, usize, usize) {
+        match self {
+            Scale::Tiny => (2, 1, 1),
+            Scale::Quick => (4, 2, 2),
+            Scale::Full => (30, 15, 5),
+        }
+    }
+
+    /// Experiment configuration for `cores`.
+    pub fn xcfg(self, cores: usize) -> ExperimentConfig {
+        match self {
+            Scale::Tiny => {
+                let mut x = ExperimentConfig::quick(cores);
+                x.sample_instrs = 12_000;
+                x.interval_cycles = 15_000;
+                x.max_cycles_per_instr = 250;
+                x
+            }
+            Scale::Quick => ExperimentConfig::quick(cores),
+            Scale::Full => ExperimentConfig::scaled(cores),
+        }
+    }
+}
+
+/// Workload-generation seed shared by all figures (deterministic output).
+pub const SWEEP_SEED: u64 = 2018;
+
+/// The workloads of one class for one core count at the chosen scale.
+pub fn class_workloads(cores: usize, class: LlcClass, scale: Scale) -> Vec<Workload> {
+    let (h, m, l) = scale.class_counts();
+    let count = match class {
+        LlcClass::H => h,
+        LlcClass::M => m,
+        LlcClass::L => l,
+    };
+    generate_workloads(cores, class, count, SWEEP_SEED)
+}
+
+/// Aggregated accuracy numbers for one (core count, class) cell.
+#[derive(Debug, Clone)]
+pub struct CellAccuracy {
+    /// Mean per-benchmark absolute RMS error of IPC estimates, per
+    /// technique in [`Technique::ALL`] order.
+    pub ipc_rms: Vec<f64>,
+    /// Mean per-benchmark absolute RMS error of SMS-stall estimates.
+    pub stall_rms: Vec<f64>,
+    /// Every per-benchmark stall RMS value, per technique (Fig. 4 input).
+    pub stall_rms_all: Vec<Vec<f64>>,
+    /// Per-benchmark relative RMS errors of CPL / overlap / λ (Fig. 5).
+    pub cpl_rel: Vec<f64>,
+    /// Overlap estimator relative RMS errors.
+    pub overlap_rel: Vec<f64>,
+    /// DIEF latency relative RMS errors.
+    pub lambda_rel: Vec<f64>,
+    /// Worst per-core invasive slowdown observed under ASM.
+    pub worst_asm_slowdown: f64,
+}
+
+/// Evaluate all workloads of a class and aggregate per-benchmark errors.
+pub fn accuracy_cell(cores: usize, class: LlcClass, scale: Scale) -> CellAccuracy {
+    let xcfg = scale.xcfg(cores);
+    let workloads = class_workloads(cores, class, scale);
+    let results: Vec<WorkloadAccuracy> =
+        workloads.iter().map(|w| evaluate_workload(w, &xcfg)).collect();
+    aggregate(&results)
+}
+
+/// Aggregate a set of workload evaluations into a cell.
+pub fn aggregate(results: &[WorkloadAccuracy]) -> CellAccuracy {
+    let nt = Technique::ALL.len();
+    let mut ipc: Vec<Vec<f64>> = vec![Vec::new(); nt];
+    let mut stall: Vec<Vec<f64>> = vec![Vec::new(); nt];
+    let mut cpl = Vec::new();
+    let mut overlap = Vec::new();
+    let mut lambda = Vec::new();
+    let mut worst = 1.0f64;
+    for r in results {
+        for b in &r.benches {
+            for t in 0..nt {
+                if !b.ipc_err[t].is_empty() {
+                    ipc[t].push(b.ipc_err[t].rms_abs());
+                    stall[t].push(b.stall_err[t].rms_abs());
+                }
+            }
+            if !b.cpl_err.is_empty() {
+                cpl.push(b.cpl_err.rms_rel().abs() * 100.0);
+            }
+            if !b.overlap_err.is_empty() {
+                overlap.push(b.overlap_err.rms_rel().abs() * 100.0);
+            }
+            if !b.lambda_err.is_empty() {
+                lambda.push(b.lambda_err.rms_rel().abs() * 100.0);
+            }
+        }
+        for s in &r.invasive_slowdown {
+            worst = worst.max(*s);
+        }
+    }
+    CellAccuracy {
+        ipc_rms: ipc.iter().map(|v| mean(v)).collect(),
+        stall_rms: stall.iter().map(|v| mean(v)).collect(),
+        stall_rms_all: stall,
+        cpl_rel: cpl,
+        overlap_rel: overlap,
+        lambda_rel: lambda,
+        worst_asm_slowdown: worst,
+    }
+}
+
+/// Print a header banner for a figure binary.
+pub fn banner(title: &str, scale: Scale) {
+    println!("================================================================");
+    println!("{title}");
+    println!(
+        "scale: {:?} (--tiny/--quick/--full; full = the paper's 30/15/5 workloads per class)",
+        scale
+    );
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_controls_counts() {
+        assert_eq!(Scale::Tiny.class_counts(), (2, 1, 1));
+        assert_eq!(Scale::Quick.class_counts(), (4, 2, 2));
+        assert_eq!(Scale::Full.class_counts(), (30, 15, 5));
+        assert!(Scale::Quick.xcfg(2).sample_instrs < Scale::Full.xcfg(2).sample_instrs);
+        assert!(Scale::Tiny.xcfg(2).sample_instrs < Scale::Quick.xcfg(2).sample_instrs);
+    }
+
+    #[test]
+    fn class_workload_generation_is_deterministic() {
+        let a = class_workloads(2, LlcClass::H, Scale::Quick);
+        let b = class_workloads(2, LlcClass::H, Scale::Quick);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].names(), b[0].names());
+    }
+}

@@ -1,0 +1,460 @@
+//! The per-core GDP hardware unit: PRB + PCB + CPL estimation
+//! (paper §IV-A, Fig. 2, Algorithms 1–3).
+//!
+//! The software model is semantically identical to the paper's fixed-size
+//! hardware buffer with newest/oldest pointers: the PRB holds at most
+//! `capacity` pending requests, evicting the *oldest* when full
+//! (Algorithm 1), and the PCB tracks the commit period in progress with
+//! its depth, timestamps and child set. Overlap cycles (GDP-O) are
+//! accumulated from the stall-span complement — exactly the value the
+//! paper's per-request overlap counters would hold.
+
+use std::collections::{HashMap, VecDeque};
+
+use gdp_sim::probe::{ProbeEvent, StallCause};
+use gdp_sim::types::{Addr, Cycle};
+
+#[derive(Debug, Clone)]
+struct PrbEntry {
+    uid: u64,
+    addr: Addr,
+    depth: u64,
+    issued_at: Cycle,
+    completed: bool,
+    completed_at: Cycle,
+}
+
+/// The commit period in progress (the paper's PCB register).
+#[derive(Debug, Clone, Default)]
+struct Pcb {
+    depth: u64,
+    started_at: Cycle,
+    stalled_at: Cycle,
+    /// Children: pending loads issued during this commit period (the
+    /// paper's bit vector over PRB slots; here a uid list).
+    children: Vec<u64>,
+}
+
+/// Per-core GDP accounting unit.
+#[derive(Debug)]
+pub struct GdpUnit {
+    capacity: usize,
+    entries: VecDeque<PrbEntry>,
+    by_addr: HashMap<Addr, u64>,
+    pcb: Pcb,
+    next_uid: u64,
+    // ---- GDP-O overlap measurement (per interval) ----
+    stall_spans: Vec<(Cycle, Cycle)>,
+    sms_spans: Vec<(Cycle, Cycle)>,
+    interval_start: Cycle,
+    // ---- statistics ----
+    /// PRB evictions due to capacity (diagnostics; §IV-A argues these are
+    /// harmless because the oldest un-stalled load rarely grows the CPL).
+    pub evictions: u64,
+}
+
+impl GdpUnit {
+    /// Create a unit with `capacity` PRB entries (the paper uses 32).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "PRB needs at least one entry");
+        GdpUnit {
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+            by_addr: HashMap::new(),
+            pcb: Pcb::default(),
+            next_uid: 0,
+            stall_spans: Vec::new(),
+            sms_spans: Vec::new(),
+            interval_start: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of valid PRB entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Current PCB depth — the CPL at the time the current commit period
+    /// started — without resetting.
+    pub fn peek_cpl(&self) -> u64 {
+        self.pcb.depth
+    }
+
+    /// Feed one probe event (only the core's own events should be passed).
+    pub fn observe(&mut self, ev: &ProbeEvent) {
+        match ev {
+            ProbeEvent::LoadL1Miss { block, cycle, .. } => self.load_issued(*block, *cycle),
+            ProbeEvent::LoadL1MissDone { block, cycle, sms, .. } => {
+                self.load_completed(*block, *cycle, *sms);
+            }
+            ProbeEvent::Stall { start, end, cause, blocking_block, .. } => {
+                self.stall_spans.push((*start, *end));
+                if *cause == StallCause::Load {
+                    if let Some(b) = blocking_block {
+                        self.cpu_resumed(*b, *start, *end);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Algorithm 1: a load request missed the L1.
+    fn load_issued(&mut self, addr: Addr, now: Cycle) {
+        if self.entries.len() >= self.capacity {
+            // Invalidate the oldest entry (wrap-around of the newest valid
+            // pointer onto the oldest in the paper's ring buffer).
+            if let Some(old) = self.entries.pop_front() {
+                self.forget(&old);
+                self.evictions += 1;
+            }
+        }
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        self.entries.push_back(PrbEntry {
+            uid,
+            addr,
+            depth: 0,
+            issued_at: now,
+            completed: false,
+            completed_at: 0,
+        });
+        self.by_addr.insert(addr, uid);
+        // Child of the pending commit period.
+        self.pcb.children.push(uid);
+    }
+
+    /// Algorithm 2: an L1 miss completed.
+    fn load_completed(&mut self, addr: Addr, now: Cycle, sms: bool) {
+        let Some(&uid) = self.by_addr.get(&addr) else { return };
+        if sms {
+            if let Some(e) = self.entry_mut(uid) {
+                e.completed = true;
+                e.completed_at = now;
+            }
+            self.sms_spans.push((self.entry(uid).map(|e| e.issued_at).unwrap_or(now), now));
+        } else {
+            // PMS-load: invalidate and remove the PCB pointer.
+            self.remove(uid);
+        }
+    }
+
+    /// Algorithm 3: the CPU resumed after a commit stall on the load at
+    /// `addr` (the stall spanned `[stall_start, now)`).
+    fn cpu_resumed(&mut self, addr: Addr, stall_start: Cycle, now: Cycle) {
+        let Some(&s_uid) = self.by_addr.get(&addr) else {
+            // PMS-load or evicted: assume a PMS stall, no CPL change.
+            return;
+        };
+        self.pcb.stalled_at = stall_start;
+
+        // ---- Step 1: complete commit period l ----
+        let mut l_depth = self.pcb.depth;
+        let mut invalidate: Vec<u64> = Vec::new();
+        for e in &self.entries {
+            if e.completed && e.completed_at < stall_start {
+                if e.depth > l_depth {
+                    l_depth = e.depth;
+                }
+                invalidate.push(e.uid);
+            }
+        }
+        // Capture s's depth before any invalidation: the hardware clears
+        // valid bits but the Depth field stays readable for step 2.
+        let mut s_depth = self.entry(s_uid).map(|e| e.depth).unwrap_or(0);
+        let s_is_child = self.pcb.children.contains(&s_uid);
+        for uid in invalidate {
+            self.remove(uid);
+        }
+        let children = std::mem::take(&mut self.pcb.children);
+        for uid in children {
+            if let Some(e) = self.entry_mut(uid) {
+                e.depth = l_depth + 1;
+            }
+        }
+        if s_is_child {
+            s_depth = l_depth + 1;
+        }
+
+        // ---- Step 2: initialize commit period p ----
+        let mut p_depth = s_depth;
+        let mut invalidate: Vec<u64> = Vec::new();
+        for e in &self.entries {
+            if e.completed {
+                if e.depth > p_depth {
+                    p_depth = e.depth;
+                }
+                invalidate.push(e.uid);
+            }
+        }
+        for uid in invalidate {
+            self.remove(uid);
+        }
+        self.pcb.depth = p_depth;
+        self.pcb.started_at = now;
+        self.pcb.stalled_at = 0;
+        debug_assert!(self.pcb.children.is_empty());
+    }
+
+    /// Retrieve the CPL for the ending interval and rebase the unit (the
+    /// paper resets the cycle counter at retrieval; depths are rebased so
+    /// the next interval's CPL starts from zero).
+    pub fn take_cpl(&mut self, now: Cycle) -> u64 {
+        let cpl = self.pcb.depth;
+        self.pcb.depth = 0;
+        for e in &mut self.entries {
+            e.depth = e.depth.saturating_sub(cpl);
+        }
+        self.interval_start = now;
+        cpl
+    }
+
+    /// Average overlap `O_p` for the ending interval: mean cycles the CPU
+    /// was committing (not stalled) while each completed SMS-load was
+    /// pending. Clears the interval's span records.
+    pub fn take_average_overlap(&mut self, now: Cycle) -> f64 {
+        let mut stalls = std::mem::take(&mut self.stall_spans);
+        let spans = std::mem::take(&mut self.sms_spans);
+        stalls.sort_unstable();
+        let mut total = 0u64;
+        for &(issue, done) in &spans {
+            let mut stalled = 0u64;
+            for &(s, e) in &stalls {
+                if e <= issue {
+                    continue;
+                }
+                if s >= done {
+                    break;
+                }
+                stalled += e.min(done) - s.max(issue);
+            }
+            let window = done - issue;
+            total += window.saturating_sub(stalled);
+        }
+        let n = spans.len() as f64;
+        self.interval_start = now;
+        if n == 0.0 {
+            0.0
+        } else {
+            total as f64 / n
+        }
+    }
+
+    // ---- helpers -----------------------------------------------------
+
+    fn entry(&self, uid: u64) -> Option<&PrbEntry> {
+        self.entries.iter().find(|e| e.uid == uid)
+    }
+
+    fn entry_mut(&mut self, uid: u64) -> Option<&mut PrbEntry> {
+        self.entries.iter_mut().find(|e| e.uid == uid)
+    }
+
+    fn remove(&mut self, uid: u64) {
+        if let Some(pos) = self.entries.iter().position(|e| e.uid == uid) {
+            let e = self.entries.remove(pos).expect("position valid");
+            self.forget(&e);
+        }
+    }
+
+    /// Drop bookkeeping references to an entry leaving the PRB.
+    fn forget(&mut self, e: &PrbEntry) {
+        if self.by_addr.get(&e.addr) == Some(&e.uid) {
+            self.by_addr.remove(&e.addr);
+        }
+        self.pcb.children.retain(|&u| u != e.uid);
+    }
+
+    /// Storage cost in bits (paper §IV-A: 3117 bits for GDP, 3597 for
+    /// GDP-O with 32 PRB entries; Fig. 2 gives the field widths).
+    pub fn storage_bits(&self, with_overlap: bool) -> u64 {
+        // Per PRB entry: Addr 48 + Depth 15 + Completed-at 28 + C 1 + V 1
+        // (+ Overlap 14 for GDP-O).
+        let entry = 48 + 15 + 28 + 1 + 1 + if with_overlap { 14 } else { 0 };
+        // PCB: Depth 15 + Started-at 28 + Stalled-at 28 + children bits.
+        let pcb = 15 + 28 + 28 + self.capacity as u64;
+        // Newest/oldest valid pointers (5+5), timestamp counter 28
+        // (+ global overlap counter 32).
+        let regs = 5 + 5 + 28 + if with_overlap { 32 } else { 0 };
+        self.capacity as u64 * entry + pcb + regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_sim::mem::Interference;
+    use gdp_sim::types::{CoreId, ReqId};
+
+    fn miss(addr: Addr, cycle: Cycle) -> ProbeEvent {
+        ProbeEvent::LoadL1Miss { core: CoreId(0), req: ReqId(addr), block: addr, cycle }
+    }
+
+    fn done(addr: Addr, cycle: Cycle, sms: bool) -> ProbeEvent {
+        ProbeEvent::LoadL1MissDone {
+            core: CoreId(0),
+            req: ReqId(addr),
+            block: addr,
+            cycle,
+            sms,
+            latency: 100,
+            interference: Interference::default(),
+            llc_hit: Some(true),
+            post_llc: 0,
+        }
+    }
+
+    fn stall(start: Cycle, end: Cycle, blocking: Addr) -> ProbeEvent {
+        ProbeEvent::Stall {
+            core: CoreId(0),
+            start,
+            end,
+            cause: StallCause::Load,
+            blocking_block: Some(blocking),
+            blocking_req: None,
+            blocking_sms: Some(true),
+            blocking_interference: None,
+        }
+    }
+
+    /// The paper's Figure 1 worked example: five loads, five commit
+    /// periods, CPL must be 2.
+    #[test]
+    fn figure1_example_yields_cpl_2() {
+        let mut u = GdpUnit::new(32);
+        // C1 (0..50): L1, L2, L3 issued in parallel.
+        u.observe(&miss(0xa1, 10));
+        u.observe(&miss(0xa2, 12));
+        u.observe(&miss(0xa3, 14));
+        // Stall on L1 (50..155); L1 completes at 150.
+        u.observe(&done(0xa1, 150, true));
+        u.observe(&stall(50, 155, 0xa1));
+        assert_eq!(u.peek_cpl(), 1, "first level of loads gives depth 1");
+        // C2 (155..175); stall on L2 (175..185), L2 completes at 182.
+        u.observe(&done(0xa2, 182, true));
+        u.observe(&stall(175, 185, 0xa2));
+        assert_eq!(u.peek_cpl(), 1, "L2 was parallel with L1");
+        // C3: L4 and L5 issued (children of C3); L3 completes during C3.
+        u.observe(&miss(0xa4, 190));
+        u.observe(&miss(0xa5, 191));
+        u.observe(&done(0xa3, 192, true));
+        // Stall on L4 (200..350); L4 completes at 340.
+        u.observe(&done(0xa4, 340, true));
+        u.observe(&stall(200, 350, 0xa4));
+        assert_eq!(u.peek_cpl(), 2, "L4 depends on the first load level");
+        // C4; stall on L5; L5 completes.
+        u.observe(&done(0xa5, 356, true));
+        u.observe(&stall(352, 358, 0xa5));
+        assert_eq!(u.peek_cpl(), 2, "L5 was parallel with L4");
+        assert_eq!(u.take_cpl(360), 2);
+        assert_eq!(u.peek_cpl(), 0, "CPL retrieval rebases the unit");
+    }
+
+    #[test]
+    fn pms_loads_do_not_affect_cpl() {
+        let mut u = GdpUnit::new(32);
+        u.observe(&miss(0xb1, 0));
+        u.observe(&done(0xb1, 20, false)); // PMS: invalidated
+        assert_eq!(u.occupancy(), 0);
+        // A stall blocked on it finds nothing: no CPL change.
+        u.observe(&stall(10, 25, 0xb1));
+        assert_eq!(u.peek_cpl(), 0);
+    }
+
+    #[test]
+    fn serial_chain_has_cpl_equal_to_length() {
+        let mut u = GdpUnit::new(32);
+        let mut t = 0;
+        for i in 0..5u64 {
+            let a = 0x100 + i;
+            u.observe(&miss(a, t));
+            u.observe(&done(a, t + 90, true));
+            u.observe(&stall(t + 10, t + 100, a));
+            t += 100;
+        }
+        assert_eq!(u.peek_cpl(), 5, "five serialized loads give CPL 5");
+    }
+
+    #[test]
+    fn parallel_burst_has_cpl_one() {
+        let mut u = GdpUnit::new(32);
+        for i in 0..8u64 {
+            u.observe(&miss(0x200 + i, i));
+        }
+        // All complete; the CPU stalled on the first.
+        for i in 0..8u64 {
+            u.observe(&done(0x200 + i, 100 + i, true));
+        }
+        u.observe(&stall(10, 120, 0x200));
+        assert_eq!(u.peek_cpl(), 1, "parallel loads share one level");
+    }
+
+    #[test]
+    fn eviction_of_oldest_when_full() {
+        let mut u = GdpUnit::new(2);
+        u.observe(&miss(0x1, 0));
+        u.observe(&miss(0x2, 1));
+        u.observe(&miss(0x3, 2)); // evicts 0x1
+        assert_eq!(u.occupancy(), 2);
+        assert_eq!(u.evictions, 1);
+        // A stall on the evicted load is treated as PMS (not found).
+        u.observe(&stall(5, 50, 0x1));
+        assert_eq!(u.peek_cpl(), 0);
+    }
+
+    #[test]
+    fn overlap_is_commit_time_under_pending_loads() {
+        let mut u = GdpUnit::new(32);
+        // Load pending 0..100; the CPU stalled 40..100 (60 cycles).
+        u.observe(&miss(0x5, 0));
+        u.observe(&done(0x5, 100, true));
+        u.observe(&stall(40, 100, 0x5));
+        // Overlap = window (100) − stalled (60) = 40.
+        let o = u.take_average_overlap(100);
+        assert!((o - 40.0).abs() < 1e-9, "overlap {o}");
+    }
+
+    #[test]
+    fn overlap_averages_over_loads() {
+        let mut u = GdpUnit::new(32);
+        u.observe(&miss(0x10, 0));
+        u.observe(&done(0x10, 100, true)); // overlap 100 (no stalls)
+        u.observe(&miss(0x11, 100));
+        u.observe(&done(0x11, 200, true));
+        u.observe(&stall(120, 200, 0x11)); // overlap 20
+        let o = u.take_average_overlap(200);
+        assert!((o - 60.0).abs() < 1e-9, "overlap {o}");
+    }
+
+    #[test]
+    fn take_cpl_rebases_pending_depths() {
+        let mut u = GdpUnit::new(32);
+        // Build depth 1 with a pending deeper load.
+        u.observe(&miss(0x20, 0));
+        u.observe(&done(0x20, 90, true));
+        u.observe(&stall(10, 100, 0x20));
+        u.observe(&miss(0x21, 110)); // child of new commit period
+        assert_eq!(u.take_cpl(120), 1);
+        // The pending load eventually stalls: depths restart from 0.
+        u.observe(&done(0x21, 190, true));
+        u.observe(&stall(130, 200, 0x21));
+        assert_eq!(u.peek_cpl(), 1, "post-rebase chain counts from zero");
+    }
+
+    #[test]
+    fn storage_matches_paper_budget() {
+        let u = GdpUnit::new(32);
+        assert_eq!(u.storage_bits(false), 3117, "GDP storage, paper §IV-A");
+        assert_eq!(u.storage_bits(true), 3597, "GDP-O storage, paper §IV-A");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = GdpUnit::new(0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Accuracy evaluation: shared-mode estimates vs. private-mode actuals
+//! (paper §VII-A/B, Figs. 3–5).
+
+use std::collections::HashMap;
+
+use gdp_metrics::ErrorSeries;
+use gdp_workloads::Workload;
+
+use crate::config::ExperimentConfig;
+use crate::private::run_private;
+use crate::shared::{run_shared, SharedRun};
+
+/// The five accounting techniques under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Inter-Task Conflict-Aware accounting (transparent baseline).
+    Itca,
+    /// Per-Thread Cycle Accounting (transparent baseline).
+    Ptca,
+    /// Application Slowdown Model (invasive baseline).
+    Asm,
+    /// Graph-based Dynamic Performance accounting (this paper).
+    Gdp,
+    /// GDP with overlap accounting (this paper).
+    GdpO,
+}
+
+impl Technique {
+    /// All techniques in the paper's presentation order.
+    pub const ALL: [Technique; 5] =
+        [Technique::Itca, Technique::Ptca, Technique::Asm, Technique::Gdp, Technique::GdpO];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technique::Itca => "ITCA",
+            Technique::Ptca => "PTCA",
+            Technique::Asm => "ASM",
+            Technique::Gdp => "GDP",
+            Technique::GdpO => "GDP-O",
+        }
+    }
+}
+
+impl std::fmt::Display for Technique {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-benchmark (per-core slot) error series over a workload run.
+#[derive(Debug, Clone)]
+pub struct BenchAccuracy {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Core slot in the workload.
+    pub core: usize,
+    /// IPC estimation errors, indexed like [`Technique::ALL`].
+    pub ipc_err: Vec<ErrorSeries>,
+    /// SMS-load stall-cycle estimation errors, indexed like
+    /// [`Technique::ALL`].
+    pub stall_err: Vec<ErrorSeries>,
+    /// GDP's runtime CPL vs. the unbounded private-mode reference.
+    pub cpl_err: ErrorSeries,
+    /// GDP-O's overlap estimate vs. the private-mode actual.
+    pub overlap_err: ErrorSeries,
+    /// DIEF's λ̂ vs. the private-mode actual average SMS latency.
+    pub lambda_err: ErrorSeries,
+}
+
+/// Accuracy results for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadAccuracy {
+    /// Workload identifier.
+    pub workload: String,
+    /// One record per core slot.
+    pub benches: Vec<BenchAccuracy>,
+    /// Per-core shared-mode slowdown imposed by ASM's invasive priority
+    /// rotation relative to the transparent run (>1 = ASM slowed the core;
+    /// the paper observed up to 57% reductions).
+    pub invasive_slowdown: Vec<f64>,
+}
+
+/// Evaluate all five techniques on `workload` (paper methodology §VI):
+/// one transparent shared run (ITCA/PTCA/GDP/GDP-O), one invasive shared
+/// run (ASM), and per-benchmark private runs at the union of both runs'
+/// instruction checkpoints.
+pub fn evaluate_workload(workload: &Workload, xcfg: &ExperimentConfig) -> WorkloadAccuracy {
+    evaluate_workload_subset(workload, xcfg, &Technique::ALL)
+}
+
+/// Evaluate a subset of techniques (cheaper: the invasive ASM run is only
+/// performed when ASM is requested).
+pub fn evaluate_workload_subset(
+    workload: &Workload,
+    xcfg: &ExperimentConfig,
+    techniques: &[Technique],
+) -> WorkloadAccuracy {
+    let transparent: Vec<Technique> =
+        techniques.iter().copied().filter(|t| *t != Technique::Asm).collect();
+    let with_asm = techniques.contains(&Technique::Asm);
+    let t_run = run_shared(workload, xcfg, &transparent);
+    let a_run = if with_asm {
+        Some(run_shared(workload, xcfg, &[Technique::Asm]))
+    } else {
+        None
+    };
+
+    let n = workload.cores();
+    let mut benches = Vec::with_capacity(n);
+    let mut invasive_slowdown = Vec::with_capacity(n);
+
+    for core in 0..n {
+        // Union of checkpoints from both shared runs.
+        let mut cks: Vec<u64> = t_run
+            .checkpoints(core)
+            .into_iter()
+            .chain(a_run.iter().flat_map(|r| r.checkpoints(core)))
+            .filter(|&x| x > 0)
+            .collect();
+        cks.sort_unstable();
+        cks.dedup();
+
+        let bench = workload.benchmarks[core];
+        let base = (core as u64) << 36;
+        let private = run_private(&bench, base, xcfg, &cks);
+        let by_target: HashMap<u64, usize> =
+            private.checkpoints.iter().enumerate().map(|(i, c)| (c.instrs, i)).collect();
+
+        let mut acc = BenchAccuracy {
+            bench: bench.name,
+            core,
+            ipc_err: Technique::ALL.iter().map(|_| ErrorSeries::new()).collect(),
+            stall_err: Technique::ALL.iter().map(|_| ErrorSeries::new()).collect(),
+            cpl_err: ErrorSeries::new(),
+            overlap_err: ErrorSeries::new(),
+            lambda_err: ErrorSeries::new(),
+        };
+
+        // Transparent techniques.
+        score_run(&t_run, core, &private, &by_target, &mut acc, true, xcfg.warmup_intervals);
+        // ASM (separate invasive run).
+        if let Some(ar) = &a_run {
+            score_run(ar, core, &private, &by_target, &mut acc, false, xcfg.warmup_intervals);
+            let t_cpi = t_run.final_stats[core].cpi();
+            let a_cpi = ar.final_stats[core].cpi();
+            invasive_slowdown
+                .push(if t_cpi.is_finite() && t_cpi > 0.0 { a_cpi / t_cpi } else { 1.0 });
+        } else {
+            invasive_slowdown.push(1.0);
+        }
+
+        benches.push(acc);
+    }
+
+    WorkloadAccuracy { workload: workload.name.clone(), benches, invasive_slowdown }
+}
+
+/// Score one shared run's estimates for `core` against the private record.
+fn score_run(
+    run: &SharedRun,
+    core: usize,
+    private: &crate::private::PrivateRun,
+    by_target: &HashMap<u64, usize>,
+    acc: &mut BenchAccuracy,
+    component_errors: bool,
+    warmup_intervals: usize,
+) {
+    let mut prev_end = 0u64;
+    for (interval_idx, row) in run.intervals.iter().enumerate() {
+        let iv = &row[core];
+        if iv.instr_end <= prev_end || iv.stats.committed_instrs == 0 {
+            continue;
+        }
+        let Some(&pi) = by_target.get(&iv.instr_end) else {
+            prev_end = iv.instr_end;
+            continue;
+        };
+        let cur = &private.checkpoints[pi];
+        let prev_stats = if prev_end == 0 {
+            Default::default()
+        } else {
+            match by_target.get(&prev_end) {
+                Some(&j) => private.checkpoints[j].stats,
+                None => {
+                    prev_end = iv.instr_end;
+                    continue;
+                }
+            }
+        };
+        let actual = cur.stats.delta(&prev_stats);
+        if actual.committed_instrs == 0 || actual.cycles == 0 {
+            prev_end = iv.instr_end;
+            continue;
+        }
+        if interval_idx < warmup_intervals {
+            // Cold-start interval: caches warming in both modes but at
+            // different rates; the paper measures from warm checkpoints.
+            prev_end = iv.instr_end;
+            continue;
+        }
+
+        // Private CPL over the window: sum of reference harvests in range.
+        let actual_cpl: u64 = private
+            .checkpoints
+            .iter()
+            .filter(|c| c.instrs > prev_end && c.instrs <= iv.instr_end)
+            .map(|c| c.cpl)
+            .sum();
+
+        for (slot, tech) in run.techniques.iter().enumerate() {
+            let est = &iv.estimates[slot];
+            let global = Technique::ALL.iter().position(|t| t == tech).expect("known");
+            acc.ipc_err[global].push(est.ipc(), actual.ipc());
+            acc.stall_err[global].push(est.sigma_sms, actual.stall_sms as f64);
+            if component_errors && *tech == Technique::Gdp {
+                acc.cpl_err.push(est.cpl as f64, actual_cpl as f64);
+            }
+            if component_errors && *tech == Technique::GdpO {
+                let actual_overlap = if actual.sms_loads > 0 {
+                    actual.overlap_cycles as f64 / actual.sms_loads as f64
+                } else {
+                    0.0
+                };
+                acc.overlap_err.push(est.overlap, actual_overlap);
+            }
+        }
+        if component_errors {
+            acc.lambda_err.push(iv.lambda, actual.avg_sms_latency());
+        }
+        prev_end = iv.instr_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_metrics::mean;
+    use gdp_workloads::paper_workloads;
+
+    fn xcfg() -> ExperimentConfig {
+        let mut x = ExperimentConfig::quick(2);
+        x.sample_instrs = 12_000;
+        x.interval_cycles = 15_000;
+        x
+    }
+
+    #[test]
+    fn evaluation_produces_errors_for_every_technique() {
+        let w = &paper_workloads(2, 5)[0]; // H workload: real interference
+        let r = evaluate_workload(w, &xcfg());
+        assert_eq!(r.benches.len(), 2);
+        for b in &r.benches {
+            for (i, t) in Technique::ALL.iter().enumerate() {
+                assert!(
+                    !b.ipc_err[i].is_empty(),
+                    "{t} produced no IPC errors for {}",
+                    b.bench
+                );
+            }
+            assert!(!b.lambda_err.is_empty());
+        }
+        assert_eq!(r.invasive_slowdown.len(), 2);
+    }
+
+    #[test]
+    fn gdp_o_beats_the_architecture_centric_baselines() {
+        // The paper's headline: dataflow accounting is more accurate than
+        // condition-based accounting. On 2-core workloads the paper itself
+        // observes that plain GDP can trail GDP-O (applications hide much
+        // of the private latency, §VII-A), so the robust 2-core assertion
+        // is on GDP-O.
+        let x = xcfg();
+        let mut gdpo = Vec::new();
+        let mut itca = Vec::new();
+        let mut ptca = Vec::new();
+        for w in &paper_workloads(2, 5)[0..3] {
+            let r = evaluate_workload(w, &x);
+            for b in &r.benches {
+                gdpo.push(b.ipc_err[4].rms_abs());
+                itca.push(b.ipc_err[0].rms_abs());
+                ptca.push(b.ipc_err[1].rms_abs());
+            }
+        }
+        assert!(
+            mean(&gdpo) < mean(&itca),
+            "GDP-O mean RMS {} must beat ITCA {}",
+            mean(&gdpo),
+            mean(&itca)
+        );
+        assert!(
+            mean(&gdpo) < mean(&ptca),
+            "GDP-O mean RMS {} must beat PTCA {}",
+            mean(&gdpo),
+            mean(&ptca)
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Experiment-level configuration.
+
+use gdp_sim::SimConfig;
+
+/// Parameters governing an evaluation run (paper values in comments,
+/// scaled defaults chosen to match the scaled [`SimConfig`]).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The CMP model.
+    pub sim: SimConfig,
+    /// Accounting/repartitioning interval in cycles (paper: 5M; scaled
+    /// default 50K).
+    pub interval_cycles: u64,
+    /// Committed instructions per benchmark per run (paper: 100M; scaled
+    /// default 60K — the classification sample length).
+    pub sample_instrs: u64,
+    /// LLC sets sampled by every ATD (paper: 32).
+    pub sampled_sets: usize,
+    /// PRB entries per GDP unit (paper: 32).
+    pub prb_entries: usize,
+    /// Safety cap: maximum cycles per run, expressed per instruction.
+    pub max_cycles_per_instr: u64,
+    /// Accuracy intervals skipped at the start of each run: the paper's
+    /// checkpoints carry warm cache state (20B-instruction fast-forward,
+    /// §VI); we approximate that by excluding cold-start intervals.
+    pub warmup_intervals: usize,
+}
+
+impl ExperimentConfig {
+    /// Scaled defaults for a CMP with `cores` cores.
+    pub fn scaled(cores: usize) -> Self {
+        ExperimentConfig {
+            sim: SimConfig::scaled(cores),
+            interval_cycles: 50_000,
+            sample_instrs: 60_000,
+            sampled_sets: 32,
+            prb_entries: 32,
+            max_cycles_per_instr: 600,
+            warmup_intervals: 1,
+        }
+    }
+
+    /// Reduced-cost variant for quick runs and CI (`--quick`).
+    pub fn quick(cores: usize) -> Self {
+        ExperimentConfig {
+            sample_instrs: 25_000,
+            interval_cycles: 25_000,
+            ..Self::scaled(cores)
+        }
+    }
+
+    /// Cycle budget for a run.
+    pub fn cycle_cap(&self) -> u64 {
+        self.sample_instrs * self.max_cycles_per_instr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let c = ExperimentConfig::scaled(4);
+        assert_eq!(c.sim.cores, 4);
+        assert_eq!(c.sampled_sets, 32);
+        assert_eq!(c.prb_entries, 32);
+        let q = ExperimentConfig::quick(4);
+        assert!(q.sample_instrs < c.sample_instrs);
+        assert!(q.cycle_cap() < c.cycle_cap());
+    }
+}

@@ -1,0 +1,25 @@
+//! # gdp-experiments — drivers reproducing the paper's evaluation (§VI–VII)
+//!
+//! * [`shared`] — shared-mode runs: all cores active, accounting
+//!   techniques observing, estimates every interval. ASM runs invasively
+//!   (memory-controller priority rotation), the others transparently.
+//! * [`private`] — private-mode ground truth: one benchmark alone on the
+//!   CMP, measured at the *same committed-instruction checkpoints* as the
+//!   shared run (paper §VI: "the shared mode instruction sample points are
+//!   provided as input to the private mode experiments").
+//! * [`accuracy`] — per-benchmark RMS error evaluation of IPC, SMS-stall,
+//!   CPL, overlap and latency estimates (Figs. 3–5).
+//! * [`policy_run`] — the LLC-partitioning case study: LRU, UCP, ASM, MCP
+//!   and MCP-O under way-partitioning with STP scoring (Fig. 6).
+
+pub mod accuracy;
+pub mod config;
+pub mod policy_run;
+pub mod private;
+pub mod shared;
+
+pub use accuracy::{evaluate_workload, evaluate_workload_subset, BenchAccuracy, Technique, WorkloadAccuracy};
+pub use config::ExperimentConfig;
+pub use policy_run::{run_policy_study, PolicyKind, PolicyOutcome};
+pub use private::{run_private, PrivateCheckpoint, PrivateRun};
+pub use shared::{run_shared, CoreInterval, SharedRun};

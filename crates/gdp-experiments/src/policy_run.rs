@@ -1,0 +1,281 @@
+//! The LLC-partitioning case study (paper §V, §VII-C, Fig. 6).
+//!
+//! Five managers are compared under way-partitioning: plain LRU (no
+//! partitioning), UCP (miss-driven lookahead), ASM-driven partitioning
+//! (slowdown equalisation; invasive), and MCP / MCP-O (estimated-STP
+//! lookahead fed by GDP / GDP-O). Reported STP uses *actual* private-mode
+//! CPIs from dedicated private runs: `STP = Σ π_i / P_i`.
+
+use gdp_accounting::Asm;
+use gdp_core::model::{IntervalMeasurement, PrivateModeEstimator};
+use gdp_core::{GdpEstimator, GdpVariant};
+use gdp_dief::Dief;
+use gdp_partition::{contiguous_masks, AllocContext, AsmCache, CoreSignals, Mcp,
+    PartitionPolicy, Ucp};
+use gdp_sim::stats::CoreStats;
+use gdp_sim::types::CoreId;
+use gdp_sim::System;
+use gdp_workloads::Workload;
+
+use crate::config::ExperimentConfig;
+use crate::private::run_private;
+
+/// The LLC managers of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Unpartitioned shared LRU.
+    Lru,
+    /// Utility-based Cache Partitioning.
+    Ucp,
+    /// ASM-driven partitioning (invasive accounting).
+    AsmPart,
+    /// Model-based Cache Partitioning fed by GDP.
+    Mcp,
+    /// MCP fed by GDP-O.
+    McpO,
+}
+
+impl PolicyKind {
+    /// All policies in the paper's presentation order.
+    pub const ALL: [PolicyKind; 5] =
+        [PolicyKind::Lru, PolicyKind::Ucp, PolicyKind::AsmPart, PolicyKind::Mcp, PolicyKind::McpO];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Ucp => "UCP",
+            PolicyKind::AsmPart => "ASM",
+            PolicyKind::Mcp => "MCP",
+            PolicyKind::McpO => "MCP-O",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Result of running one policy on one workload.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// The policy.
+    pub policy: PolicyKind,
+    /// Per-core shared-mode CPI under the policy.
+    pub shared_cpi: Vec<f64>,
+    /// System throughput `Σ π_i / P_i` with actual private CPIs.
+    pub stp: f64,
+    /// Cycles the run took.
+    pub cycles: u64,
+}
+
+/// Run the partitioning case study: each policy on `workload`, scored by
+/// STP against shared private-mode runs (computed once).
+pub fn run_policy_study(
+    workload: &Workload,
+    xcfg: &ExperimentConfig,
+    policies: &[PolicyKind],
+) -> Vec<PolicyOutcome> {
+    // Actual private CPIs (π_i), one run per benchmark.
+    let private_cpi: Vec<f64> = workload
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(c, b)| {
+            let run = run_private(b, (c as u64) << 36, xcfg, &[xcfg.sample_instrs]);
+            run.total.cpi()
+        })
+        .collect();
+
+    policies
+        .iter()
+        .map(|p| {
+            let (shared_cpi, cycles) = run_with_policy(workload, xcfg, *p);
+            let stp = gdp_metrics::stp(&private_cpi, &shared_cpi);
+            PolicyOutcome { policy: *p, shared_cpi, stp, cycles }
+        })
+        .collect()
+}
+
+/// Execute one policy run; returns per-core shared CPI and cycles.
+fn run_with_policy(
+    workload: &Workload,
+    xcfg: &ExperimentConfig,
+    policy: PolicyKind,
+) -> (Vec<f64>, u64) {
+    let n = xcfg.sim.cores;
+    let mut sys = System::new(xcfg.sim.clone(), workload.streams());
+    let mut dief = Dief::new(&xcfg.sim, xcfg.sampled_sets);
+
+    // Estimator feeding π̂ into the policy, if any.
+    let mut estimator: Option<Box<dyn PrivateModeEstimator>> = match policy {
+        PolicyKind::Mcp => {
+            Some(Box::new(GdpEstimator::new(GdpVariant::Gdp, n, xcfg.prb_entries)))
+        }
+        PolicyKind::McpO => {
+            Some(Box::new(GdpEstimator::new(GdpVariant::GdpO, n, xcfg.prb_entries)))
+        }
+        PolicyKind::AsmPart => Some(Box::new(Asm::new(&xcfg.sim, xcfg.sampled_sets))),
+        _ => None,
+    };
+    let mut alloc_policy: Option<Box<dyn PartitionPolicy>> = match policy {
+        PolicyKind::Lru => None,
+        PolicyKind::Ucp => Some(Box::new(Ucp::new())),
+        PolicyKind::AsmPart => Some(Box::new(AsmCache::new())),
+        PolicyKind::Mcp => Some(Box::new(Mcp::new())),
+        PolicyKind::McpO => Some(Box::new(Mcp::new_o())),
+    };
+    // ASM's accounting is invasive: rotate the MC priority token.
+    let asm_epoch = (policy == PolicyKind::AsmPart)
+        .then(|| Asm::new(&xcfg.sim, 1).epoch_len());
+
+    let cap = xcfg.cycle_cap();
+    let mut last: Vec<CoreStats> = (0..n).map(|c| *sys.core_stats(c)).collect();
+    let mut next_interval = xcfg.interval_cycles;
+    // Cycle at which each core reached the instruction sample: shared CPI
+    // is measured over the same instruction window as the private
+    // reference (both from cold start), keeping STP terms ≤ 1.
+    let mut cycle_at_target: Vec<Option<u64>> = vec![None; n];
+
+    while sys.now() < cap && (0..n).any(|c| sys.committed(c) < xcfg.sample_instrs) {
+        if let Some(epoch) = asm_epoch {
+            if sys.now() % epoch == 0 {
+                let pc = CoreId(((sys.now() / epoch) % n as u64) as u8);
+                sys.mem().mc().set_priority_core(Some(pc));
+            }
+        }
+        sys.step();
+        for c in 0..n {
+            if cycle_at_target[c].is_none() && sys.committed(c) >= xcfg.sample_instrs {
+                cycle_at_target[c] = Some(sys.now());
+            }
+        }
+
+        if sys.now() >= next_interval {
+            next_interval += xcfg.interval_cycles;
+            sys.finalize();
+            let events = sys.drain_probes();
+            for ev in &events {
+                dief.observe(ev);
+                if let Some(e) = estimator.as_deref_mut() {
+                    e.observe(ev);
+                }
+            }
+            if let Some(p) = alloc_policy.as_deref_mut() {
+                let mut signals = Vec::with_capacity(n);
+                // Global post-LLC latency (shared off-chip bandwidth, §V).
+                let mut post_sum = 0u64;
+                let mut miss_sum = 0u64;
+                let deltas: Vec<CoreStats> = (0..n)
+                    .map(|c| {
+                        let d = sys.core_stats(c).delta(&last[c]);
+                        post_sum += d.sms_post_llc_latency_sum;
+                        miss_sum += d.llc_misses;
+                        d
+                    })
+                    .collect();
+                let post_global = if miss_sum > 0 {
+                    post_sum as f64 / miss_sum as f64
+                } else {
+                    0.0
+                };
+                for (c, delta) in deltas.iter().enumerate() {
+                    let core = CoreId(c as u8);
+                    let curve = dief.miss_curve(core);
+                    let lat = dief.interval_estimate(core);
+                    let m = IntervalMeasurement {
+                        stats: *delta,
+                        lambda: lat.private,
+                        shared_latency: delta.avg_sms_latency(),
+                    };
+                    let private_cpi = estimator
+                        .as_deref_mut()
+                        .map(|e| e.estimate(core, &m).cpi)
+                        .unwrap_or(delta.cpi());
+                    signals.push(CoreSignals {
+                        miss_curve: curve,
+                        instrs: delta.committed_instrs,
+                        commit_cycles: delta.commit_cycles,
+                        stall_non_sms: delta.stall_ind + delta.stall_pms + delta.stall_other,
+                        stall_sms: delta.stall_sms,
+                        sms_loads: delta.sms_loads,
+                        llc_misses: delta.llc_misses,
+                        avg_sms_latency: delta.avg_sms_latency(),
+                        avg_pre_llc_latency: delta.avg_pre_llc_latency(),
+                        avg_post_llc_latency: post_global,
+                        private_cpi,
+                        shared_cpi: delta.cpi(),
+                    });
+                }
+                let ctx = AllocContext { ways: xcfg.sim.llc.ways, cores: signals };
+                let alloc = p.allocate(&ctx);
+                sys.set_llc_partition(Some(contiguous_masks(&alloc)));
+            } else {
+                // LRU: still reset DIEF's interval accumulators.
+                for c in 0..n {
+                    let _ = dief.interval_estimate(CoreId(c as u8));
+                }
+            }
+            for c in 0..n {
+                last[c] = *sys.core_stats(c);
+            }
+        }
+    }
+
+    let cpis = (0..n)
+        .map(|c| match cycle_at_target[c] {
+            Some(cyc) => cyc as f64 / xcfg.sample_instrs as f64,
+            None => sys.core_stats(c).cpi(), // cycle cap hit: best effort
+        })
+        .collect();
+    (cpis, sys.now())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_workloads::paper_workloads;
+
+    fn xcfg() -> ExperimentConfig {
+        let mut x = ExperimentConfig::quick(2);
+        x.sample_instrs = 10_000;
+        x.interval_cycles = 10_000;
+        x
+    }
+
+    #[test]
+    fn all_policies_complete_and_score() {
+        let w = &paper_workloads(2, 5)[0];
+        let out = run_policy_study(w, &xcfg(), &PolicyKind::ALL);
+        assert_eq!(out.len(), 5);
+        for o in &out {
+            assert!(o.stp > 0.0, "{}: stp {}", o.policy, o.stp);
+            assert!(o.stp <= 2.0 + 1e-9, "{}: stp {} exceeds core count", o.policy, o.stp);
+            assert_eq!(o.shared_cpi.len(), 2);
+        }
+    }
+
+    #[test]
+    fn partitioning_beats_lru_on_sensitive_plus_streaming() {
+        // A hand-built workload where partitioning obviously helps: an
+        // LLC-sensitive benchmark next to a cache-polluting stream.
+        use gdp_workloads::by_name;
+        let w = Workload {
+            name: "case".into(),
+            class: None,
+            benchmarks: vec![by_name("art").unwrap(), by_name("swim").unwrap()],
+        };
+        let mut x = xcfg();
+        x.sample_instrs = 15_000;
+        let out = run_policy_study(&w, &x, &[PolicyKind::Lru, PolicyKind::Ucp, PolicyKind::Mcp]);
+        let lru = out[0].stp;
+        let ucp = out[1].stp;
+        let mcp = out[2].stp;
+        assert!(
+            ucp > lru * 0.95 && mcp > lru * 0.95,
+            "partitioning should not collapse: LRU {lru:.3} UCP {ucp:.3} MCP {mcp:.3}"
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Shared-mode runs with accounting techniques attached.
+
+use gdp_accounting::{Asm, Itca, Ptca};
+use gdp_core::model::{IntervalMeasurement, PrivateEstimate, PrivateModeEstimator};
+use gdp_core::{GdpEstimator, GdpVariant};
+use gdp_dief::Dief;
+use gdp_sim::stats::CoreStats;
+use gdp_sim::types::CoreId;
+use gdp_sim::System;
+use gdp_workloads::Workload;
+
+use crate::accuracy::Technique;
+use crate::config::ExperimentConfig;
+
+/// One core's record for one accounting interval.
+#[derive(Debug, Clone)]
+pub struct CoreInterval {
+    /// Committed-instruction count at the interval start.
+    pub instr_start: u64,
+    /// Committed-instruction count at the interval end.
+    pub instr_end: u64,
+    /// Interval delta of the core's counters.
+    pub stats: CoreStats,
+    /// DIEF private-latency estimate λ̂ for the interval.
+    pub lambda: f64,
+    /// Measured shared average SMS latency.
+    pub shared_latency: f64,
+    /// One estimate per attached technique (same order as the run's
+    /// technique list).
+    pub estimates: Vec<PrivateEstimate>,
+}
+
+/// Result of a shared-mode run.
+#[derive(Debug, Clone)]
+pub struct SharedRun {
+    /// Techniques attached, in estimate order.
+    pub techniques: Vec<Technique>,
+    /// Interval records: `intervals[i][c]` = interval `i`, core `c`.
+    pub intervals: Vec<Vec<CoreInterval>>,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Final cumulative per-core statistics.
+    pub final_stats: Vec<CoreStats>,
+}
+
+impl SharedRun {
+    /// Committed-instruction checkpoints (interval boundaries) for `core`,
+    /// fed to the private-mode run.
+    pub fn checkpoints(&self, core: usize) -> Vec<u64> {
+        self.intervals.iter().map(|iv| iv[core].instr_end).collect()
+    }
+
+    /// Index of a technique in the estimate vectors.
+    pub fn technique_index(&self, t: Technique) -> Option<usize> {
+        self.techniques.iter().position(|x| *x == t)
+    }
+}
+
+fn build(t: Technique, xcfg: &ExperimentConfig) -> Box<dyn PrivateModeEstimator> {
+    match t {
+        Technique::Itca => Box::new(Itca::new(&xcfg.sim, xcfg.sampled_sets)),
+        Technique::Ptca => Box::new(Ptca::new(&xcfg.sim, xcfg.sampled_sets)),
+        Technique::Asm => Box::new(Asm::new(&xcfg.sim, xcfg.sampled_sets)),
+        Technique::Gdp => {
+            Box::new(GdpEstimator::new(GdpVariant::Gdp, xcfg.sim.cores, xcfg.prb_entries))
+        }
+        Technique::GdpO => {
+            Box::new(GdpEstimator::new(GdpVariant::GdpO, xcfg.sim.cores, xcfg.prb_entries))
+        }
+    }
+}
+
+/// Run `workload` in shared mode with the given techniques attached.
+///
+/// If `techniques` contains [`Technique::Asm`], the run becomes *invasive*:
+/// the memory-controller priority token rotates every ASM epoch, exactly
+/// as the real mechanism would perturb execution. Evaluate ASM in its own
+/// run, as the paper does.
+pub fn run_shared(workload: &Workload, xcfg: &ExperimentConfig, techniques: &[Technique]) -> SharedRun {
+    assert_eq!(workload.cores(), xcfg.sim.cores, "workload size must match the CMP");
+    let mut sys = System::new(xcfg.sim.clone(), workload.streams());
+    let mut dief = Dief::new(&xcfg.sim, xcfg.sampled_sets);
+    let mut estimators: Vec<Box<dyn PrivateModeEstimator>> =
+        techniques.iter().map(|t| build(*t, xcfg)).collect();
+
+    // The invasive schedule, if ASM is attached.
+    let asm_schedule = techniques
+        .contains(&Technique::Asm)
+        .then(|| Asm::new(&xcfg.sim, 1).epoch_len());
+
+    let n = xcfg.sim.cores;
+    let cap = xcfg.cycle_cap();
+    let mut intervals: Vec<Vec<CoreInterval>> = Vec::new();
+    let mut last_snapshot: Vec<CoreStats> = (0..n).map(|c| *sys.core_stats(c)).collect();
+    let mut next_interval = xcfg.interval_cycles;
+
+    while sys.now() < cap && (0..n).any(|c| sys.committed(c) < xcfg.sample_instrs) {
+        if let Some(epoch) = asm_schedule {
+            if sys.now() % epoch == 0 {
+                let pc = CoreId(((sys.now() / epoch) % n as u64) as u8);
+                sys.mem().mc().set_priority_core(Some(pc));
+            }
+        }
+        sys.step();
+
+        if sys.now() >= next_interval {
+            next_interval += xcfg.interval_cycles;
+            sys.finalize(); // close open stall runs at the boundary
+            let events = sys.drain_probes();
+            for ev in &events {
+                dief.observe(ev);
+                for e in &mut estimators {
+                    e.observe(ev);
+                }
+            }
+            let mut row = Vec::with_capacity(n);
+            for c in 0..n {
+                let core = CoreId(c as u8);
+                let cum = *sys.core_stats(c);
+                let delta = cum.delta(&last_snapshot[c]);
+                let lat = dief.interval_estimate(core);
+                let m = IntervalMeasurement {
+                    stats: delta,
+                    lambda: lat.private,
+                    shared_latency: delta.avg_sms_latency(),
+                };
+                let estimates = estimators.iter_mut().map(|e| e.estimate(core, &m)).collect();
+                row.push(CoreInterval {
+                    instr_start: last_snapshot[c].committed_instrs,
+                    instr_end: cum.committed_instrs,
+                    stats: delta,
+                    lambda: lat.private,
+                    shared_latency: delta.avg_sms_latency(),
+                    estimates,
+                });
+                last_snapshot[c] = cum;
+            }
+            intervals.push(row);
+        }
+    }
+
+    SharedRun {
+        techniques: techniques.to_vec(),
+        intervals,
+        cycles: sys.now(),
+        final_stats: (0..n).map(|c| *sys.core_stats(c)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_workloads::paper_workloads;
+
+    fn small_xcfg() -> ExperimentConfig {
+        let mut x = ExperimentConfig::quick(2);
+        x.sample_instrs = 8_000;
+        x.interval_cycles = 10_000;
+        x
+    }
+
+    #[test]
+    fn shared_run_produces_intervals_and_estimates() {
+        let w = &paper_workloads(2, 3)[0];
+        let x = small_xcfg();
+        let run = run_shared(w, &x, &[Technique::Gdp, Technique::GdpO]);
+        assert!(!run.intervals.is_empty(), "at least one interval expected");
+        for iv in &run.intervals {
+            assert_eq!(iv.len(), 2);
+            for core in iv {
+                assert_eq!(core.estimates.len(), 2);
+                assert!(core.instr_end >= core.instr_start);
+            }
+        }
+        assert_eq!(run.technique_index(Technique::GdpO), Some(1));
+        assert_eq!(run.technique_index(Technique::Asm), None);
+    }
+
+    #[test]
+    fn checkpoints_are_monotone() {
+        let w = &paper_workloads(2, 3)[1];
+        let x = small_xcfg();
+        let run = run_shared(w, &x, &[Technique::Gdp]);
+        for c in 0..2 {
+            let cks = run.checkpoints(c);
+            assert!(cks.windows(2).all(|w| w[0] <= w[1]), "{cks:?}");
+        }
+    }
+
+    #[test]
+    fn asm_run_is_invasive() {
+        // With ASM attached, the run must still complete and produce
+        // estimates; the MC priority rotation is applied internally.
+        let w = &paper_workloads(2, 3)[0];
+        let x = small_xcfg();
+        let run = run_shared(w, &x, &[Technique::Asm]);
+        assert!(!run.intervals.is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_repeats() {
+        let w = &paper_workloads(2, 9)[0];
+        let x = small_xcfg();
+        let a = run_shared(w, &x, &[Technique::Gdp]);
+        let b = run_shared(w, &x, &[Technique::Gdp]);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.intervals.len(), b.intervals.len());
+    }
+}

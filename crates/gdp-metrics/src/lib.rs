@@ -1,0 +1,220 @@
+//! # gdp-metrics — evaluation metrics of the paper (§VI)
+//!
+//! * **Absolute / relative error** of an estimate against ground truth and
+//!   the **Root Mean Squared (RMS)** aggregation over a benchmark's
+//!   interval estimates (Eq. 8) — RMS "measures both bias and variability".
+//! * **System Throughput (STP)** (Eyerman & Eeckhout): the sum over cores
+//!   of private-to-shared CPI ratios (§V, §VII-C).
+//! * **Distribution summaries** standing in for the paper's violin plots
+//!   (min/p25/median/p75/max).
+
+/// Absolute error `E_abs = estimate − actual`.
+pub fn abs_error(estimate: f64, actual: f64) -> f64 {
+    estimate - actual
+}
+
+/// Relative error `E_rel = (estimate − actual) / actual`.
+///
+/// Returns 0 when `actual` is 0 and the estimate matches, and the signed
+/// estimate magnitude otherwise (a pragmatic guard; the paper's
+/// denominators are never exactly zero at 100M-instruction scale).
+pub fn rel_error(estimate: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            estimate.signum() * estimate.abs()
+        }
+    } else {
+        (estimate - actual) / actual
+    }
+}
+
+/// Root-mean-squared aggregation of a series of errors (paper Eq. 8).
+pub fn rms(errors: &[f64]) -> f64 {
+    if errors.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = errors.iter().map(|e| e * e).sum();
+    (sum_sq / errors.len() as f64).sqrt()
+}
+
+/// Arithmetic mean (used to combine per-benchmark RMS errors, §VI).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// System Throughput: `STP = Σ_i π_i / P_i` where `π_i` is private-mode
+/// CPI and `P_i` shared-mode CPI (paper §V). Each term is a core's
+/// normalized progress, so STP ranges up to the core count.
+pub fn stp(private_cpi: &[f64], shared_cpi: &[f64]) -> f64 {
+    assert_eq!(private_cpi.len(), shared_cpi.len());
+    private_cpi
+        .iter()
+        .zip(shared_cpi)
+        .map(|(p, s)| if *s > 0.0 && p.is_finite() { p / s } else { 0.0 })
+        .sum()
+}
+
+/// Five-number summary of a sample (violin-plot substitute).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarise `values` (empty input yields an all-zero summary).
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary { min: 0.0, p25: 0.0, median: 0.0, p75: 0.0, max: 0.0, n: 0 };
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metric samples"));
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
+            }
+        };
+        Summary { min: v[0], p25: q(0.25), median: q(0.5), p75: q(0.75), max: *v.last().unwrap(), n: v.len() }
+    }
+}
+
+/// Per-benchmark error series: collects interval errors, reports RMS.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorSeries {
+    abs: Vec<f64>,
+    rel: Vec<f64>,
+}
+
+impl ErrorSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one interval's estimate against its ground truth.
+    pub fn push(&mut self, estimate: f64, actual: f64) {
+        self.abs.push(abs_error(estimate, actual));
+        self.rel.push(rel_error(estimate, actual));
+    }
+
+    /// Number of recorded intervals.
+    pub fn len(&self) -> usize {
+        self.abs.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.abs.is_empty()
+    }
+
+    /// RMS of absolute errors (Eq. 8 with `E_abs`).
+    pub fn rms_abs(&self) -> f64 {
+        rms(&self.abs)
+    }
+
+    /// RMS of relative errors (Eq. 8 with `E_rel`).
+    pub fn rms_rel(&self) -> f64 {
+        rms(&self.rel)
+    }
+
+    /// Mean signed relative error (bias; 0 for an unbiased estimator).
+    pub fn mean_rel(&self) -> f64 {
+        mean(&self.rel)
+    }
+
+    /// Mean signed absolute error (bias in value units).
+    pub fn mean_abs(&self) -> f64 {
+        mean(&self.abs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_signed() {
+        assert_eq!(abs_error(3.0, 2.0), 1.0);
+        assert_eq!(abs_error(1.0, 2.0), -1.0);
+        assert!((rel_error(3.0, 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(rel_error(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn rms_measures_bias_and_variability() {
+        // Pure bias.
+        assert!((rms(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // Zero-mean variability still yields positive RMS.
+        assert!((rms(&[-1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn stp_sums_normalized_progress() {
+        // Both cores at half their private speed: STP = 1.0 of 2.
+        let s = stp(&[2.0, 4.0], &[4.0, 8.0]);
+        assert!((s - 1.0).abs() < 1e-12);
+        // No slowdown at all: STP = core count.
+        let s = stp(&[2.0, 4.0], &[2.0, 4.0]);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn stp_requires_matching_lengths() {
+        let _ = stp(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn summary_quartiles() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p25, 2.0);
+        assert_eq!(s.p75, 4.0);
+        assert_eq!(s.n, 5);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.n, 0);
+    }
+
+    #[test]
+    fn error_series_accumulates() {
+        let mut e = ErrorSeries::new();
+        e.push(1.2, 1.0);
+        e.push(0.8, 1.0);
+        assert_eq!(e.len(), 2);
+        assert!((e.rms_abs() - 0.2).abs() < 1e-12);
+        assert!((e.rms_rel() - 0.2).abs() < 1e-12);
+        // Symmetric errors cancel in the bias.
+        assert!(e.mean_rel().abs() < 1e-12);
+        assert!(e.mean_abs().abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

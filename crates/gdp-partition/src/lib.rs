@@ -1,0 +1,24 @@
+//! # gdp-partition — LLC way-partitioning policies
+//!
+//! The cache-management case study of paper §V / §VII-C: policies decide
+//! per-core way quotas at every repartitioning interval from ATD miss
+//! curves and (for MCP) private-mode performance estimates.
+//!
+//! * [`Ucp`] — Utility-based Cache Partitioning (Qureshi & Patt): the
+//!   lookahead algorithm maximising total hit gain.
+//! * [`Mcp`] — Model-based Cache Partitioning (the paper's contribution):
+//!   the same lookahead skeleton but maximising *estimated system
+//!   throughput* (Eq. 4–7), enabled by GDP/GDP-O's accurate private-mode
+//!   CPI estimates. `MCP-O` is MCP fed by GDP-O.
+//! * [`AsmCache`] — ASM-driven partitioning (Subramanian et al.): assigns
+//!   ways to equalise estimated slowdowns.
+//! * LRU — the unpartitioned baseline (no policy object: pass `None`
+//!   masks to the simulator).
+
+pub mod mcp;
+pub mod policy;
+pub mod ucp;
+
+pub use mcp::Mcp;
+pub use policy::{contiguous_masks, AllocContext, CoreSignals, PartitionPolicy};
+pub use ucp::{AsmCache, Ucp};

@@ -1,0 +1,126 @@
+//! Common policy interface and way-mask construction.
+
+/// Per-core signals available to a partitioning policy at an interval
+/// boundary (all measured over the ending interval).
+#[derive(Debug, Clone)]
+pub struct CoreSignals {
+    /// ATD miss curve: estimated private misses with `w ∈ 0..=W` ways.
+    pub miss_curve: Vec<u64>,
+    /// Committed instructions.
+    pub instrs: u64,
+    /// Commit cycles `C_p`.
+    pub commit_cycles: u64,
+    /// Stall cycles unrelated to the shared memory system
+    /// (`S_Ind + S_PMS + S_Other`).
+    pub stall_non_sms: u64,
+    /// SMS-load stall cycles `S_SMS`.
+    pub stall_sms: u64,
+    /// Completed SMS-loads.
+    pub sms_loads: u64,
+    /// Measured LLC misses.
+    pub llc_misses: u64,
+    /// Average SMS-load latency `L_SMS` (cycles).
+    pub avg_sms_latency: f64,
+    /// Average pre-LLC latency per SMS-load (cycles).
+    pub avg_pre_llc_latency: f64,
+    /// Average post-LLC (memory) latency per miss — global across cores
+    /// (off-chip bandwidth is shared; paper §V).
+    pub avg_post_llc_latency: f64,
+    /// Private-mode CPI estimate π̂ from the accounting technique.
+    pub private_cpi: f64,
+    /// Measured shared-mode CPI.
+    pub shared_cpi: f64,
+}
+
+/// Inputs for one allocation decision.
+#[derive(Debug, Clone)]
+pub struct AllocContext {
+    /// Total LLC ways to distribute.
+    pub ways: usize,
+    /// One entry per core.
+    pub cores: Vec<CoreSignals>,
+}
+
+/// A way-partitioning policy: maps interval measurements to per-core way
+/// counts (each ≥ 1, summing to `ways`).
+pub trait PartitionPolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decide the per-core way allocation.
+    fn allocate(&mut self, ctx: &AllocContext) -> Vec<usize>;
+}
+
+/// Build contiguous per-core way masks from an allocation
+/// (core 0 gets the lowest ways, and so on).
+///
+/// # Panics
+/// Panics if the allocation exceeds 64 ways total or any share is zero.
+pub fn contiguous_masks(alloc: &[usize]) -> Vec<u64> {
+    let total: usize = alloc.iter().sum();
+    assert!(total <= 64, "way masks are limited to 64 ways");
+    let mut masks = Vec::with_capacity(alloc.len());
+    let mut offset = 0usize;
+    for &n in alloc {
+        assert!(n > 0, "every core needs at least one way");
+        let mask = if n == 64 { u64::MAX } else { ((1u64 << n) - 1) << offset };
+        masks.push(mask);
+        offset += n;
+    }
+    masks
+}
+
+/// Validate and normalise an allocation: every core ≥ 1 way, total equals
+/// `ways` (rounding remainders onto the cores with the largest shares).
+pub(crate) fn ensure_valid(mut alloc: Vec<usize>, ways: usize) -> Vec<usize> {
+    let n = alloc.len();
+    assert!(ways >= n, "need at least one way per core");
+    for a in &mut alloc {
+        *a = (*a).max(1);
+    }
+    let mut total: usize = alloc.iter().sum();
+    while total > ways {
+        let i = (0..n).max_by_key(|&i| alloc[i]).unwrap();
+        alloc[i] -= 1;
+        total -= 1;
+    }
+    while total < ways {
+        let i = (0..n).min_by_key(|&i| alloc[i]).unwrap();
+        alloc[i] += 1;
+        total += 1;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_masks_are_disjoint_and_cover() {
+        let masks = contiguous_masks(&[4, 8, 4]);
+        assert_eq!(masks, vec![0x000F, 0x0FF0, 0xF000]);
+        let union = masks.iter().fold(0u64, |a, m| a | m);
+        assert_eq!(union, 0xFFFF);
+        for i in 0..masks.len() {
+            for j in i + 1..masks.len() {
+                assert_eq!(masks[i] & masks[j], 0, "masks must not overlap");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_way_share_rejected() {
+        let _ = contiguous_masks(&[4, 0]);
+    }
+
+    #[test]
+    fn ensure_valid_fixes_totals() {
+        assert_eq!(ensure_valid(vec![0, 0], 16), vec![8, 8]);
+        assert_eq!(ensure_valid(vec![20, 1], 16), vec![15, 1]);
+        let a = ensure_valid(vec![3, 3], 16);
+        assert_eq!(a.iter().sum::<usize>(), 16);
+        assert!(a.iter().all(|&x| x >= 1));
+    }
+}

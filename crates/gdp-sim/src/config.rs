@@ -1,0 +1,372 @@
+//! Simulator configuration: Table I of the paper plus scaled presets.
+//!
+//! The paper evaluates 2-, 4- and 8-core CMPs whose parameters are listed in
+//! Table I. [`SimConfig::paper`] reproduces those parameters exactly.
+//! Because simulating 100M-instruction samples is outside this environment's
+//! budget, [`SimConfig::scaled`] provides a structurally identical
+//! configuration with smaller capacities (the workload generator sizes
+//! working sets relative to the scaled LLC, preserving H/M/L sensitivity
+//! classes). All experiments run on either preset.
+
+use crate::types::BLOCK_BYTES;
+
+/// Which DRAM interface generation to model (paper §VII-D, Fig. 7d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramKind {
+    /// DDR2-800 with 4-4-4-12 timings (Table I default).
+    Ddr2_800,
+    /// DDR4-2666 with 19-19-19-43 timings (sensitivity study).
+    Ddr4_2666,
+}
+
+/// Out-of-order core parameters (Table I, "Processor Cores").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Re-order buffer entries (128 in the paper).
+    pub rob_entries: usize,
+    /// Load/store queue entries (32).
+    pub lsq_entries: usize,
+    /// Instruction queue entries (64).
+    pub iq_entries: usize,
+    /// Pipeline width: dispatch/issue/commit instructions per cycle (4).
+    pub width: usize,
+    /// Store buffer entries drained to the L1D in the background.
+    pub store_buffer_entries: usize,
+    /// Integer ALUs (4).
+    pub int_alu: usize,
+    /// Integer multiply/divide units (2).
+    pub int_mul_div: usize,
+    /// Floating-point ALUs (4).
+    pub fp_alu: usize,
+    /// Floating-point multiply/divide units (2).
+    pub fp_mul_div: usize,
+    /// L1D access ports (loads/stores issued per cycle).
+    pub mem_ports: usize,
+    /// Cycles from a mispredicted branch resolving to the first
+    /// correct-path instruction entering the ROB (front-end refill).
+    pub branch_redirect_penalty: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            rob_entries: 128,
+            lsq_entries: 32,
+            iq_entries: 64,
+            width: 4,
+            store_buffer_entries: 16,
+            int_alu: 4,
+            int_mul_div: 2,
+            fp_alu: 4,
+            fp_mul_div: 2,
+            mem_ports: 2,
+            branch_redirect_penalty: 10,
+        }
+    }
+}
+
+/// A single cache level's parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Lookup latency in cycles (tag + data).
+    pub latency: u64,
+    /// Miss Status Holding Registers (outstanding misses).
+    pub mshrs: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by capacity, associativity and block size.
+    ///
+    /// # Panics
+    /// Panics if the configuration does not divide into a whole power-of-two
+    /// number of sets.
+    pub fn sets(&self) -> usize {
+        let sets = self.size_bytes / (self.ways as u64 * BLOCK_BYTES);
+        assert!(sets > 0, "cache too small: {self:?}");
+        assert!(sets.is_power_of_two(), "sets must be a power of two: {self:?}");
+        sets as usize
+    }
+}
+
+/// Ring interconnect parameters (Table I, "Ring Interconnect").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Cycles for a packet to traverse one hop.
+    pub hop_latency: u64,
+    /// Entries in each injection queue.
+    pub queue_entries: usize,
+    /// Number of request rings (1 for 2-/4-core, 2 for 8-core).
+    pub request_rings: usize,
+    /// Number of response rings (1).
+    pub response_rings: usize,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig { hop_latency: 4, queue_entries: 32, request_rings: 1, response_rings: 1 }
+    }
+}
+
+/// DRAM and memory-controller parameters (Table I, "Main memory").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Interface generation (timing preset).
+    pub kind: DramKind,
+    /// Independent channels, each with its own bus and banks (1 default).
+    pub channels: usize,
+    /// Banks per channel (8).
+    pub banks: usize,
+    /// Row-buffer ("page") size in bytes (1 KB).
+    pub row_bytes: u64,
+    /// Read queue entries per channel (64).
+    pub read_queue: usize,
+    /// Write queue entries per channel (64).
+    pub write_queue: usize,
+    /// CPU cycles per memory-bus clock (4 GHz / 400 MHz = 10 for DDR2-800).
+    pub cpu_cycles_per_mem_cycle: u64,
+    /// tCL: column access latency, in memory-bus cycles.
+    pub t_cl: u64,
+    /// tRCD: row-to-column delay, in memory-bus cycles.
+    pub t_rcd: u64,
+    /// tRP: row precharge, in memory-bus cycles.
+    pub t_rp: u64,
+    /// tRAS: row active time, in memory-bus cycles.
+    pub t_ras: u64,
+    /// Memory-bus cycles the data bus is occupied per 64-byte burst.
+    pub burst_cycles: u64,
+    /// Write queue high-water mark that triggers write draining.
+    pub write_drain_threshold: usize,
+}
+
+impl DramConfig {
+    /// DDR2-800 4-4-4-12 (Table I) for a 4 GHz CPU clock.
+    pub fn ddr2_800(channels: usize) -> Self {
+        DramConfig {
+            kind: DramKind::Ddr2_800,
+            channels,
+            banks: 8,
+            row_bytes: 1024,
+            read_queue: 64,
+            write_queue: 64,
+            // 800 MT/s => 400 MHz bus; 4 GHz / 400 MHz = 10.
+            cpu_cycles_per_mem_cycle: 10,
+            t_cl: 4,
+            t_rcd: 4,
+            t_rp: 4,
+            t_ras: 12,
+            // 64 B over an 8 B-wide DDR bus: 8 transfers = 4 bus cycles.
+            burst_cycles: 4,
+            write_drain_threshold: 48,
+        }
+    }
+
+    /// DDR4-2666 19-19-19-43 for a 4 GHz CPU clock (Fig. 7d).
+    pub fn ddr4_2666(channels: usize) -> Self {
+        DramConfig {
+            kind: DramKind::Ddr4_2666,
+            channels,
+            banks: 16,
+            row_bytes: 1024,
+            read_queue: 64,
+            write_queue: 64,
+            // 2666 MT/s => 1333 MHz bus; 4 GHz / 1333 MHz = 3.
+            cpu_cycles_per_mem_cycle: 3,
+            t_cl: 19,
+            t_rcd: 19,
+            t_rp: 19,
+            t_ras: 43,
+            burst_cycles: 4,
+            write_drain_threshold: 48,
+        }
+    }
+
+    /// CPU cycles for a row-buffer hit (CAS + burst).
+    #[inline]
+    pub fn row_hit_cycles(&self) -> u64 {
+        (self.t_cl + self.burst_cycles) * self.cpu_cycles_per_mem_cycle
+    }
+
+    /// CPU cycles for an access to a precharged (closed) bank.
+    #[inline]
+    pub fn row_closed_cycles(&self) -> u64 {
+        (self.t_rcd + self.t_cl + self.burst_cycles) * self.cpu_cycles_per_mem_cycle
+    }
+
+    /// CPU cycles for a row conflict (precharge + activate + CAS + burst).
+    #[inline]
+    pub fn row_conflict_cycles(&self) -> u64 {
+        (self.t_rp + self.t_rcd + self.t_cl + self.burst_cycles) * self.cpu_cycles_per_mem_cycle
+    }
+
+    /// CPU cycles the shared data bus is held by one burst.
+    #[inline]
+    pub fn bus_occupancy_cycles(&self) -> u64 {
+        self.burst_cycles * self.cpu_cycles_per_mem_cycle
+    }
+}
+
+/// Complete system configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of cores (2, 4 or 8 in the paper).
+    pub cores: usize,
+    /// Core microarchitecture.
+    pub core: CoreConfig,
+    /// Private L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private L2 cache.
+    pub l2: CacheConfig,
+    /// Shared L3 (LLC); `llc.mshrs` is per bank.
+    pub llc: CacheConfig,
+    /// Number of LLC banks (4).
+    pub llc_banks: usize,
+    /// Ring interconnect.
+    pub ring: RingConfig,
+    /// Main memory.
+    pub dram: DramConfig,
+}
+
+impl SimConfig {
+    /// The paper's exact Table I configuration for `cores` ∈ {2, 4, 8}.
+    ///
+    /// # Panics
+    /// Panics if `cores` is not 2, 4 or 8.
+    pub fn paper(cores: usize) -> Self {
+        let (llc_mb, llc_lat, llc_mshrs, l1_lat, l2_lat, req_rings) = match cores {
+            2 => (8, 16, 32, 3, 9, 1),
+            4 => (8, 16, 64, 3, 9, 1),
+            8 => (16, 12, 128, 2, 6, 2),
+            _ => panic!("paper configurations exist for 2, 4 and 8 cores, not {cores}"),
+        };
+        SimConfig {
+            cores,
+            core: CoreConfig::default(),
+            l1d: CacheConfig { size_bytes: 64 << 10, ways: 2, latency: l1_lat, mshrs: 16 },
+            l2: CacheConfig { size_bytes: 1 << 20, ways: 4, latency: l2_lat, mshrs: 16 },
+            llc: CacheConfig {
+                size_bytes: (llc_mb as u64) << 20,
+                ways: 16,
+                latency: llc_lat,
+                mshrs: llc_mshrs,
+            },
+            llc_banks: 4,
+            ring: RingConfig { request_rings: req_rings, ..RingConfig::default() },
+            dram: DramConfig::ddr2_800(1),
+        }
+    }
+
+    /// Scaled configuration: identical structure and latency relationships
+    /// to [`SimConfig::paper`], capacities shrunk ~8× so that short
+    /// synthetic runs exercise the same contention regimes.
+    ///
+    /// # Panics
+    /// Panics if `cores` is not 2, 4 or 8.
+    pub fn scaled(cores: usize) -> Self {
+        let (llc_kb, llc_lat, llc_mshrs, l1_lat, l2_lat, req_rings) = match cores {
+            2 => (1024, 16, 32, 3, 9, 1),
+            4 => (1024, 16, 64, 3, 9, 1),
+            8 => (2048, 12, 128, 2, 6, 2),
+            _ => panic!("scaled configurations exist for 2, 4 and 8 cores, not {cores}"),
+        };
+        SimConfig {
+            cores,
+            core: CoreConfig::default(),
+            l1d: CacheConfig { size_bytes: 16 << 10, ways: 2, latency: l1_lat, mshrs: 16 },
+            l2: CacheConfig { size_bytes: 64 << 10, ways: 4, latency: l2_lat, mshrs: 16 },
+            llc: CacheConfig {
+                size_bytes: (llc_kb as u64) << 10,
+                ways: 16,
+                latency: llc_lat,
+                mshrs: llc_mshrs,
+            },
+            llc_banks: 4,
+            ring: RingConfig { request_rings: req_rings, ..RingConfig::default() },
+            dram: DramConfig::ddr2_800(1),
+        }
+    }
+
+    /// Capacity of one LLC way in bytes (the way-partitioning granule).
+    pub fn llc_way_bytes(&self) -> u64 {
+        self.llc.size_bytes / self.llc.ways as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_match_table_i() {
+        let c4 = SimConfig::paper(4);
+        assert_eq!(c4.cores, 4);
+        assert_eq!(c4.llc.size_bytes, 8 << 20);
+        assert_eq!(c4.llc.ways, 16);
+        assert_eq!(c4.llc.latency, 16);
+        assert_eq!(c4.llc.mshrs, 64);
+        assert_eq!(c4.l1d.latency, 3);
+        assert_eq!(c4.l2.latency, 9);
+        assert_eq!(c4.ring.request_rings, 1);
+        assert_eq!(c4.dram.t_cl, 4);
+
+        let c8 = SimConfig::paper(8);
+        assert_eq!(c8.llc.size_bytes, 16 << 20);
+        assert_eq!(c8.llc.latency, 12);
+        assert_eq!(c8.llc.mshrs, 128);
+        assert_eq!(c8.l1d.latency, 2);
+        assert_eq!(c8.l2.latency, 6);
+        assert_eq!(c8.ring.request_rings, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "paper configurations")]
+    fn paper_rejects_odd_core_counts() {
+        let _ = SimConfig::paper(3);
+    }
+
+    #[test]
+    fn ddr2_timing_in_cpu_cycles() {
+        let d = DramConfig::ddr2_800(1);
+        // 4-4-4-12 at a 10:1 clock ratio.
+        assert_eq!(d.row_hit_cycles(), (4 + 4) * 10);
+        assert_eq!(d.row_closed_cycles(), (4 + 4 + 4) * 10);
+        assert_eq!(d.row_conflict_cycles(), (4 + 4 + 4 + 4) * 10);
+        assert_eq!(d.bus_occupancy_cycles(), 40);
+    }
+
+    #[test]
+    fn ddr4_is_lower_latency_higher_bandwidth() {
+        let d2 = DramConfig::ddr2_800(1);
+        let d4 = DramConfig::ddr4_2666(1);
+        assert!(d4.row_hit_cycles() < d2.row_hit_cycles());
+        assert!(d4.bus_occupancy_cycles() < d2.bus_occupancy_cycles());
+    }
+
+    #[test]
+    fn cache_sets_computation() {
+        let c = CacheConfig { size_bytes: 1 << 20, ways: 16, latency: 16, mshrs: 64 };
+        assert_eq!(c.sets(), (1 << 20) / (16 * 64));
+    }
+
+    #[test]
+    fn scaled_preserves_structure() {
+        for n in [2usize, 4, 8] {
+            let p = SimConfig::paper(n);
+            let s = SimConfig::scaled(n);
+            assert_eq!(p.llc.ways, s.llc.ways);
+            assert_eq!(p.llc.latency, s.llc.latency);
+            assert_eq!(p.ring, s.ring);
+            assert_eq!(p.dram, s.dram);
+            assert!(s.llc.size_bytes < p.llc.size_bytes);
+        }
+    }
+
+    #[test]
+    fn llc_way_bytes() {
+        let s = SimConfig::scaled(4);
+        assert_eq!(s.llc_way_bytes(), (1024 << 10) / 16);
+    }
+}

@@ -1,0 +1,219 @@
+//! Synthetic instructions and instruction streams.
+//!
+//! An [`Instr`] is an abstract operation with a functional-unit class, an
+//! execution latency, up to two register dependencies expressed as backward
+//! distances in program order, and (for loads and stores) a concrete byte
+//! address. Branches carry a `mispredict` flag decided by the workload
+//! generator — the core turns it into a front-end redirect bubble.
+//!
+//! Dependencies as backward distances keep streams position-independent, so
+//! the same program can be replayed from any point (the paper restarts
+//! benchmarks when they reach the end of their sample, §VI).
+
+use crate::types::Addr;
+
+/// Functional classes of synthetic instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrKind {
+    /// Single-cycle integer operation.
+    IntAlu,
+    /// Integer multiply (3 cycles).
+    IntMul,
+    /// Integer divide (20 cycles).
+    IntDiv,
+    /// Floating-point add/sub (2 cycles).
+    FpAlu,
+    /// Floating-point multiply (4 cycles).
+    FpMul,
+    /// Floating-point divide (12 cycles).
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch (1 cycle to resolve).
+    Branch,
+}
+
+impl InstrKind {
+    /// Execution latency in cycles (memory operations: address generation
+    /// only; the cache access is modelled by the hierarchy).
+    pub fn exec_latency(self) -> u64 {
+        match self {
+            InstrKind::IntAlu | InstrKind::Branch => 1,
+            InstrKind::IntMul => 3,
+            InstrKind::IntDiv => 20,
+            InstrKind::FpAlu => 2,
+            InstrKind::FpMul => 4,
+            InstrKind::FpDiv => 12,
+            InstrKind::Load | InstrKind::Store => 1,
+        }
+    }
+
+    /// Whether the instruction accesses memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstrKind::Load | InstrKind::Store)
+    }
+}
+
+/// One synthetic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// Operation class.
+    pub kind: InstrKind,
+    /// Backward distances (in program order) to up to two producer
+    /// instructions whose results this instruction consumes. A distance of
+    /// 0 means "no dependency"; distances reaching before the start of the
+    /// stream are treated as satisfied.
+    pub deps: [u32; 2],
+    /// Byte address for loads/stores (ignored otherwise).
+    pub addr: Addr,
+    /// For branches: whether the branch mispredicts (front-end bubble).
+    pub mispredict: bool,
+}
+
+impl Instr {
+    /// A single-cycle ALU operation with the given dependencies.
+    pub fn alu(deps: &[u32]) -> Self {
+        Instr { kind: InstrKind::IntAlu, deps: pack(deps), addr: 0, mispredict: false }
+    }
+
+    /// An arbitrary non-memory operation.
+    pub fn op(kind: InstrKind, deps: &[u32]) -> Self {
+        debug_assert!(!kind.is_mem());
+        Instr { kind, deps: pack(deps), addr: 0, mispredict: false }
+    }
+
+    /// A load from `addr` with the given dependencies (e.g. the address
+    /// producer for pointer chasing).
+    pub fn load(addr: Addr, deps: &[u32]) -> Self {
+        Instr { kind: InstrKind::Load, deps: pack(deps), addr, mispredict: false }
+    }
+
+    /// A store to `addr`.
+    pub fn store(addr: Addr, deps: &[u32]) -> Self {
+        Instr { kind: InstrKind::Store, deps: pack(deps), addr, mispredict: false }
+    }
+
+    /// A branch; `mispredict` injects a front-end redirect when it executes.
+    pub fn branch(mispredict: bool, deps: &[u32]) -> Self {
+        Instr { kind: InstrKind::Branch, deps: pack(deps), addr: 0, mispredict }
+    }
+
+    /// Iterator over the non-zero dependency distances.
+    pub fn dep_distances(&self) -> impl Iterator<Item = u32> + '_ {
+        self.deps.iter().copied().filter(|&d| d != 0)
+    }
+}
+
+fn pack(deps: &[u32]) -> [u32; 2] {
+    assert!(deps.len() <= 2, "at most two register dependencies");
+    let mut out = [0u32; 2];
+    for (i, d) in deps.iter().enumerate() {
+        out[i] = *d;
+    }
+    out
+}
+
+/// A restartable program: a finite instruction vector replayed cyclically
+/// (the paper restarts benchmarks that exhaust their sample, §VI).
+#[derive(Debug, Clone)]
+pub struct InstrStream {
+    program: Vec<Instr>,
+    pos: usize,
+    /// Completed passes over the program (statistics).
+    pub restarts: u64,
+}
+
+impl InstrStream {
+    /// Create a stream that replays `program` forever.
+    ///
+    /// # Panics
+    /// Panics if `program` is empty.
+    pub fn cyclic(program: Vec<Instr>) -> Self {
+        assert!(!program.is_empty(), "instruction stream must not be empty");
+        InstrStream { program, pos: 0, restarts: 0 }
+    }
+
+    /// Number of instructions in one pass of the program.
+    pub fn len(&self) -> usize {
+        self.program.len()
+    }
+
+    /// Always false: streams are cyclic and never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fetch the next instruction, wrapping at the end of the program.
+    pub fn next_instr(&mut self) -> Instr {
+        let i = self.program[self.pos];
+        self.pos += 1;
+        if self.pos == self.program.len() {
+            self.pos = 0;
+            self.restarts += 1;
+        }
+        i
+    }
+
+    /// Peek without consuming.
+    pub fn peek(&self) -> Instr {
+        self.program[self.pos]
+    }
+
+    /// Reset to the beginning of the program.
+    pub fn reset(&mut self) {
+        self.pos = 0;
+        self.restarts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_pack_dependencies() {
+        let i = Instr::alu(&[1, 3]);
+        assert_eq!(i.deps, [1, 3]);
+        assert_eq!(i.dep_distances().collect::<Vec<_>>(), vec![1, 3]);
+        let l = Instr::load(0x40, &[2]);
+        assert_eq!(l.kind, InstrKind::Load);
+        assert_eq!(l.dep_distances().collect::<Vec<_>>(), vec![2]);
+        let b = Instr::branch(true, &[]);
+        assert!(b.mispredict);
+        assert_eq!(b.dep_distances().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two")]
+    fn too_many_deps_rejected() {
+        let _ = Instr::alu(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn latencies_are_ordered_sensibly() {
+        assert!(InstrKind::IntDiv.exec_latency() > InstrKind::IntMul.exec_latency());
+        assert!(InstrKind::FpDiv.exec_latency() > InstrKind::FpMul.exec_latency());
+        assert_eq!(InstrKind::IntAlu.exec_latency(), 1);
+    }
+
+    #[test]
+    fn stream_wraps_and_counts_restarts() {
+        let prog = vec![Instr::alu(&[]), Instr::alu(&[1])];
+        let mut s = InstrStream::cyclic(prog);
+        assert_eq!(s.len(), 2);
+        s.next_instr();
+        s.next_instr();
+        assert_eq!(s.restarts, 1);
+        assert_eq!(s.peek(), Instr::alu(&[]));
+        s.reset();
+        assert_eq!(s.restarts, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_program_rejected() {
+        let _ = InstrStream::cyclic(vec![]);
+    }
+}

@@ -1,0 +1,13 @@
+//! The out-of-order core model.
+//!
+//! Cores execute *synthetic instruction streams*: each instruction carries
+//! explicit register dependencies (backward distances) and, for memory
+//! operations, a pre-generated address. This gives the simulator a real
+//! dataflow graph — the property GDP's accounting hardware observes —
+//! without modelling an ISA.
+
+pub mod instr;
+pub mod pipeline;
+
+pub use instr::{Instr, InstrKind, InstrStream};
+pub use pipeline::Core;

@@ -1,0 +1,907 @@
+//! The out-of-order core: dispatch/issue/execute/commit with a re-order
+//! buffer, instruction queue, load/store queue, store buffer and functional
+//! units (Table I, "Processor Cores").
+//!
+//! ## Stall taxonomy (paper §III)
+//!
+//! Every cycle with zero commits is a stall cycle, classified by what holds
+//! the ROB head:
+//!
+//! * load waiting on the memory system → `S_Loads` (split into `S_PMS` /
+//!   `S_SMS` when the load completes and its path is known);
+//! * load that cannot even issue because the L1 is blocked → `S_Other`;
+//! * completed store at the head with a full store buffer → `S_Other`;
+//! * empty ROB during a branch-redirect bubble → `S_Other`;
+//! * anything else (dependency chains, long ALU ops, dispatch starvation)
+//!   → `S_Ind`.
+//!
+//! Stalls are reported as maximal same-cause runs via
+//! [`ProbeEvent::Stall`]; a run blocked on a load closes exactly when that
+//! load commits, at which point its PMS/SMS classification and interference
+//! are known — this is the "CPU resumed" trigger of GDP's Algorithm 3.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::config::CoreConfig;
+use crate::core::instr::{InstrKind, InstrStream};
+use crate::mem::hierarchy::{AccessOutcome, CompletedAccess, MemorySystem};
+use crate::mem::request::Interference;
+use crate::probe::{ProbeEvent, StallCause};
+use crate::stats::CoreStats;
+use crate::types::{block_addr, Addr, CoreId, Cycle, ReqId};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EState {
+    /// Waiting for `pending_deps` producers.
+    WaitDeps,
+    /// In the ready queue, eligible to issue.
+    Ready,
+    /// Occupying a functional unit (completion scheduled).
+    Executing,
+    /// Load with an outstanding memory request.
+    WaitMem,
+    /// Finished; may commit when it reaches the head.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MemInfo {
+    sms: bool,
+    interference: Interference,
+    req: ReqId,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    seq: u64,
+    kind: InstrKind,
+    block: Addr,
+    mispredict: bool,
+    state: EState,
+    pending_deps: u8,
+    /// Set when an issue attempt hit a blocked L1.
+    l1_blocked: bool,
+    /// Filled when a load's memory request completes.
+    mem: Option<MemInfo>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SbEntry {
+    block: Addr,
+    req: Option<ReqId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StallRun {
+    start: Cycle,
+    cause: StallCause,
+}
+
+/// Per-cycle functional-unit budget.
+#[derive(Debug, Default)]
+struct FuBudget {
+    int_alu: usize,
+    int_mul_div: usize,
+    fp_alu: usize,
+    fp_mul_div: usize,
+    mem_ports: usize,
+}
+
+/// An out-of-order core executing one synthetic instruction stream.
+#[derive(Debug)]
+pub struct Core {
+    id: CoreId,
+    cfg: CoreConfig,
+    stream: InstrStream,
+    rob: VecDeque<Entry>,
+    head_seq: u64,
+    next_seq: u64,
+    iq_used: usize,
+    lsq_used: usize,
+    ready: BinaryHeap<Reverse<u64>>,
+    exec_done: BinaryHeap<Reverse<(Cycle, u64)>>,
+    dependents: HashMap<u64, Vec<u64>>,
+    store_buffer: VecDeque<SbEntry>,
+    /// Blocks with uncommitted/undrained stores (store→load forwarding).
+    store_blocks: HashMap<Addr, u32>,
+    /// Mispredicted branch blocking the front end, if any.
+    fetch_blocked_by: Option<u64>,
+    /// Front end resumes at this cycle after a redirect.
+    redirect_until: Option<Cycle>,
+    req_map: HashMap<ReqId, u64>,
+    run: Option<StallRun>,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Create a core with the given id, configuration and program.
+    pub fn new(id: CoreId, cfg: &CoreConfig, stream: InstrStream) -> Self {
+        Core {
+            id,
+            cfg: cfg.clone(),
+            stream,
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            head_seq: 0,
+            next_seq: 0,
+            iq_used: 0,
+            lsq_used: 0,
+            ready: BinaryHeap::new(),
+            exec_done: BinaryHeap::new(),
+            dependents: HashMap::new(),
+            store_buffer: VecDeque::with_capacity(cfg.store_buffer_entries),
+            store_blocks: HashMap::new(),
+            fetch_blocked_by: None,
+            redirect_until: None,
+            req_map: HashMap::new(),
+            run: None,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// This core's id.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Committed instruction count (shortcut).
+    pub fn committed(&self) -> u64 {
+        self.stats.committed_instrs
+    }
+
+    /// Program restart count (passes over the instruction sample).
+    pub fn restarts(&self) -> u64 {
+        self.stream.restarts
+    }
+
+    fn entry_mut(&mut self, seq: u64) -> &mut Entry {
+        let idx = (seq - self.head_seq) as usize;
+        &mut self.rob[idx]
+    }
+
+    fn entry(&self, seq: u64) -> &Entry {
+        let idx = (seq - self.head_seq) as usize;
+        &self.rob[idx]
+    }
+
+    fn in_rob(&self, seq: u64) -> bool {
+        seq >= self.head_seq && ((seq - self.head_seq) as usize) < self.rob.len()
+    }
+
+    /// Route a completed memory access back into the pipeline.
+    pub fn record_mem_completion(&mut self, done: &CompletedAccess) {
+        // Store-buffer drain completion?
+        if let Some(pos) =
+            self.store_buffer.iter().position(|e| e.req == Some(done.req))
+        {
+            self.store_buffer.remove(pos);
+            self.release_store_block(done.block);
+            return;
+        }
+        // Load completion.
+        if let Some(seq) = self.req_map.remove(&done.req) {
+            let was_l1_miss = done.l1_miss;
+            if self.in_rob(seq) {
+                let e = self.entry_mut(seq);
+                e.mem = Some(MemInfo {
+                    sms: done.sms,
+                    interference: done.interference,
+                    req: done.req,
+                });
+                e.state = EState::Done;
+            }
+            self.wake_dependents(seq);
+            // Memory statistics (requests, not merged duplicates).
+            if done.kind == crate::types::AccessKind::Load && !done.merged_secondary {
+                if done.sms {
+                    self.stats.sms_loads += 1;
+                    self.stats.sms_latency_sum += done.latency();
+                    self.stats.sms_pre_llc_latency_sum += done.pre_llc;
+                    self.stats.sms_post_llc_latency_sum += done.post_llc;
+                    self.stats.interference_sum += done.interference.total();
+                    self.stats.llc_accesses += 1;
+                    if done.llc_hit == Some(false) {
+                        self.stats.llc_misses += 1;
+                    }
+                } else if was_l1_miss {
+                    self.stats.pms_loads += 1;
+                }
+            }
+        }
+    }
+
+    /// Advance the core one cycle.
+    pub fn tick(&mut self, now: Cycle, mem: &mut MemorySystem, probes: &mut Vec<ProbeEvent>) {
+        self.stats.cycles += 1;
+        self.finish_executions(now);
+        self.commit(now, mem, probes);
+        self.issue(now, mem, probes);
+        self.dispatch(now);
+    }
+
+    /// Close any open stall run (end of run / end of simulation).
+    pub fn finalize(&mut self, now: Cycle, probes: &mut Vec<ProbeEvent>) {
+        self.close_run(now, None, probes);
+    }
+
+    // ----- pipeline stages -------------------------------------------------
+
+    fn finish_executions(&mut self, now: Cycle) {
+        while let Some(&Reverse((t, seq))) = self.exec_done.peek() {
+            if t > now {
+                break;
+            }
+            self.exec_done.pop();
+            if self.in_rob(seq) {
+                let e = self.entry_mut(seq);
+                e.state = EState::Done;
+                let mispredict = e.mispredict && e.kind == InstrKind::Branch;
+                if mispredict && self.fetch_blocked_by == Some(seq) {
+                    self.redirect_until = Some(now + self.cfg.branch_redirect_penalty);
+                }
+            }
+            self.wake_dependents(seq);
+        }
+    }
+
+    fn commit(&mut self, now: Cycle, mem: &mut MemorySystem, probes: &mut Vec<ProbeEvent>) {
+        let mut committed = 0usize;
+        let mut first: Option<Entry> = None;
+        let mut sb_full = false;
+        while committed < self.cfg.width {
+            let Some(head) = self.rob.front() else { break };
+            if head.state != EState::Done {
+                break;
+            }
+            if head.kind == InstrKind::Store {
+                if self.store_buffer.len() >= self.cfg.store_buffer_entries {
+                    sb_full = true;
+                    break;
+                }
+                self.store_buffer.push_back(SbEntry { block: head.block, req: None });
+            }
+            let e = self.rob.pop_front().expect("head exists");
+            self.head_seq = e.seq + 1;
+            if e.kind.is_mem() {
+                self.lsq_used -= 1;
+            }
+            self.stats.committed_instrs += 1;
+            if first.is_none() {
+                first = Some(e);
+            }
+            committed += 1;
+        }
+
+        if committed > 0 {
+            self.stats.commit_cycles += 1;
+            if mem.outstanding_load_misses(self.id) > 0 {
+                self.stats.overlap_cycles += 1;
+            }
+            self.close_run(now, first.as_ref(), probes);
+        } else {
+            let cause = self.classify_stall(sb_full);
+            match self.run {
+                Some(run) if run.cause == cause => {}
+                Some(_) => {
+                    self.close_run(now, None, probes);
+                    self.run = Some(StallRun { start: now, cause });
+                }
+                None => self.run = Some(StallRun { start: now, cause }),
+            }
+        }
+    }
+
+    /// Classify the current zero-commit cycle.
+    fn classify_stall(&self, sb_full: bool) -> StallCause {
+        let Some(head) = self.rob.front() else {
+            return if self.fetch_blocked_by.is_some() {
+                StallCause::BranchRedirect
+            } else {
+                StallCause::MemoryIndependent
+            };
+        };
+        match head.kind {
+            InstrKind::Load => match head.state {
+                EState::WaitMem => StallCause::Load,
+                EState::Ready if head.l1_blocked => StallCause::L1Blocked,
+                _ => StallCause::MemoryIndependent,
+            },
+            InstrKind::Store if sb_full => StallCause::StoreBufferFull,
+            _ => StallCause::MemoryIndependent,
+        }
+    }
+
+    /// Close the open stall run, attributing load stalls with the
+    /// just-committed head (if provided).
+    fn close_run(&mut self, now: Cycle, first: Option<&Entry>, probes: &mut Vec<ProbeEvent>) {
+        let Some(run) = self.run.take() else { return };
+        let duration = now - run.start;
+        if duration == 0 {
+            return;
+        }
+        let mut blocking_block = None;
+        let mut blocking_req = None;
+        let mut blocking_sms = None;
+        let mut blocking_interference = None;
+        match run.cause {
+            StallCause::Load => {
+                // The run ended because the blocking load committed (or the
+                // simulation finalized mid-stall).
+                let info = first.and_then(|e| e.mem.map(|m| (e.block, m)));
+                match info {
+                    Some((block, m)) => {
+                        blocking_block = Some(block);
+                        blocking_req = Some(m.req);
+                        blocking_sms = Some(m.sms);
+                        blocking_interference = Some(m.interference);
+                        if m.sms {
+                            self.stats.stall_sms += duration;
+                        } else {
+                            self.stats.stall_pms += duration;
+                        }
+                    }
+                    None => {
+                        // Finalized mid-stall or non-load commit: fall back
+                        // to PMS (conservative; rare).
+                        self.stats.stall_pms += duration;
+                    }
+                }
+            }
+            StallCause::MemoryIndependent => self.stats.stall_ind += duration,
+            StallCause::StoreBufferFull
+            | StallCause::L1Blocked
+            | StallCause::BranchRedirect => self.stats.stall_other += duration,
+        }
+        probes.push(ProbeEvent::Stall {
+            core: self.id,
+            start: run.start,
+            end: now,
+            cause: run.cause,
+            blocking_block,
+            blocking_req,
+            blocking_sms,
+            blocking_interference,
+        });
+    }
+
+    fn issue(&mut self, now: Cycle, mem: &mut MemorySystem, probes: &mut Vec<ProbeEvent>) {
+        let mut budget = FuBudget::default();
+        let mut issued = 0usize;
+
+        // Drain the store buffer in FIFO order (shares the memory ports).
+        for i in 0..self.store_buffer.len() {
+            if budget.mem_ports >= self.cfg.mem_ports {
+                break;
+            }
+            if self.store_buffer[i].req.is_some() {
+                continue;
+            }
+            let block = self.store_buffer[i].block;
+            match mem.access(self.id, block, crate::types::AccessKind::Store, now, probes) {
+                AccessOutcome::Pending(r) => {
+                    self.store_buffer[i].req = Some(r);
+                    budget.mem_ports += 1;
+                }
+                AccessOutcome::Blocked => break,
+            }
+        }
+
+        // Issue ready instructions oldest-first.
+        let mut deferred: Vec<u64> = Vec::new();
+        while issued < self.cfg.width {
+            let Some(&Reverse(seq)) = self.ready.peek() else { break };
+            self.ready.pop();
+            if !self.in_rob(seq) {
+                continue;
+            }
+            let (kind, block) = {
+                let e = self.entry(seq);
+                (e.kind, e.block)
+            };
+            let ok = match kind {
+                InstrKind::IntAlu | InstrKind::Branch => {
+                    take_fu(&mut budget.int_alu, self.cfg.int_alu)
+                }
+                InstrKind::IntMul | InstrKind::IntDiv => {
+                    take_fu(&mut budget.int_mul_div, self.cfg.int_mul_div)
+                }
+                InstrKind::FpAlu => take_fu(&mut budget.fp_alu, self.cfg.fp_alu),
+                InstrKind::FpMul | InstrKind::FpDiv => {
+                    take_fu(&mut budget.fp_mul_div, self.cfg.fp_mul_div)
+                }
+                InstrKind::Store => true, // address generation only
+                InstrKind::Load => take_fu(&mut budget.mem_ports, self.cfg.mem_ports),
+            };
+            if !ok {
+                deferred.push(seq);
+                continue;
+            }
+            match kind {
+                InstrKind::Load => {
+                    if self.store_blocks.contains_key(&block) {
+                        // Store→load forwarding: satisfied from the store
+                        // buffer next cycle, no memory traffic.
+                        let e = self.entry_mut(seq);
+                        e.state = EState::Executing;
+                        self.exec_done.push(Reverse((now + 1, seq)));
+                        self.iq_used -= 1;
+                        issued += 1;
+                    } else {
+                        match mem.access(
+                            self.id,
+                            block,
+                            crate::types::AccessKind::Load,
+                            now,
+                            probes,
+                        ) {
+                            AccessOutcome::Pending(r) => {
+                                let e = self.entry_mut(seq);
+                                e.state = EState::WaitMem;
+                                e.l1_blocked = false;
+                                self.req_map.insert(r, seq);
+                                self.iq_used -= 1;
+                                issued += 1;
+                            }
+                            AccessOutcome::Blocked => {
+                                // Port already charged this cycle; the
+                                // load retries next cycle.
+                                let e = self.entry_mut(seq);
+                                e.l1_blocked = true;
+                                deferred.push(seq);
+                                // Don't spin on younger loads this cycle.
+                                break;
+                            }
+                        }
+                    }
+                }
+                other => {
+                    let e = self.entry_mut(seq);
+                    e.state = EState::Executing;
+                    let lat = other.exec_latency();
+                    self.exec_done.push(Reverse((now + lat, seq)));
+                    self.iq_used -= 1;
+                    issued += 1;
+                }
+            }
+        }
+        for seq in deferred {
+            self.ready.push(Reverse(seq));
+        }
+    }
+
+    fn dispatch(&mut self, now: Cycle) {
+        // Front-end redirect bookkeeping.
+        if self.fetch_blocked_by.is_some() {
+            match self.redirect_until {
+                Some(t) if now >= t => {
+                    self.fetch_blocked_by = None;
+                    self.redirect_until = None;
+                }
+                _ => return,
+            }
+        }
+        for _ in 0..self.cfg.width {
+            if self.rob.len() >= self.cfg.rob_entries || self.iq_used >= self.cfg.iq_entries {
+                break;
+            }
+            let peek = self.stream.peek();
+            if peek.kind.is_mem() && self.lsq_used >= self.cfg.lsq_entries {
+                break;
+            }
+            let instr = self.stream.next_instr();
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            let mut pending = 0u8;
+            for d in instr.dep_distances() {
+                let producer = match seq.checked_sub(d as u64) {
+                    Some(p) => p,
+                    None => continue, // before the start of time: satisfied
+                };
+                if producer < self.head_seq {
+                    continue; // already committed
+                }
+                if self.in_rob(producer) && self.entry(producer).state != EState::Done {
+                    self.dependents.entry(producer).or_default().push(seq);
+                    pending += 1;
+                }
+            }
+
+            let block = block_addr(instr.addr);
+            let state = if pending == 0 { EState::Ready } else { EState::WaitDeps };
+            if state == EState::Ready {
+                self.ready.push(Reverse(seq));
+            }
+            self.iq_used += 1;
+            if instr.kind.is_mem() {
+                self.lsq_used += 1;
+            }
+            if instr.kind == InstrKind::Store {
+                *self.store_blocks.entry(block).or_insert(0) += 1;
+            }
+            let is_mispredict = instr.kind == InstrKind::Branch && instr.mispredict;
+            self.rob.push_back(Entry {
+                seq,
+                kind: instr.kind,
+                block,
+                mispredict: instr.mispredict,
+                state,
+                pending_deps: pending,
+                l1_blocked: false,
+                mem: None,
+            });
+            if is_mispredict {
+                self.fetch_blocked_by = Some(seq);
+                break;
+            }
+        }
+    }
+
+    fn wake_dependents(&mut self, producer: u64) {
+        if let Some(deps) = self.dependents.remove(&producer) {
+            for seq in deps {
+                if !self.in_rob(seq) {
+                    continue;
+                }
+                let e = self.entry_mut(seq);
+                debug_assert!(e.pending_deps > 0);
+                e.pending_deps -= 1;
+                if e.pending_deps == 0 && e.state == EState::WaitDeps {
+                    e.state = EState::Ready;
+                    self.ready.push(Reverse(seq));
+                }
+            }
+        }
+    }
+
+    fn release_store_block(&mut self, block: Addr) {
+        if let Some(n) = self.store_blocks.get_mut(&block) {
+            *n -= 1;
+            if *n == 0 {
+                self.store_blocks.remove(&block);
+            }
+        }
+    }
+}
+
+fn take_fu(used: &mut usize, limit: usize) -> bool {
+    if *used < limit {
+        *used += 1;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::core::instr::Instr;
+
+    /// Run a single core against a fresh memory system for `cycles`.
+    fn run_core(program: Vec<Instr>, cycles: Cycle) -> (CoreStats, Vec<ProbeEvent>) {
+        let cfg = SimConfig::scaled(2);
+        let mut mem = MemorySystem::new(&cfg);
+        let mut core = Core::new(CoreId(0), &cfg.core, InstrStream::cyclic(program));
+        let mut probes = Vec::new();
+        for t in 0..cycles {
+            mem.tick(t, &mut probes);
+            for done in mem.take_completions() {
+                core.record_mem_completion(&done);
+            }
+            core.tick(t, &mut mem, &mut probes);
+        }
+        core.finalize(cycles, &mut probes);
+        (*core.stats(), probes)
+    }
+
+    #[test]
+    fn pure_alu_stream_commits_at_full_width() {
+        let prog: Vec<Instr> = (0..64).map(|_| Instr::alu(&[])).collect();
+        let (stats, _) = run_core(prog, 1000);
+        // 4-wide with no dependencies: IPC should approach 4.
+        assert!(stats.ipc() > 3.0, "ipc = {}", stats.ipc());
+        assert_eq!(stats.stall_sms, 0);
+        assert_eq!(stats.stall_pms, 0);
+    }
+
+    #[test]
+    fn dependency_chain_limits_ipc_to_one() {
+        // Every instruction depends on its predecessor: IPC ≤ 1.
+        let prog: Vec<Instr> = (0..64).map(|_| Instr::alu(&[1])).collect();
+        let (stats, _) = run_core(prog, 2000);
+        assert!(stats.ipc() < 1.1, "ipc = {}", stats.ipc());
+        assert!(stats.stall_ind > 0, "dependency stalls are memory-independent");
+    }
+
+    #[test]
+    fn cold_loads_stall_as_sms() {
+        // Independent loads to distinct cold blocks, far apart: every one
+        // misses all caches.
+        let prog: Vec<Instr> =
+            (0..128).map(|i| Instr::load(0x10_0000 + i * 4096, &[])).collect();
+        let (stats, probes) = run_core(prog, 30_000);
+        assert!(stats.stall_sms > 0, "cold misses must produce SMS stalls");
+        assert!(stats.sms_loads > 0);
+        assert!(
+            probes.iter().any(|e| matches!(
+                e,
+                ProbeEvent::Stall { cause: StallCause::Load, blocking_sms: Some(true), .. }
+            )),
+            "SMS load stalls must be reported"
+        );
+    }
+
+    #[test]
+    fn l1_resident_loads_produce_no_sms_stalls_after_warmup() {
+        // 8 blocks, revisited constantly: after warm-up everything hits L1.
+        let prog: Vec<Instr> = (0..64).map(|i| Instr::load((i % 8) * 64, &[])).collect();
+        let cfg = SimConfig::scaled(2);
+        let mut mem = MemorySystem::new(&cfg);
+        let mut core = Core::new(CoreId(0), &cfg.core, InstrStream::cyclic(prog));
+        let mut probes = Vec::new();
+        let warmup = 5_000;
+        for t in 0..warmup {
+            mem.tick(t, &mut probes);
+            for done in mem.take_completions() {
+                core.record_mem_completion(&done);
+            }
+            core.tick(t, &mut mem, &mut probes);
+        }
+        let snap = *core.stats();
+        for t in warmup..20_000 {
+            mem.tick(t, &mut probes);
+            for done in mem.take_completions() {
+                core.record_mem_completion(&done);
+            }
+            core.tick(t, &mut mem, &mut probes);
+        }
+        core.finalize(20_000, &mut probes);
+        let delta = core.stats().delta(&snap);
+        assert_eq!(delta.stall_sms, 0, "L1-resident working set: {delta:?}");
+        assert!(delta.ipc() > 1.0, "ipc = {}", delta.ipc());
+    }
+
+    #[test]
+    fn pointer_chase_serializes_loads() {
+        // Each load's address depends on the previous load: no MLP.
+        let chase: Vec<Instr> =
+            (0..64).map(|i| Instr::load(0x20_0000 + i * 4096, &[1])).collect();
+        let (chase_stats, _) = run_core(chase, 60_000);
+        let parallel: Vec<Instr> =
+            (0..64).map(|i| Instr::load(0x20_0000 + i * 4096, &[])).collect();
+        let (par_stats, _) = run_core(parallel, 60_000);
+        assert!(
+            chase_stats.ipc() < par_stats.ipc() * 0.6,
+            "pointer chase must be much slower: chase={} parallel={}",
+            chase_stats.ipc(),
+            par_stats.ipc()
+        );
+    }
+
+    #[test]
+    fn mispredicted_branches_create_redirect_stalls() {
+        let mut prog = Vec::new();
+        for _ in 0..16 {
+            prog.extend((0..4).map(|_| Instr::alu(&[])));
+            prog.push(Instr::branch(true, &[]));
+        }
+        let (stats, probes) = run_core(prog, 5_000);
+        assert!(stats.stall_other > 0, "redirect bubbles are S_Other");
+        assert!(probes
+            .iter()
+            .any(|e| matches!(e, ProbeEvent::Stall { cause: StallCause::BranchRedirect, .. })));
+        // Mispredicts every 5 instructions throttle IPC well below width.
+        assert!(stats.ipc() < 2.0, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn store_bursts_fill_the_store_buffer() {
+        // Stores to distinct cold blocks: the buffer drains slowly, commit
+        // must eventually stall on a full SB.
+        let prog: Vec<Instr> =
+            (0..256).map(|i| Instr::store(0x30_0000 + i * 4096, &[])).collect();
+        let (stats, probes) = run_core(prog, 40_000);
+        assert!(
+            probes
+                .iter()
+                .any(|e| matches!(e, ProbeEvent::Stall { cause: StallCause::StoreBufferFull, .. })),
+            "store-buffer-full stalls expected; stats = {stats:?}"
+        );
+        assert!(stats.stall_other > 0);
+    }
+
+    #[test]
+    fn store_to_load_forwarding_avoids_memory() {
+        // Store to a block then immediately load it back, repeatedly. The
+        // load must forward (1 cycle) instead of missing to DRAM.
+        let mut prog = Vec::new();
+        for i in 0..32u64 {
+            prog.push(Instr::store(0x40_0000 + i * 4096, &[]));
+            prog.push(Instr::load(0x40_0000 + i * 4096, &[]));
+        }
+        let (stats, _) = run_core(prog, 30_000);
+        // Forwarded loads produce no SMS stalls attributable to those loads;
+        // the stores' traffic is hidden by the store buffer unless it fills.
+        assert_eq!(
+            stats.stall_sms, 0,
+            "forwarded loads must not stall on memory: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn cycle_taxonomy_is_complete() {
+        // Mixed program: whatever happens, every cycle lands in a bucket.
+        let mut prog = Vec::new();
+        for i in 0..64u64 {
+            prog.push(Instr::load(0x50_0000 + i * 4096, &[]));
+            prog.push(Instr::alu(&[1]));
+            prog.push(Instr::op(InstrKind::FpMul, &[1]));
+            prog.push(Instr::branch(i % 7 == 0, &[]));
+        }
+        let (stats, _) = run_core(prog, 25_000);
+        assert_eq!(
+            stats.commit_cycles + stats.stalls(),
+            stats.cycles,
+            "taxonomy must cover every cycle: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn overlap_cycles_counted_when_committing_under_pending_miss() {
+        // A long stream of independent ALU work with occasional cold loads:
+        // the core commits while misses are outstanding.
+        let mut prog = Vec::new();
+        for i in 0..32u64 {
+            prog.push(Instr::load(0x60_0000 + i * 4096, &[]));
+            prog.extend((0..24).map(|_| Instr::alu(&[])));
+        }
+        let (stats, _) = run_core(prog, 40_000);
+        assert!(stats.overlap_cycles > 0, "commit under pending miss: {stats:?}");
+    }
+
+    #[test]
+    fn rob_fills_under_long_latency_head() {
+        // One pointer-chased cold load followed by lots of independent work:
+        // the ROB should fill while the load blocks the head.
+        let mut prog = vec![Instr::load(0x70_0000, &[])];
+        prog.extend((0..200).map(|_| Instr::alu(&[])));
+        let cfg = SimConfig::scaled(2);
+        let mut mem = MemorySystem::new(&cfg);
+        let mut core = Core::new(CoreId(0), &cfg.core, InstrStream::cyclic(prog));
+        let mut probes = Vec::new();
+        let mut max_rob = 0;
+        for t in 0..400 {
+            mem.tick(t, &mut probes);
+            for done in mem.take_completions() {
+                core.record_mem_completion(&done);
+            }
+            core.tick(t, &mut mem, &mut probes);
+            max_rob = max_rob.max(core.rob.len());
+        }
+        assert_eq!(max_rob, cfg.core.rob_entries, "ROB must fill behind a stalled head");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::core::instr::Instr;
+
+    fn run_with_cfg(cfg: &SimConfig, program: Vec<Instr>, cycles: Cycle) -> CoreStats {
+        let mut mem = MemorySystem::new(cfg);
+        let mut core = Core::new(CoreId(0), &cfg.core, InstrStream::cyclic(program));
+        let mut probes = Vec::new();
+        for t in 0..cycles {
+            mem.tick(t, &mut probes);
+            for done in mem.take_completions() {
+                core.record_mem_completion(&done);
+            }
+            core.tick(t, &mut mem, &mut probes);
+        }
+        core.finalize(cycles, &mut probes);
+        *core.stats()
+    }
+
+    #[test]
+    fn correctly_predicted_branches_are_free() {
+        let mut with_branches = Vec::new();
+        for _ in 0..32 {
+            with_branches.extend((0..4).map(|_| Instr::alu(&[])));
+            with_branches.push(Instr::branch(false, &[]));
+        }
+        let plain: Vec<Instr> = (0..160).map(|_| Instr::alu(&[])).collect();
+        let cfg = SimConfig::scaled(2);
+        let a = run_with_cfg(&cfg, with_branches, 2000);
+        let b = run_with_cfg(&cfg, plain, 2000);
+        // Correct predictions cost only their issue slot.
+        assert!(
+            a.ipc() > b.ipc() * 0.9,
+            "correct branches nearly free: {} vs {}",
+            a.ipc(),
+            b.ipc()
+        );
+    }
+
+    #[test]
+    fn fp_divider_contention_throttles_issue() {
+        // Streams of independent FP divides: only 2 FP mul/div units, so
+        // IPC is bounded by 2 per 12-cycle latency... with pipelining
+        // modelled as full (unit free immediately), the bound comes from
+        // the per-cycle FU budget of 2.
+        let divs: Vec<Instr> = (0..64).map(|_| Instr::op(InstrKind::FpDiv, &[])).collect();
+        let cfg = SimConfig::scaled(2);
+        let s = run_with_cfg(&cfg, divs, 2000);
+        assert!(s.ipc() <= 2.05, "fp div issue bound: {}", s.ipc());
+    }
+
+    #[test]
+    fn tiny_iq_limits_dispatch() {
+        let mut cfg = SimConfig::scaled(2);
+        cfg.core.iq_entries = 2;
+        // Long dependency chains keep the IQ full.
+        let prog: Vec<Instr> = (0..64).map(|_| Instr::op(InstrKind::IntDiv, &[1])).collect();
+        let s = run_with_cfg(&cfg, prog, 3000);
+        assert!(s.ipc() < 0.1, "2-entry IQ with div chains: {}", s.ipc());
+    }
+
+    #[test]
+    fn lsq_limit_blocks_memory_dispatch() {
+        let mut cfg = SimConfig::scaled(2);
+        cfg.core.lsq_entries = 2;
+        let prog: Vec<Instr> =
+            (0..64).map(|i| Instr::load(0x900_0000 + i * 4096, &[])).collect();
+        let s = run_with_cfg(&cfg, prog, 10_000);
+        // With only 2 LSQ entries MLP collapses to ~2: far slower than the
+        // default 32-entry configuration.
+        let s32 = run_with_cfg(
+            &SimConfig::scaled(2),
+            (0..64).map(|i| Instr::load(0x900_0000 + i * 4096, &[])).collect(),
+            10_000,
+        );
+        assert!(
+            s.committed_instrs < s32.committed_instrs / 2,
+            "lsq=2: {} vs lsq=32: {}",
+            s.committed_instrs,
+            s32.committed_instrs
+        );
+    }
+
+    #[test]
+    fn interval_snapshots_compose_via_delta() {
+        let prog: Vec<Instr> = (0..128).map(|i| Instr::load((i % 16) * 64, &[])).collect();
+        let cfg = SimConfig::scaled(2);
+        let mut mem = MemorySystem::new(&cfg);
+        let mut core = Core::new(CoreId(0), &cfg.core, InstrStream::cyclic(prog));
+        let mut probes = Vec::new();
+        let mut snaps = Vec::new();
+        for t in 0..6000 {
+            mem.tick(t, &mut probes);
+            for done in mem.take_completions() {
+                core.record_mem_completion(&done);
+            }
+            core.tick(t, &mut mem, &mut probes);
+            if t % 2000 == 1999 {
+                snaps.push(*core.stats());
+            }
+        }
+        // Sum of deltas equals the last snapshot.
+        let mut acc = CoreStats::default();
+        let mut prev = CoreStats::default();
+        for s in &snaps {
+            let d = s.delta(&prev);
+            acc.committed_instrs += d.committed_instrs;
+            acc.cycles += d.cycles;
+            prev = *s;
+        }
+        assert_eq!(acc.committed_instrs, snaps.last().unwrap().committed_instrs);
+        assert_eq!(acc.cycles, snaps.last().unwrap().cycles);
+    }
+}

@@ -1,0 +1,47 @@
+//! # gdp-sim — cycle-level chip-multiprocessor simulator substrate
+//!
+//! This crate implements the simulation substrate used by the GDP
+//! reproduction: a cycle-stepped model of a chip multiprocessor (CMP) with
+//! out-of-order cores, two levels of private caches, a shared banked
+//! last-level cache (LLC) with way-partitioning support, a ring
+//! interconnect, and a DDR2/DDR4 memory controller with FR-FCFS scheduling,
+//! banks and row buffers.
+//!
+//! The architecture mirrors Table I of the paper (Jahre & Eeckhout,
+//! HPCA 2018). It executes *synthetic instruction streams* (see the
+//! `gdp-workloads` crate) which carry explicit register dependencies and
+//! pre-generated memory addresses, so the dataflow structure observed by
+//! accounting hardware is a genuine property of the executed program.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gdp_sim::{System, SimConfig};
+//! use gdp_sim::core::{Instr, InstrStream};
+//!
+//! // Two tiny programs: streams of independent loads.
+//! let prog: Vec<Instr> = (0..256)
+//!     .map(|i| Instr::load(0x1000 + i * 64, &[]))
+//!     .collect();
+//! let cfg = SimConfig::scaled(2);
+//! let mut sys = System::new(cfg, vec![
+//!     InstrStream::cyclic(prog.clone()),
+//!     InstrStream::cyclic(prog),
+//! ]);
+//! sys.run_cycles(10_000);
+//! assert!(sys.core_stats(0).committed_instrs > 0);
+//! ```
+
+pub mod config;
+pub mod core;
+pub mod mem;
+pub mod probe;
+pub mod stats;
+pub mod system;
+pub mod types;
+
+pub use config::{CacheConfig, CoreConfig, DramConfig, DramKind, RingConfig, SimConfig};
+pub use probe::{ProbeEvent, StallCause};
+pub use stats::{CoreStats, MemStats};
+pub use system::System;
+pub use types::{Addr, CoreId, Cycle, ReqId};

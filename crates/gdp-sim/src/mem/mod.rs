@@ -1,0 +1,25 @@
+//! Memory hierarchy: caches, MSHRs, ring interconnect, DRAM controller and
+//! the wiring between them.
+//!
+//! The hierarchy models the CMP of the paper's Table I: per-core L1 data and
+//! L2 caches, a shared, banked, way-partitionable L3 (LLC) reached over a
+//! ring interconnect, and one or more DDR channels governed by an FR-FCFS
+//! memory controller with banks, row buffers and an open-page policy.
+//!
+//! Requests progress through explicit pipeline stages with an event wheel;
+//! the memory controller is ticked every cycle because FR-FCFS arbitration
+//! is a per-cycle decision.
+
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+pub mod mshr;
+pub mod request;
+pub mod ring;
+
+pub use cache::{AccessResult, Cache, Victim};
+pub use dram::{McCompletion, MemoryController};
+pub use hierarchy::{AccessOutcome, CompletedAccess, MemorySystem};
+pub use mshr::{MshrAlloc, MshrFile};
+pub use request::{Interference, MemRequest};
+pub use ring::{Ring, RingKind, SendOutcome};

@@ -1,0 +1,134 @@
+//! Miss Status Holding Registers: track outstanding misses and merge
+//! secondary misses to the same block.
+//!
+//! A full MSHR file blocks the cache: new misses cannot be accepted and the
+//! requester must retry. When a load stalls commit because the L1 cannot
+//! accept it, the paper classifies the resulting cycles as `S_Other`
+//! ("L1 data cache blocked because of too many in-flight requests").
+
+use std::collections::HashMap;
+
+use crate::types::{Addr, ReqId};
+
+/// Outcome of attempting to allocate an MSHR for a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAlloc {
+    /// First miss to this block: the caller must forward it downstream.
+    Primary,
+    /// Merged into an existing entry: completion will be shared.
+    Merged,
+    /// No MSHR available: the cache is blocked, retry later.
+    Full,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    primary: ReqId,
+    merged: Vec<ReqId>,
+}
+
+/// A file of MSHRs for one cache.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<Addr, Entry>,
+}
+
+impl MshrFile {
+    /// Create a file with `capacity` registers.
+    pub fn new(capacity: usize) -> Self {
+        MshrFile { capacity, entries: HashMap::with_capacity(capacity) }
+    }
+
+    /// Number of active entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no further primary misses can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Attempt to allocate (or merge into) an MSHR for `block`.
+    pub fn allocate(&mut self, block: Addr, req: ReqId) -> MshrAlloc {
+        if let Some(e) = self.entries.get_mut(&block) {
+            e.merged.push(req);
+            return MshrAlloc::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrAlloc::Full;
+        }
+        self.entries.insert(block, Entry { primary: req, merged: Vec::new() });
+        MshrAlloc::Primary
+    }
+
+    /// Whether a miss to `block` is outstanding.
+    pub fn contains(&self, block: Addr) -> bool {
+        self.entries.contains_key(&block)
+    }
+
+    /// The primary request for `block`, if outstanding.
+    pub fn primary(&self, block: Addr) -> Option<ReqId> {
+        self.entries.get(&block).map(|e| e.primary)
+    }
+
+    /// Release the MSHR for `block`, returning `(primary, merged)` requests
+    /// that are now satisfied. Returns `None` if no entry exists.
+    pub fn release(&mut self, block: Addr) -> Option<(ReqId, Vec<ReqId>)> {
+        self.entries.remove(&block).map(|e| (e.primary, e.merged))
+    }
+
+    /// Iterate over the blocks with outstanding misses.
+    pub fn blocks(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_merge_then_release() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(0x40, ReqId(1)), MshrAlloc::Primary);
+        assert_eq!(m.allocate(0x40, ReqId(2)), MshrAlloc::Merged);
+        assert_eq!(m.len(), 1);
+        let (p, merged) = m.release(0x40).unwrap();
+        assert_eq!(p, ReqId(1));
+        assert_eq!(merged, vec![ReqId(2)]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn full_file_rejects_new_blocks_but_merges() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.allocate(0x40, ReqId(1)), MshrAlloc::Primary);
+        assert_eq!(m.allocate(0x80, ReqId(2)), MshrAlloc::Full);
+        // Merging into an existing entry is still possible when full.
+        assert_eq!(m.allocate(0x40, ReqId(3)), MshrAlloc::Merged);
+        assert!(m.is_full());
+    }
+
+    #[test]
+    fn release_unknown_block_is_none() {
+        let mut m = MshrFile::new(1);
+        assert!(m.release(0x40).is_none());
+    }
+
+    #[test]
+    fn contains_and_primary() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0xc0, ReqId(7));
+        assert!(m.contains(0xc0));
+        assert_eq!(m.primary(0xc0), Some(ReqId(7)));
+        assert_eq!(m.primary(0x100), None);
+        assert_eq!(m.blocks().collect::<Vec<_>>(), vec![0xc0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! In-flight memory request state and per-request interference accounting.
+
+use crate::types::{AccessKind, Addr, CoreId, Cycle, ReqId};
+
+/// Per-request interference accounting, maintained by the hardware counters
+/// DIEF places in the interconnect and memory controller (paper §IV-B).
+///
+/// All values are in CPU cycles. `mc_row` is signed because sharing can in
+/// rare cases *help* a request (another core opened the row it needs), in
+/// which case private-mode latency would have been higher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Interference {
+    /// Extra cycles spent queued in the ring behind other cores' packets.
+    pub ring: u64,
+    /// Extra cycles spent in the memory controller queue while other cores'
+    /// requests occupied the data bus or this request's bank.
+    pub mc_queue: u64,
+    /// Latency difference caused by other cores disturbing the row buffer
+    /// (actual row state vs. the emulated private-mode row state).
+    pub mc_row: i64,
+}
+
+impl Interference {
+    /// Total interference cycles, clamped at zero.
+    pub fn total(&self) -> u64 {
+        let sum = self.ring as i64 + self.mc_queue as i64 + self.mc_row;
+        sum.max(0) as u64
+    }
+}
+
+/// A memory request in flight in the hierarchy.
+#[derive(Debug, Clone)]
+pub struct MemRequest {
+    /// Unique id.
+    pub id: ReqId,
+    /// Issuing core.
+    pub core: CoreId,
+    /// Block-aligned address.
+    pub block: Addr,
+    /// Load, store or writeback.
+    pub kind: AccessKind,
+    /// Cycle the core issued the access to the L1.
+    pub issued_at: Cycle,
+    /// Whether the access missed the L1 (set at MSHR allocation).
+    pub l1_miss: bool,
+    /// Cycle the request left the private memory system (L2 miss), if it did.
+    pub left_private_at: Option<Cycle>,
+    /// Cycle the LLC lookup finished, if the request reached the LLC.
+    pub llc_done_at: Option<Cycle>,
+    /// Cycle the request entered the memory controller's read queue.
+    pub mc_enqueued_at: Option<Cycle>,
+    /// Cycle the DRAM data burst finished.
+    pub mc_finished_at: Option<Cycle>,
+    /// Did the request hit in the LLC (None if it never got there)?
+    pub llc_hit: Option<bool>,
+    /// LLC set index touched (for ATD sampling), if it reached the LLC.
+    pub llc_set: Option<u64>,
+    /// Whether the memory controller serviced it as a row-buffer hit.
+    pub mc_row_hit: Option<bool>,
+    /// Whether the emulated *private-mode* bank state would have yielded a
+    /// row hit (DIEF's per-core row shadow state).
+    pub mc_private_row_hit: Option<bool>,
+    /// Accumulated interference.
+    pub interference: Interference,
+    /// Requests merged into this one (same block, arrived while in flight).
+    pub merged: Vec<ReqId>,
+}
+
+impl MemRequest {
+    /// Create a fresh request entering the L1.
+    pub fn new(id: ReqId, core: CoreId, block: Addr, kind: AccessKind, now: Cycle) -> Self {
+        MemRequest {
+            id,
+            core,
+            block,
+            kind,
+            issued_at: now,
+            l1_miss: false,
+            left_private_at: None,
+            llc_done_at: None,
+            mc_enqueued_at: None,
+            mc_finished_at: None,
+            llc_hit: None,
+            llc_set: None,
+            mc_row_hit: None,
+            mc_private_row_hit: None,
+            interference: Interference::default(),
+            merged: Vec::new(),
+        }
+    }
+
+    /// True once the request has visited the shared memory system
+    /// (an SMS-load in the paper's terminology).
+    pub fn is_sms(&self) -> bool {
+        self.left_private_at.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interference_total_clamps_negative() {
+        let i = Interference { ring: 5, mc_queue: 0, mc_row: -100 };
+        assert_eq!(i.total(), 0);
+        let j = Interference { ring: 5, mc_queue: 10, mc_row: -3 };
+        assert_eq!(j.total(), 12);
+    }
+
+    #[test]
+    fn request_sms_flag_follows_private_exit() {
+        let mut r = MemRequest::new(ReqId(1), CoreId(0), 0x40, AccessKind::Load, 10);
+        assert!(!r.is_sms());
+        r.left_private_at = Some(25);
+        assert!(r.is_sms());
+    }
+}

@@ -1,0 +1,214 @@
+//! Cycle taxonomy and measurement counters.
+//!
+//! The paper's performance model (Eq. 1) decomposes execution time per core
+//! into commit cycles `C_p` plus stall cycles split into memory-independent
+//! stalls `S_Ind`, load stalls (`S_PMS` + `S_SMS`) and other memory-related
+//! stalls `S_Other`. [`CoreStats`] maintains exactly this taxonomy together
+//! with the latency measurements the GDP/MCP models consume
+//! (average SMS-load latency, pre-/post-LLC latency split, overlap cycles).
+
+use crate::types::Cycle;
+
+/// Per-core counters; every simulated cycle lands in exactly one bucket of
+/// {commit, S_Ind, S_PMS, S_SMS, S_Other}.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoreStats {
+    /// Committed instructions.
+    pub committed_instrs: u64,
+    /// Cycles in which at least one instruction committed (`C_p`).
+    pub commit_cycles: u64,
+    /// Memory-independent stall cycles (`S_Ind`).
+    pub stall_ind: u64,
+    /// Stall cycles blocked on private-memory-system loads (`S_PMS`).
+    pub stall_pms: u64,
+    /// Stall cycles blocked on shared-memory-system loads (`S_SMS`).
+    pub stall_sms: u64,
+    /// Other memory-related stalls (`S_Other`): store-buffer-full, blocked
+    /// L1, post-redirect empty ROB.
+    pub stall_other: u64,
+    /// Total cycles observed (consistency check: equals the bucket sum).
+    pub cycles: u64,
+
+    /// Completed SMS-loads (L1 misses that visited the shared system).
+    pub sms_loads: u64,
+    /// Sum of SMS-load total latencies (cycles), for `L_p^SMS`.
+    pub sms_latency_sum: u64,
+    /// Sum of SMS-load latency spent *before* the LLC answer (ring + LLC
+    /// lookup), for MCP's `L̄_PreLLC` (Eq. 5).
+    pub sms_pre_llc_latency_sum: u64,
+    /// Sum of SMS-load latency spent in the memory controller and DRAM
+    /// (LLC misses only), for MCP's `L̄_PostLLC` (Eq. 6).
+    pub sms_post_llc_latency_sum: u64,
+    /// LLC misses among this core's SMS-loads.
+    pub llc_misses: u64,
+    /// LLC accesses by this core.
+    pub llc_accesses: u64,
+    /// Completed PMS-loads (L1 misses satisfied privately).
+    pub pms_loads: u64,
+    /// Cycles in which the core committed while ≥1 L1 miss was outstanding
+    /// (the "overlap" GDP-O estimates).
+    pub overlap_cycles: u64,
+    /// Interference cycles accumulated over completed SMS-loads (DIEF view).
+    pub interference_sum: u64,
+}
+
+impl CoreStats {
+    /// Total stall cycles.
+    pub fn stalls(&self) -> u64 {
+        self.stall_ind + self.stall_pms + self.stall_sms + self.stall_other
+    }
+
+    /// Cycles per committed instruction; `f64::INFINITY` before the first
+    /// commit.
+    pub fn cpi(&self) -> f64 {
+        if self.committed_instrs == 0 {
+            f64::INFINITY
+        } else {
+            self.cycles as f64 / self.committed_instrs as f64
+        }
+    }
+
+    /// Instructions per cycle (0 before the first cycle).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average SMS-load latency `L_p^SMS` (0 when no SMS-loads completed).
+    pub fn avg_sms_latency(&self) -> f64 {
+        if self.sms_loads == 0 {
+            0.0
+        } else {
+            self.sms_latency_sum as f64 / self.sms_loads as f64
+        }
+    }
+
+    /// Average pre-LLC portion of SMS-load latency.
+    pub fn avg_pre_llc_latency(&self) -> f64 {
+        if self.sms_loads == 0 {
+            0.0
+        } else {
+            self.sms_pre_llc_latency_sum as f64 / self.sms_loads as f64
+        }
+    }
+
+    /// Average post-LLC (memory controller + DRAM) latency per LLC miss.
+    pub fn avg_post_llc_latency(&self) -> f64 {
+        if self.llc_misses == 0 {
+            0.0
+        } else {
+            self.sms_post_llc_latency_sum as f64 / self.llc_misses as f64
+        }
+    }
+
+    /// Difference between two snapshots (`self` later than `earlier`),
+    /// yielding per-interval counters.
+    pub fn delta(&self, earlier: &CoreStats) -> CoreStats {
+        CoreStats {
+            committed_instrs: self.committed_instrs - earlier.committed_instrs,
+            commit_cycles: self.commit_cycles - earlier.commit_cycles,
+            stall_ind: self.stall_ind - earlier.stall_ind,
+            stall_pms: self.stall_pms - earlier.stall_pms,
+            stall_sms: self.stall_sms - earlier.stall_sms,
+            stall_other: self.stall_other - earlier.stall_other,
+            cycles: self.cycles - earlier.cycles,
+            sms_loads: self.sms_loads - earlier.sms_loads,
+            sms_latency_sum: self.sms_latency_sum - earlier.sms_latency_sum,
+            sms_pre_llc_latency_sum: self.sms_pre_llc_latency_sum
+                - earlier.sms_pre_llc_latency_sum,
+            sms_post_llc_latency_sum: self.sms_post_llc_latency_sum
+                - earlier.sms_post_llc_latency_sum,
+            llc_misses: self.llc_misses - earlier.llc_misses,
+            llc_accesses: self.llc_accesses - earlier.llc_accesses,
+            pms_loads: self.pms_loads - earlier.pms_loads,
+            overlap_cycles: self.overlap_cycles - earlier.overlap_cycles,
+            interference_sum: self.interference_sum - earlier.interference_sum,
+        }
+    }
+}
+
+/// Memory-system-wide statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Demand requests that reached the shared system (SMS accesses).
+    pub sms_requests: u64,
+    /// Writebacks sent from L2s to the LLC.
+    pub l2_writebacks: u64,
+    /// Writebacks sent from the LLC to memory.
+    pub llc_writebacks: u64,
+    /// Requests rejected by a full structure (retried later).
+    pub backpressure_events: u64,
+}
+
+/// A labelled snapshot of per-core statistics taken at a cycle boundary.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Cycle the snapshot was taken.
+    pub cycle: Cycle,
+    /// One entry per core.
+    pub cores: Vec<CoreStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_and_ipc() {
+        let s = CoreStats { committed_instrs: 200, cycles: 400, ..Default::default() };
+        assert!((s.cpi() - 2.0).abs() < 1e-12);
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        let empty = CoreStats::default();
+        assert!(empty.cpi().is_infinite());
+        assert_eq!(empty.ipc(), 0.0);
+    }
+
+    #[test]
+    fn averages_guard_division_by_zero() {
+        let s = CoreStats::default();
+        assert_eq!(s.avg_sms_latency(), 0.0);
+        assert_eq!(s.avg_pre_llc_latency(), 0.0);
+        assert_eq!(s.avg_post_llc_latency(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = CoreStats {
+            committed_instrs: 100,
+            cycles: 300,
+            stall_sms: 50,
+            sms_loads: 4,
+            sms_latency_sum: 800,
+            ..Default::default()
+        };
+        let b = CoreStats {
+            committed_instrs: 250,
+            cycles: 700,
+            stall_sms: 120,
+            sms_loads: 10,
+            sms_latency_sum: 2000,
+            ..Default::default()
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.committed_instrs, 150);
+        assert_eq!(d.cycles, 400);
+        assert_eq!(d.stall_sms, 70);
+        assert_eq!(d.sms_loads, 6);
+        assert!((d.avg_sms_latency() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_sum() {
+        let s = CoreStats {
+            stall_ind: 1,
+            stall_pms: 2,
+            stall_sms: 3,
+            stall_other: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.stalls(), 10);
+    }
+}

@@ -1,0 +1,98 @@
+//! Fundamental value types shared across the simulator.
+//!
+//! Simple aliases are used rather than heavyweight newtypes for the values
+//! that flow through arithmetic-heavy inner loops (`Cycle`, `Addr`); the
+//! identifiers that must never be confused with one another (`CoreId`,
+//! `ReqId`) are newtypes.
+
+use std::fmt;
+
+/// A clock cycle count (CPU clock domain, monotonically increasing).
+pub type Cycle = u64;
+
+/// A physical byte address.
+pub type Addr = u64;
+
+/// Identifies a core (and, equivalently, the process pinned to it — the
+/// evaluation runs one single-threaded benchmark per core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub u8);
+
+impl CoreId {
+    /// Index usable with `Vec`s holding one slot per core.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Unique identifier of an in-flight memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqId(pub u64);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Cache block (line) size used throughout the CMP, in bytes.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// Convert a byte address to its cache-block address.
+#[inline]
+pub fn block_addr(addr: Addr) -> Addr {
+    addr & !(BLOCK_BYTES - 1)
+}
+
+/// Memory access direction as seen by the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand load (blocks commit when it reaches the ROB head).
+    Load,
+    /// A store (write-allocate: fetches the block for ownership).
+    Store,
+    /// A write-back of a dirty victim to the next level.
+    Writeback,
+}
+
+impl AccessKind {
+    /// Whether this access writes the block (marks it dirty on fill).
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store | AccessKind::Writeback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_addr_masks_offset_bits() {
+        assert_eq!(block_addr(0), 0);
+        assert_eq!(block_addr(63), 0);
+        assert_eq!(block_addr(64), 64);
+        assert_eq!(block_addr(0x12345), 0x12340);
+    }
+
+    #[test]
+    fn core_id_display_and_idx() {
+        let c = CoreId(3);
+        assert_eq!(c.idx(), 3);
+        assert_eq!(c.to_string(), "core3");
+    }
+
+    #[test]
+    fn access_kind_write_classification() {
+        assert!(!AccessKind::Load.is_write());
+        assert!(AccessKind::Store.is_write());
+        assert!(AccessKind::Writeback.is_write());
+    }
+}

@@ -1,0 +1,494 @@
+//! Program archetypes: parameterised generators of synthetic instruction
+//! streams.
+//!
+//! Each archetype shapes the two properties that drive the paper's
+//! evaluation: *LLC sensitivity* (working-set size relative to cache
+//! capacity and reuse pattern) and *dataflow structure* (memory-level
+//! parallelism, dependency chains, commit-period shape). Addresses are
+//! pre-generated from a seeded RNG so programs are fully deterministic.
+
+use gdp_sim::core::{Instr, InstrKind};
+use gdp_sim::types::{Addr, BLOCK_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Branch behaviour sprinkled into every archetype.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchProfile {
+    /// Insert one branch roughly every `every` instructions.
+    pub every: u32,
+    /// Probability that an inserted branch mispredicts.
+    pub mispredict_rate: f64,
+}
+
+impl Default for BranchProfile {
+    fn default() -> Self {
+        BranchProfile { every: 12, mispredict_rate: 0.02 }
+    }
+}
+
+/// A parameterised program generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Archetype {
+    /// Sequential scan over `ws_blocks` cache blocks with `filler`
+    /// dependent ALU operations per load; every `store_every`-th memory
+    /// operation is a store. Large working sets defeat every cache level:
+    /// bandwidth-bound, LLC-insensitive (class L).
+    Stream {
+        /// Working-set size in 64-byte blocks.
+        ws_blocks: u64,
+        /// ALU operations between loads.
+        filler: u32,
+        /// One store per this many memory operations (0 = never).
+        store_every: u32,
+    },
+    /// Groups of `mlp` independent loads to uniformly random blocks of the
+    /// working set, separated by `filler` dependent ALU operations. Reuse
+    /// emerges statistically, so LLC sensitivity tracks `ws_blocks` against
+    /// allocated capacity (classes H/M by sizing).
+    RandomAccess {
+        /// Working-set size in blocks.
+        ws_blocks: u64,
+        /// Independent loads per group (memory-level parallelism).
+        mlp: u32,
+        /// Dependent ALU operations between groups.
+        filler: u32,
+    },
+    /// Each load's address depends on the previous load (serialised misses,
+    /// no MLP): latency-bound. Sensitivity tracks `ws_blocks`.
+    PointerChase {
+        /// Working-set size in blocks.
+        ws_blocks: u64,
+        /// Dependent ALU operations between loads.
+        filler: u32,
+    },
+    /// libquantum-like tight loop sustaining `burst` concurrent streaming
+    /// loads, each enabling a couple of instructions to commit.
+    BandwidthBurst {
+        /// Working-set size in blocks (large: streaming).
+        ws_blocks: u64,
+        /// Concurrent loads per burst.
+        burst: u32,
+        /// ALU operations dependent on each load.
+        filler: u32,
+    },
+    /// Dependency-chained ALU/FP kernel with a load every `load_every`
+    /// operations into a small working set: compute-bound (class L).
+    Compute {
+        /// Working-set size in blocks (small; fits private caches).
+        ws_blocks: u64,
+        /// One load per this many compute operations.
+        load_every: u32,
+        /// Use floating-point operations.
+        fp: bool,
+        /// Length of each dependent operation chain.
+        chain_len: u32,
+    },
+    /// lbm-like kernel: streaming loads feeding wide bursts of FP work that
+    /// saturate the FP units (slow ROB fill, the PTCA failure case of
+    /// §VII-A), plus streaming stores.
+    FpHeavy {
+        /// Working-set size in blocks.
+        ws_blocks: u64,
+    },
+    /// facerec-like alternation between a memory-bound phase (random access
+    /// over `ws_blocks`) and a compute phase.
+    Phased {
+        /// Memory-phase working set in blocks.
+        ws_blocks: u64,
+        /// Loads per memory phase.
+        mem_span: u32,
+        /// Compute operations per compute phase.
+        compute_span: u32,
+    },
+    /// Store-dominated kernel that pressures the store buffer (`S_Other`).
+    StoreHeavy {
+        /// Working-set size in blocks.
+        ws_blocks: u64,
+        /// Consecutive stores per burst.
+        store_burst: u32,
+        /// ALU operations between bursts.
+        filler: u32,
+    },
+}
+
+impl Archetype {
+    /// Generate the deterministic program for this archetype.
+    ///
+    /// `base` offsets all addresses (cores get disjoint address spaces);
+    /// `seed` fixes the RNG; `branch` controls branch insertion.
+    pub fn generate(&self, base: Addr, seed: u64, branch: BranchProfile) -> Vec<Instr> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Builder::new(base, branch, &mut rng);
+        match *self {
+            Archetype::Stream { ws_blocks, filler, store_every } => {
+                let n_loads = ws_blocks.min(49_152);
+                let start = b.rng_block(ws_blocks);
+                for i in 0..n_loads {
+                    let blk = (start + i) % ws_blocks;
+                    if store_every > 0 && i % store_every as u64 == store_every as u64 - 1 {
+                        b.store(blk, &[]);
+                    } else {
+                        b.load(blk, &[]);
+                        b.alu_chain_on_last_load(filler);
+                    }
+                }
+            }
+            Archetype::RandomAccess { ws_blocks, mlp, filler } => {
+                let n_groups = (3 * ws_blocks / mlp as u64).max(512);
+                for _ in 0..n_groups {
+                    for _ in 0..mlp {
+                        let blk = b.rng_block(ws_blocks);
+                        b.load(blk, &[]);
+                    }
+                    b.alu_chain_on_last_load(filler);
+                }
+            }
+            Archetype::PointerChase { ws_blocks, filler } => {
+                let n_loads = ws_blocks.min(32_768).max(1024);
+                for _ in 0..n_loads {
+                    let blk = b.rng_block(ws_blocks);
+                    // The address "depends" on the previous load: distance
+                    // back to it is filler + 1 (the chain in between).
+                    let dist = b.since_last_load();
+                    if let Some(d) = dist {
+                        b.load(blk, &[d]);
+                    } else {
+                        b.load(blk, &[]);
+                    }
+                    b.alu_chain_on_last_load(filler);
+                }
+            }
+            Archetype::BandwidthBurst { ws_blocks, burst, filler } => {
+                let n_bursts = (ws_blocks.min(49_152) / burst as u64).max(256);
+                let start = b.rng_block(ws_blocks);
+                let mut pos = start;
+                let mut load_idx = Vec::with_capacity(burst as usize);
+                for _ in 0..n_bursts {
+                    load_idx.clear();
+                    for j in 0..burst {
+                        load_idx.push(b.index());
+                        b.load((pos + j as u64) % ws_blocks, &[]);
+                    }
+                    pos = (pos + burst as u64) % ws_blocks;
+                    // A couple of instructions commit per load (distances
+                    // computed against *actual* indices — automatic branch
+                    // insertion shifts positions).
+                    for &li in &load_idx {
+                        for _ in 0..filler {
+                            let d = (b.index() - li) as u32;
+                            b.push(Instr::alu(&[d]));
+                        }
+                    }
+                }
+            }
+            Archetype::Compute { ws_blocks, load_every, fp, chain_len } => {
+                let n_ops = 24_576u64;
+                let mut since_load = 0;
+                let mut emitted = 0u64;
+                while emitted < n_ops {
+                    for _ in 0..chain_len {
+                        let kind = if fp {
+                            match b.rng.gen_range(0..4u8) {
+                                0 => InstrKind::FpMul,
+                                1..=2 => InstrKind::FpAlu,
+                                _ => InstrKind::IntAlu,
+                            }
+                        } else {
+                            match b.rng.gen_range(0..8u8) {
+                                0 => InstrKind::IntMul,
+                                1..=5 => InstrKind::IntAlu,
+                                _ => InstrKind::FpAlu,
+                            }
+                        };
+                        b.push(Instr::op(kind, &[1]));
+                        emitted += 1;
+                    }
+                    since_load += chain_len;
+                    if since_load >= load_every {
+                        since_load = 0;
+                        let blk = b.rng_block(ws_blocks);
+                        b.load(blk, &[1]);
+                    }
+                }
+            }
+            Archetype::FpHeavy { ws_blocks } => {
+                let n_groups = ws_blocks.min(24_576).max(2048);
+                let start = b.rng_block(ws_blocks);
+                for i in 0..n_groups {
+                    let load_idx = b.index();
+                    b.load((start + i) % ws_blocks, &[]);
+                    // Wide FP burst, every op dependent on the load:
+                    // saturates the FP units and fills the issue queue.
+                    for j in 0..4u32 {
+                        let kind = if j % 2 == 0 { InstrKind::FpMul } else { InstrKind::FpAlu };
+                        let d = (b.index() - load_idx) as u32;
+                        b.push(Instr::op(kind, &[d]));
+                    }
+                    if i % 4 == 3 {
+                        let blk = (start + i) % ws_blocks;
+                        b.store(blk, &[1]);
+                    }
+                }
+            }
+            Archetype::Phased { ws_blocks, mem_span, compute_span } => {
+                let phases = 48u32;
+                for _ in 0..phases {
+                    for _ in 0..mem_span {
+                        let blk = b.rng_block(ws_blocks);
+                        b.load(blk, &[]);
+                        b.alu_chain_on_last_load(2);
+                    }
+                    for _ in 0..compute_span {
+                        b.push(Instr::op(InstrKind::FpAlu, &[1]));
+                    }
+                }
+            }
+            Archetype::StoreHeavy { ws_blocks, store_burst, filler } => {
+                let n_bursts = (ws_blocks.min(49_152) / store_burst as u64).max(512);
+                let start = b.rng_block(ws_blocks);
+                let mut pos = start;
+                // Loads model an index array resident in the private
+                // caches; only the streaming stores touch the LLC.
+                let load_ws = (ws_blocks / 64).clamp(64, 512);
+                for _ in 0..n_bursts {
+                    for j in 0..store_burst {
+                        b.store((pos + j as u64) % ws_blocks, &[]);
+                    }
+                    pos = (pos + store_burst as u64) % ws_blocks;
+                    let blk = b.rng_block(load_ws);
+                    b.load(blk, &[]);
+                    b.alu_chain_on_last_load(filler);
+                }
+            }
+        }
+        b.finish()
+    }
+
+    /// Approximate working-set size in bytes (documentation/diagnostics).
+    pub fn working_set_bytes(&self) -> u64 {
+        let blocks = match *self {
+            Archetype::Stream { ws_blocks, .. }
+            | Archetype::RandomAccess { ws_blocks, .. }
+            | Archetype::PointerChase { ws_blocks, .. }
+            | Archetype::BandwidthBurst { ws_blocks, .. }
+            | Archetype::Compute { ws_blocks, .. }
+            | Archetype::FpHeavy { ws_blocks }
+            | Archetype::Phased { ws_blocks, .. }
+            | Archetype::StoreHeavy { ws_blocks, .. } => ws_blocks,
+        };
+        blocks * BLOCK_BYTES
+    }
+}
+
+/// Incremental program builder handling addresses, branch insertion and
+/// dependency distances.
+struct Builder<'r> {
+    prog: Vec<Instr>,
+    base: Addr,
+    branch: BranchProfile,
+    rng: &'r mut StdRng,
+    since_branch: u32,
+    last_load_idx: Option<u64>,
+}
+
+impl<'r> Builder<'r> {
+    fn new(base: Addr, branch: BranchProfile, rng: &'r mut StdRng) -> Self {
+        Builder { prog: Vec::new(), base, branch, rng, since_branch: 0, last_load_idx: None }
+    }
+
+    fn index(&self) -> u64 {
+        self.prog.len() as u64
+    }
+
+    fn rng_block(&mut self, ws_blocks: u64) -> u64 {
+        self.rng.gen_range(0..ws_blocks)
+    }
+
+    fn addr(&self, block: u64) -> Addr {
+        self.base + block * BLOCK_BYTES
+    }
+
+    fn push(&mut self, i: Instr) {
+        self.prog.push(i);
+        self.since_branch += 1;
+        if self.since_branch >= self.branch.every {
+            self.since_branch = 0;
+            let mis = self.rng.gen_bool(self.branch.mispredict_rate);
+            self.prog.push(Instr::branch(mis, &[1]));
+        }
+    }
+
+    fn load(&mut self, block: u64, deps: &[u32]) {
+        self.last_load_idx = Some(self.index());
+        let addr = self.addr(block);
+        self.push(Instr::load(addr, deps));
+    }
+
+    fn store(&mut self, block: u64, deps: &[u32]) {
+        let addr = self.addr(block);
+        self.push(Instr::store(addr, deps));
+    }
+
+    /// Distance from the *next* instruction back to the last load.
+    fn since_last_load(&self) -> Option<u32> {
+        self.last_load_idx.map(|i| (self.index() - i) as u32)
+    }
+
+    /// Emit `n` ALU ops forming a chain rooted at the last load.
+    fn alu_chain_on_last_load(&mut self, n: u32) {
+        for k in 0..n {
+            if k == 0 {
+                match self.since_last_load() {
+                    Some(d) => self.push(Instr::alu(&[d])),
+                    None => self.push(Instr::alu(&[])),
+                }
+            } else {
+                self.push(Instr::alu(&[1]));
+            }
+        }
+    }
+
+    fn finish(self) -> Vec<Instr> {
+        self.prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(a: Archetype) -> Vec<Instr> {
+        a.generate(0x1000_0000, 42, BranchProfile::default())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Archetype::RandomAccess { ws_blocks: 1024, mlp: 4, filler: 2 };
+        let p1 = a.generate(0, 7, BranchProfile::default());
+        let p2 = a.generate(0, 7, BranchProfile::default());
+        assert_eq!(p1, p2);
+        let p3 = a.generate(0, 8, BranchProfile::default());
+        assert_ne!(p1, p3, "different seeds give different programs");
+    }
+
+    #[test]
+    fn base_offsets_all_addresses() {
+        let a = Archetype::Stream { ws_blocks: 256, filler: 1, store_every: 0 };
+        let p = a.generate(0x4000_0000, 1, BranchProfile::default());
+        for i in &p {
+            if i.kind.is_mem() {
+                assert!(i.addr >= 0x4000_0000);
+                assert!(i.addr < 0x4000_0000 + 256 * 64);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_touches_working_set_sequentially() {
+        let a = Archetype::Stream { ws_blocks: 128, filler: 0, store_every: 0 };
+        let p = gen(a);
+        let loads: Vec<_> =
+            p.iter().filter(|i| i.kind == InstrKind::Load).map(|i| i.addr).collect();
+        assert_eq!(loads.len(), 128);
+        // Consecutive loads touch consecutive blocks (mod wrap).
+        let mut wraps = 0;
+        for w in loads.windows(2) {
+            if w[1] != w[0] + 64 {
+                wraps += 1;
+            }
+        }
+        assert!(wraps <= 1, "a single wrap allowed, saw {wraps}");
+    }
+
+    #[test]
+    fn pointer_chase_loads_depend_on_previous_load() {
+        let a = Archetype::PointerChase { ws_blocks: 2048, filler: 3 };
+        let p = gen(a);
+        let mut load_indices = Vec::new();
+        for (idx, i) in p.iter().enumerate() {
+            if i.kind == InstrKind::Load {
+                load_indices.push(idx);
+            }
+        }
+        // Every load after the first must reference the previous load.
+        for w in load_indices.windows(2).take(50) {
+            let (prev, cur) = (w[0], w[1]);
+            let d = p[cur].deps[0] as usize;
+            assert_eq!(cur - d, prev, "load at {cur} must depend on load at {prev}");
+        }
+    }
+
+    #[test]
+    fn random_access_stays_in_working_set() {
+        let ws = 512u64;
+        let a = Archetype::RandomAccess { ws_blocks: ws, mlp: 4, filler: 2 };
+        let p = gen(a);
+        let mut distinct = std::collections::HashSet::new();
+        for i in &p {
+            if i.kind == InstrKind::Load {
+                assert!(i.addr < 0x1000_0000 + ws * 64);
+                distinct.insert(i.addr);
+            }
+        }
+        // 3×ws draws cover most of the working set.
+        assert!(distinct.len() as u64 > ws / 2, "coverage {} of {ws}", distinct.len());
+    }
+
+    #[test]
+    fn branches_are_inserted_at_the_configured_rate() {
+        let a = Archetype::Compute { ws_blocks: 64, load_every: 8, fp: false, chain_len: 4 };
+        let p = a.generate(0, 3, BranchProfile { every: 10, mispredict_rate: 1.0 });
+        let branches = p.iter().filter(|i| i.kind == InstrKind::Branch).count();
+        assert!(branches > p.len() / 15, "branches {branches} of {}", p.len());
+        assert!(p.iter().filter(|i| i.kind == InstrKind::Branch).all(|i| i.mispredict));
+    }
+
+    #[test]
+    fn store_heavy_emits_store_bursts() {
+        let a = Archetype::StoreHeavy { ws_blocks: 1024, store_burst: 4, filler: 2 };
+        let p = gen(a);
+        let stores = p.iter().filter(|i| i.kind == InstrKind::Store).count();
+        let loads = p.iter().filter(|i| i.kind == InstrKind::Load).count();
+        assert!(stores > 2 * loads, "stores {stores} loads {loads}");
+    }
+
+    #[test]
+    fn fp_heavy_saturates_fp_units() {
+        let a = Archetype::FpHeavy { ws_blocks: 4096 };
+        let p = gen(a);
+        let fp = p
+            .iter()
+            .filter(|i| matches!(i.kind, InstrKind::FpMul | InstrKind::FpAlu))
+            .count();
+        assert!(fp * 2 > p.len(), "fp fraction {fp}/{}", p.len());
+    }
+
+    #[test]
+    fn working_set_bytes_reports_parameter() {
+        let a = Archetype::PointerChase { ws_blocks: 4096, filler: 2 };
+        assert_eq!(a.working_set_bytes(), 4096 * 64);
+    }
+
+    #[test]
+    fn bandwidth_burst_groups_independent_loads() {
+        let a = Archetype::BandwidthBurst { ws_blocks: 8192, burst: 5, filler: 2 };
+        let p = gen(a);
+        // Find a run of 5 consecutive loads (the burst) — they must carry
+        // no dependencies.
+        let mut run = 0;
+        let mut found = false;
+        for i in &p {
+            if i.kind == InstrKind::Load {
+                assert_eq!(i.dep_distances().count(), 0);
+                run += 1;
+                if run == 5 {
+                    found = true;
+                }
+            } else {
+                run = 0;
+            }
+        }
+        assert!(found, "bursts of 5 back-to-back loads expected");
+    }
+}

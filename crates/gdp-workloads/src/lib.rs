@@ -1,0 +1,39 @@
+//! # gdp-workloads — synthetic SPEC-like benchmarks and workload mixes
+//!
+//! The paper evaluates on 52 SPEC CPU2000/2006 benchmarks, classified by
+//! LLC sensitivity into **H** (speed-up > 1.75 with all LLC ways relative
+//! to one way), **M** (1.2–1.75) and **L** (the rest), then combined into
+//! 150 multiprogrammed workloads (30 H, 15 M, 5 L per core count) plus
+//! mixed H/M/L workloads for the sensitivity study (§VI, §VII-D).
+//!
+//! SPEC binaries and 20-billion-instruction checkpoints are unavailable
+//! here, so this crate substitutes *synthetic benchmarks*: deterministic,
+//! seeded instruction streams generated from parameterised archetypes
+//! (streaming, random access over a working set, pointer chasing,
+//! bandwidth-bound bursts, compute kernels, phase alternation, store
+//! pressure). Each of the 52 benchmarks keeps its SPEC name for
+//! readability and is parameterised so that way-profiling on the scaled
+//! configuration reproduces its paper class. The substitution is recorded
+//! in `DESIGN.md` §2.
+//!
+//! ```
+//! use gdp_workloads::{suite, LlcClass};
+//! let benchmarks = suite();
+//! assert_eq!(benchmarks.len(), 52);
+//! let art = gdp_workloads::by_name("art").unwrap();
+//! assert_eq!(art.class, LlcClass::H);
+//! let program = art.program(0x1_0000_0000);
+//! assert!(!program.is_empty());
+//! ```
+
+pub mod archetype;
+pub mod bench;
+pub mod profile;
+pub mod workload;
+
+pub use archetype::Archetype;
+pub use bench::{by_name, suite, Benchmark, LlcClass};
+pub use profile::{classify, profile_speedup, ProfileResult};
+pub use workload::{
+    generate_mixed_workloads, generate_workloads, paper_workloads, MixPattern, Workload,
+};

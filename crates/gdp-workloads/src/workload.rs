@@ -1,0 +1,225 @@
+//! Multiprogrammed workload construction (paper §VI).
+//!
+//! For each CMP size the paper randomly generates 30 workloads of
+//! H-benchmarks, 15 of M-benchmarks and 5 of L-benchmarks (150 total over
+//! 2/4/8 cores). A benchmark appears at most once per workload on the 2-
+//! and 4-core CMPs; on the 8-core CMP, H and M benchmarks may appear twice
+//! (footnote 7: each of those categories only has 8 members). §VII-D adds
+//! mixed workloads (HHML, HMML, HMLL) for the 4-core CMP.
+
+use crate::bench::{by_class, Benchmark, LlcClass};
+use gdp_sim::core::InstrStream;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A multiprogrammed workload: one benchmark per core.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable identifier, e.g. `"4c-H-07"`.
+    pub name: String,
+    /// Dominant class (or `None` for mixed workloads).
+    pub class: Option<LlcClass>,
+    /// One benchmark per core, in core order.
+    pub benchmarks: Vec<Benchmark>,
+}
+
+impl Workload {
+    /// Number of cores this workload occupies.
+    pub fn cores(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Build per-core instruction streams with disjoint address spaces.
+    pub fn streams(&self) -> Vec<InstrStream> {
+        crate::profile::streams_for(&self.benchmarks)
+    }
+
+    /// Benchmark names, in core order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.benchmarks.iter().map(|b| b.name).collect()
+    }
+}
+
+/// Generate `count` workloads of `cores` benchmarks drawn from `class`.
+///
+/// Sampling follows the paper: without replacement for 2-/4-core CMPs;
+/// for 8-core H/M workloads each benchmark may be used twice (the pool is
+/// duplicated before sampling).
+pub fn generate_workloads(
+    cores: usize,
+    class: LlcClass,
+    count: usize,
+    seed: u64,
+) -> Vec<Workload> {
+    let pool = by_class(class);
+    assert!(!pool.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed ^ (cores as u64) << 8 ^ class_tag(class));
+    (0..count)
+        .map(|i| {
+            let mut candidates: Vec<Benchmark> = if cores > pool.len() {
+                // 8-core H/M: allow each benchmark twice (footnote 7).
+                pool.iter().chain(pool.iter()).copied().collect()
+            } else {
+                pool.clone()
+            };
+            candidates.shuffle(&mut rng);
+            let benchmarks = candidates.into_iter().take(cores).collect();
+            Workload {
+                name: format!("{cores}c-{class}-{i:02}"),
+                class: Some(class),
+                benchmarks,
+            }
+        })
+        .collect()
+}
+
+/// The class pattern of a mixed workload (4-core sensitivity study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixPattern {
+    /// Two H, one M, one L.
+    Hhml,
+    /// One H, two M, one L.
+    Hmml,
+    /// One H, one M, two L.
+    Hmll,
+}
+
+impl MixPattern {
+    /// Class per core.
+    pub fn classes(&self) -> [LlcClass; 4] {
+        match self {
+            MixPattern::Hhml => [LlcClass::H, LlcClass::H, LlcClass::M, LlcClass::L],
+            MixPattern::Hmml => [LlcClass::H, LlcClass::M, LlcClass::M, LlcClass::L],
+            MixPattern::Hmll => [LlcClass::H, LlcClass::M, LlcClass::L, LlcClass::L],
+        }
+    }
+
+    /// Pattern name, e.g. `"HHML"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MixPattern::Hhml => "HHML",
+            MixPattern::Hmml => "HMML",
+            MixPattern::Hmll => "HMLL",
+        }
+    }
+}
+
+/// Generate `count` 4-core mixed workloads for `pattern` (paper §VII-D:
+/// 10 workloads per mix).
+pub fn generate_mixed_workloads(pattern: MixPattern, count: usize, seed: u64) -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA1A1 ^ pattern.name().len() as u64
+        ^ (pattern.classes()[1] as u64) << 4
+        ^ (pattern.classes()[2] as u64) << 8);
+    (0..count)
+        .map(|i| {
+            let mut benchmarks = Vec::with_capacity(4);
+            let mut used: Vec<&'static str> = Vec::new();
+            for class in pattern.classes() {
+                let pool: Vec<Benchmark> = by_class(class)
+                    .into_iter()
+                    .filter(|b| !used.contains(&b.name))
+                    .collect();
+                let pick = pool.choose(&mut rng).copied().expect("pool exhausted");
+                used.push(pick.name);
+                benchmarks.push(pick);
+            }
+            Workload { name: format!("4c-{}-{i:02}", pattern.name()), class: None, benchmarks }
+        })
+        .collect()
+}
+
+/// The paper's full workload set for one core count: 30 H + 15 M + 5 L.
+pub fn paper_workloads(cores: usize, seed: u64) -> Vec<Workload> {
+    let mut out = generate_workloads(cores, LlcClass::H, 30, seed);
+    out.extend(generate_workloads(cores, LlcClass::M, 15, seed));
+    out.extend(generate_workloads(cores, LlcClass::L, 5, seed));
+    out
+}
+
+fn class_tag(c: LlcClass) -> u64 {
+    match c {
+        LlcClass::H => 1,
+        LlcClass::M => 2,
+        LlcClass::L => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_counts() {
+        for cores in [2usize, 4, 8] {
+            let w = paper_workloads(cores, 42);
+            assert_eq!(w.len(), 50);
+            assert!(w.iter().all(|x| x.cores() == cores));
+            let h = w.iter().filter(|x| x.class == Some(LlcClass::H)).count();
+            let m = w.iter().filter(|x| x.class == Some(LlcClass::M)).count();
+            let l = w.iter().filter(|x| x.class == Some(LlcClass::L)).count();
+            assert_eq!((h, m, l), (30, 15, 5));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = paper_workloads(4, 7);
+        let b = paper_workloads(4, 7);
+        let names_a: Vec<_> = a.iter().map(|w| w.names()).collect();
+        let names_b: Vec<_> = b.iter().map(|w| w.names()).collect();
+        assert_eq!(names_a, names_b);
+        let c = paper_workloads(4, 8);
+        let names_c: Vec<_> = c.iter().map(|w| w.names()).collect();
+        assert_ne!(names_a, names_c);
+    }
+
+    #[test]
+    fn two_and_four_core_workloads_avoid_repeats() {
+        for cores in [2usize, 4] {
+            for w in paper_workloads(cores, 11) {
+                let mut names = w.names();
+                names.sort_unstable();
+                names.dedup();
+                assert_eq!(names.len(), cores, "{}: {:?}", w.name, w.names());
+            }
+        }
+    }
+
+    #[test]
+    fn eight_core_h_workloads_allow_at_most_two_uses() {
+        for w in generate_workloads(8, LlcClass::H, 30, 3) {
+            let names = w.names();
+            for n in &names {
+                let uses = names.iter().filter(|x| *x == n).count();
+                assert!(uses <= 2, "{n} used {uses} times in {}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_workloads_follow_their_pattern() {
+        for (pat, want) in [
+            (MixPattern::Hhml, [LlcClass::H, LlcClass::H, LlcClass::M, LlcClass::L]),
+            (MixPattern::Hmml, [LlcClass::H, LlcClass::M, LlcClass::M, LlcClass::L]),
+            (MixPattern::Hmll, [LlcClass::H, LlcClass::M, LlcClass::L, LlcClass::L]),
+        ] {
+            let ws = generate_mixed_workloads(pat, 10, 5);
+            assert_eq!(ws.len(), 10);
+            for w in &ws {
+                let classes: Vec<_> = w.benchmarks.iter().map(|b| b.class).collect();
+                assert_eq!(classes, want, "{}", w.name);
+                let mut names = w.names();
+                names.sort_unstable();
+                names.dedup();
+                assert_eq!(names.len(), 4, "no repeats in mixed workloads");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_streams_match_core_count() {
+        let w = &paper_workloads(4, 1)[0];
+        assert_eq!(w.streams().len(), 4);
+    }
+}

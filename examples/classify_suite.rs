@@ -1,0 +1,22 @@
+//! Profile the full 52-benchmark suite against LLC way count and print
+//! each benchmark's measured speed-up and H/M/L class (paper §VI).
+//!
+//! Usage: `cargo run --release --example classify_suite [instructions]`
+use gdp::sim::SimConfig;
+use gdp::workloads::{profile_speedup, suite};
+
+fn main() {
+    let cfg = SimConfig::scaled(4);
+    let instrs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40_000);
+    let mut mismatches = 0;
+    for b in suite() {
+        let r = profile_speedup(&b, &cfg, instrs);
+        let ok = r.class == b.class;
+        if !ok { mismatches += 1; }
+        println!(
+            "{:12} intended={} measured={} speedup={:.3} {}",
+            b.name, b.class, r.class, r.speedup, if ok { "" } else { "  <-- MISMATCH" }
+        );
+    }
+    println!("mismatches: {mismatches}/52");
+}

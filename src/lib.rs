@@ -1,0 +1,24 @@
+//! # gdp — reproduction of "GDP: Using Dataflow Properties to Accurately
+//! Estimate Interference-Free Performance at Runtime" (HPCA 2018)
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`sim`] — cycle-level CMP simulator (cores, caches, ring, DRAM).
+//! * [`workloads`] — synthetic SPEC-like benchmarks and workload mixes.
+//! * [`dief`] — DIEF private-mode memory latency estimation.
+//! * [`accounting`] — GDP, GDP-O and the ITCA/PTCA/ASM baselines.
+//! * [`partition`] — LLC way-partitioning policies (UCP, MCP, MCP-O, ASM).
+//! * [`metrics`] — RMS error, STP and distribution summaries.
+//! * [`experiments`] — shared/private mode drivers reproducing the paper's
+//!   evaluation.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use gdp_accounting as accounting;
+pub use gdp_core as core;
+pub use gdp_dief as dief;
+pub use gdp_experiments as experiments;
+pub use gdp_metrics as metrics;
+pub use gdp_partition as partition;
+pub use gdp_sim as sim;
+pub use gdp_workloads as workloads;
