@@ -24,8 +24,9 @@
 //!   time approaches zero and `CAR_alone` diverges — the source of ASM's
 //!   astronomic 8-core L-workload errors.
 
-use gdp_core::model::{sigma_other, sigma_sms_from_cpi, IntervalMeasurement, PrivateEstimate,
-    PrivateModeEstimator};
+use gdp_core::model::{
+    sigma_other, sigma_sms_from_cpi, IntervalMeasurement, PrivateEstimate, PrivateModeEstimator,
+};
 use gdp_dief::Dief;
 use gdp_sim::probe::ProbeEvent;
 use gdp_sim::types::{CoreId, Cycle};
@@ -103,12 +104,11 @@ impl PrivateModeEstimator for Asm {
                     self.acc[core.idx()].llc_hp += 1;
                 }
             }
-            ProbeEvent::LoadL1MissDone { core, req, cycle, sms: true, post_llc, .. } => {
+            ProbeEvent::LoadL1MissDone { core, req, cycle, sms: true, post_llc, .. }
                 if self.in_own_hp_epoch(*core, *cycle)
-                    && self.dief.was_interference_miss(*core, *req)
-                {
-                    self.acc[core.idx()].intf_correction_hp += post_llc;
-                }
+                    && self.dief.was_interference_miss(*core, *req) =>
+            {
+                self.acc[core.idx()].intf_correction_hp += post_llc;
             }
             _ => {}
         }
@@ -129,11 +129,8 @@ impl PrivateModeEstimator for Asm {
         // Memory-bound fraction weights the CAR ratio (the MISE/ASM model
         // treats compute phases as unslowed).
         let f_mem = (m.stats.stall_sms as f64 / interval_cycles).clamp(0.0, 1.0);
-        let car_ratio = if car_shared > 0.0 && acc.llc_hp > 0 {
-            car_alone / car_shared
-        } else {
-            1.0
-        };
+        let car_ratio =
+            if car_shared > 0.0 && acc.llc_hp > 0 { car_alone / car_shared } else { 1.0 };
         let slowdown = (f_mem * car_ratio + (1.0 - f_mem)).max(1.0);
 
         let cpi_shared = interval_cycles / m.stats.committed_instrs.max(1) as f64;

@@ -16,8 +16,9 @@
 //! small part of interference, making ITCA *conservative* (its private
 //! estimates stay close to shared performance) — is preserved.
 
-use gdp_core::model::{private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate,
-    PrivateModeEstimator};
+use gdp_core::model::{
+    private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate, PrivateModeEstimator,
+};
 use gdp_dief::Dief;
 use gdp_sim::probe::{ProbeEvent, StallCause};
 use gdp_sim::types::CoreId;
@@ -101,7 +102,13 @@ mod tests {
     /// Flow an interference miss through the ATD then stall on it.
     fn interference_scenario(itca: &mut Itca, core: CoreId) {
         // Prime the ATD so block 0 is a private-mode hit.
-        itca.observe(&ProbeEvent::LlcAccess { core, block: 0, cycle: 1, hit: false, req: ReqId(1) });
+        itca.observe(&ProbeEvent::LlcAccess {
+            core,
+            block: 0,
+            cycle: 1,
+            hit: false,
+            req: ReqId(1),
+        });
         itca.observe(&ProbeEvent::LoadL1MissDone {
             core,
             req: ReqId(1),
@@ -114,7 +121,13 @@ mod tests {
             post_llc: 50,
         });
         // Second access: shared miss, ATD hit → inter-task miss.
-        itca.observe(&ProbeEvent::LlcAccess { core, block: 0, cycle: 20, hit: false, req: ReqId(2) });
+        itca.observe(&ProbeEvent::LlcAccess {
+            core,
+            block: 0,
+            cycle: 20,
+            hit: false,
+            req: ReqId(2),
+        });
         itca.observe(&ProbeEvent::LoadL1MissDone {
             core,
             req: ReqId(2),

@@ -16,8 +16,9 @@
 //! controller, PTCA consumes DIEF's per-request interference estimates
 //! (paper §VII-A).
 
-use gdp_core::model::{private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate,
-    PrivateModeEstimator};
+use gdp_core::model::{
+    private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate, PrivateModeEstimator,
+};
 use gdp_dief::Dief;
 use gdp_sim::probe::{ProbeEvent, StallCause};
 use gdp_sim::types::CoreId;

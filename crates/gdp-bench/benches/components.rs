@@ -104,20 +104,20 @@ fn bench_dram(c: &mut Criterion) {
 fn bench_system(c: &mut Criterion) {
     c.bench_function("system/4core_step_x1000", |b| {
         let cfg = SimConfig::scaled(4);
-        let prog: Vec<Instr> = (0..512)
-            .map(|i| Instr::load(0x100000 + i * 512, &[]))
-            .collect();
+        let prog: Vec<Instr> = (0..512).map(|i| Instr::load(0x100000 + i * 512, &[])).collect();
         b.iter_batched(
             || {
                 System::new(
                     cfg.clone(),
-                    (0..4).map(|c| {
-                        let mut p = prog.clone();
-                        for ins in &mut p {
-                            ins.addr += (c as u64) << 36;
-                        }
-                        InstrStream::cyclic(p)
-                    }).collect(),
+                    (0..4)
+                        .map(|c| {
+                            let mut p = prog.clone();
+                            for ins in &mut p {
+                                ins.addr += (c as u64) << 36;
+                            }
+                            InstrStream::cyclic(p)
+                        })
+                        .collect(),
                 )
             },
             |mut sys| {

@@ -30,8 +30,7 @@ fn main() {
                     per_policy[i].push(o.stp);
                 }
                 if cores == 8 && class == LlcClass::H {
-                    eight_core_h
-                        .push((w.name.clone(), out.iter().map(|o| o.stp).collect()));
+                    eight_core_h.push((w.name.clone(), out.iter().map(|o| o.stp).collect()));
                 }
             }
             print!("{:8}", format!("{cores}c-{class}"));

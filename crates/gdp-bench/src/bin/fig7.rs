@@ -28,11 +28,7 @@ fn classes() -> [LlcClass; 3] {
     [LlcClass::H, LlcClass::M, LlcClass::L]
 }
 
-fn sweep(
-    title: &str,
-    scale: Scale,
-    variants: &[(&str, Box<dyn Fn(&mut ExperimentConfig)>)],
-) {
+fn sweep(title: &str, scale: Scale, variants: &[(&str, Box<dyn Fn(&mut ExperimentConfig)>)]) {
     println!("\n{title}");
     print!("{:8}", "class");
     for (label, _) in variants {

@@ -79,8 +79,7 @@ fn main() {
         let mut stp_asm = Vec::new();
         for class in [LlcClass::H, LlcClass::M, LlcClass::L] {
             for w in class_workloads(cores, class, scale) {
-                let out =
-                    run_policy_study(&w, &xcfg, &[PolicyKind::AsmPart, PolicyKind::Mcp]);
+                let out = run_policy_study(&w, &xcfg, &[PolicyKind::AsmPart, PolicyKind::Mcp]);
                 stp_asm.push(out[0].stp);
                 stp_mcp.push(out[1].stp);
             }

@@ -8,8 +8,9 @@
 //! * **GDP-O**: σ̂_SMS = CPL · max(λ̂ − O, 0), with O the average number of
 //!   cycles the CPU commits while an SMS-load is pending.
 
-use crate::model::{private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate,
-    PrivateModeEstimator};
+use crate::model::{
+    private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate, PrivateModeEstimator,
+};
 use crate::unit::GdpUnit;
 use gdp_sim::probe::ProbeEvent;
 use gdp_sim::types::CoreId;
@@ -45,10 +46,7 @@ impl GdpEstimator {
     /// Build an estimator for `cores` cores with `prb_entries` PRB slots
     /// per core (the paper uses 32).
     pub fn new(variant: GdpVariant, cores: usize, prb_entries: usize) -> Self {
-        GdpEstimator {
-            variant,
-            units: (0..cores).map(|_| GdpUnit::new(prb_entries)).collect(),
-        }
+        GdpEstimator { variant, units: (0..cores).map(|_| GdpUnit::new(prb_entries)).collect() }
     }
 
     /// The variant this estimator implements.

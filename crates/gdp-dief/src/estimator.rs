@@ -61,10 +61,9 @@ impl Dief {
         let total_sets = cfg.llc.sets();
         // Uncontended SMS hit path: L1 + L2 lookups, ring out and back,
         // LLC lookup.
-        let ring_transit = 2.0
-            * (cfg.ring.hop_latency * (cfg.cores + cfg.llc_banks) as u64 / 2) as f64;
-        let floor =
-            (cfg.l1d.latency + cfg.l2.latency + cfg.llc.latency) as f64 + ring_transit;
+        let ring_transit =
+            2.0 * (cfg.ring.hop_latency * (cfg.cores + cfg.llc_banks) as u64 / 2) as f64;
+        let floor = (cfg.l1d.latency + cfg.l2.latency + cfg.llc.latency) as f64 + ring_transit;
         Dief {
             atds: (0..cfg.cores)
                 .map(|_| Atd::new(total_sets, sampled_sets.min(total_sets), cfg.llc.ways))
@@ -115,11 +114,7 @@ impl Dief {
     /// Whether the ATD flagged the completed request as an
     /// interference-induced LLC miss (ITCA's "inter-thread miss").
     pub fn was_interference_miss(&self, core: CoreId, req: ReqId) -> bool {
-        self.cores[core.idx()]
-            .completed_intf
-            .get(&req)
-            .map(|(_, m)| *m)
-            .unwrap_or(false)
+        self.cores[core.idx()].completed_intf.get(&req).map(|(_, m)| *m).unwrap_or(false)
     }
 
     /// Whether `req` was flagged an interference miss and is still pending
@@ -225,6 +220,7 @@ mod tests {
         let mut d = Dief::new(&cfg(), 32);
         let core = CoreId(0);
         let block = 0u64; // set 0 is sampled
+
         // Prime the ATD: the block is private-mode resident.
         d.observe(&ProbeEvent::LlcAccess { core, block, cycle: 1, hit: false, req: ReqId(1) });
         d.observe(&done_event(core, 1, 400, 0, 0, 200));

@@ -100,11 +100,7 @@ pub fn evaluate_workload_subset(
         techniques.iter().copied().filter(|t| *t != Technique::Asm).collect();
     let with_asm = techniques.contains(&Technique::Asm);
     let t_run = run_shared(workload, xcfg, &transparent);
-    let a_run = if with_asm {
-        Some(run_shared(workload, xcfg, &[Technique::Asm]))
-    } else {
-        None
-    };
+    let a_run = if with_asm { Some(run_shared(workload, xcfg, &[Technique::Asm])) } else { None };
 
     let n = workload.cores();
     let mut benches = Vec::with_capacity(n);
@@ -144,8 +140,11 @@ pub fn evaluate_workload_subset(
             score_run(ar, core, &private, &by_target, &mut acc, false, xcfg.warmup_intervals);
             let t_cpi = t_run.final_stats[core].cpi();
             let a_cpi = ar.final_stats[core].cpi();
-            invasive_slowdown
-                .push(if t_cpi.is_finite() && t_cpi > 0.0 { a_cpi / t_cpi } else { 1.0 });
+            invasive_slowdown.push(if t_cpi.is_finite() && t_cpi > 0.0 {
+                a_cpi / t_cpi
+            } else {
+                1.0
+            });
         } else {
             invasive_slowdown.push(1.0);
         }
@@ -252,11 +251,7 @@ mod tests {
         assert_eq!(r.benches.len(), 2);
         for b in &r.benches {
             for (i, t) in Technique::ALL.iter().enumerate() {
-                assert!(
-                    !b.ipc_err[i].is_empty(),
-                    "{t} produced no IPC errors for {}",
-                    b.bench
-                );
+                assert!(!b.ipc_err[i].is_empty(), "{t} produced no IPC errors for {}", b.bench);
             }
             assert!(!b.lambda_err.is_empty());
         }

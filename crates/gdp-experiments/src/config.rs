@@ -42,11 +42,7 @@ impl ExperimentConfig {
 
     /// Reduced-cost variant for quick runs and CI (`--quick`).
     pub fn quick(cores: usize) -> Self {
-        ExperimentConfig {
-            sample_instrs: 25_000,
-            interval_cycles: 25_000,
-            ..Self::scaled(cores)
-        }
+        ExperimentConfig { sample_instrs: 25_000, interval_cycles: 25_000, ..Self::scaled(cores) }
     }
 
     /// Cycle budget for a run.

@@ -18,7 +18,9 @@ pub mod policy_run;
 pub mod private;
 pub mod shared;
 
-pub use accuracy::{evaluate_workload, evaluate_workload_subset, BenchAccuracy, Technique, WorkloadAccuracy};
+pub use accuracy::{
+    evaluate_workload, evaluate_workload_subset, BenchAccuracy, Technique, WorkloadAccuracy,
+};
 pub use config::ExperimentConfig;
 pub use policy_run::{run_policy_study, PolicyKind, PolicyOutcome};
 pub use private::{run_private, PrivateCheckpoint, PrivateRun};

@@ -10,8 +10,9 @@ use gdp_accounting::Asm;
 use gdp_core::model::{IntervalMeasurement, PrivateModeEstimator};
 use gdp_core::{GdpEstimator, GdpVariant};
 use gdp_dief::Dief;
-use gdp_partition::{contiguous_masks, AllocContext, AsmCache, CoreSignals, Mcp,
-    PartitionPolicy, Ucp};
+use gdp_partition::{
+    contiguous_masks, AllocContext, AsmCache, CoreSignals, Mcp, PartitionPolicy, Ucp,
+};
 use gdp_sim::stats::CoreStats;
 use gdp_sim::types::CoreId;
 use gdp_sim::System;
@@ -111,9 +112,7 @@ fn run_with_policy(
 
     // Estimator feeding π̂ into the policy, if any.
     let mut estimator: Option<Box<dyn PrivateModeEstimator>> = match policy {
-        PolicyKind::Mcp => {
-            Some(Box::new(GdpEstimator::new(GdpVariant::Gdp, n, xcfg.prb_entries)))
-        }
+        PolicyKind::Mcp => Some(Box::new(GdpEstimator::new(GdpVariant::Gdp, n, xcfg.prb_entries))),
         PolicyKind::McpO => {
             Some(Box::new(GdpEstimator::new(GdpVariant::GdpO, n, xcfg.prb_entries)))
         }
@@ -128,8 +127,7 @@ fn run_with_policy(
         PolicyKind::McpO => Some(Box::new(Mcp::new_o())),
     };
     // ASM's accounting is invasive: rotate the MC priority token.
-    let asm_epoch = (policy == PolicyKind::AsmPart)
-        .then(|| Asm::new(&xcfg.sim, 1).epoch_len());
+    let asm_epoch = (policy == PolicyKind::AsmPart).then(|| Asm::new(&xcfg.sim, 1).epoch_len());
 
     let cap = xcfg.cycle_cap();
     let mut last: Vec<CoreStats> = (0..n).map(|c| *sys.core_stats(c)).collect();
@@ -176,11 +174,8 @@ fn run_with_policy(
                         d
                     })
                     .collect();
-                let post_global = if miss_sum > 0 {
-                    post_sum as f64 / miss_sum as f64
-                } else {
-                    0.0
-                };
+                let post_global =
+                    if miss_sum > 0 { post_sum as f64 / miss_sum as f64 } else { 0.0 };
                 for (c, delta) in deltas.iter().enumerate() {
                     let core = CoreId(c as u8);
                     let curve = dief.miss_curve(core);

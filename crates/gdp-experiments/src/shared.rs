@@ -76,7 +76,11 @@ fn build(t: Technique, xcfg: &ExperimentConfig) -> Box<dyn PrivateModeEstimator>
 /// the memory-controller priority token rotates every ASM epoch, exactly
 /// as the real mechanism would perturb execution. Evaluate ASM in its own
 /// run, as the paper does.
-pub fn run_shared(workload: &Workload, xcfg: &ExperimentConfig, techniques: &[Technique]) -> SharedRun {
+pub fn run_shared(
+    workload: &Workload,
+    xcfg: &ExperimentConfig,
+    techniques: &[Technique],
+) -> SharedRun {
     assert_eq!(workload.cores(), xcfg.sim.cores, "workload size must match the CMP");
     let mut sys = System::new(xcfg.sim.clone(), workload.streams());
     let mut dief = Dief::new(&xcfg.sim, xcfg.sampled_sets);
@@ -84,9 +88,8 @@ pub fn run_shared(workload: &Workload, xcfg: &ExperimentConfig, techniques: &[Te
         techniques.iter().map(|t| build(*t, xcfg)).collect();
 
     // The invasive schedule, if ASM is attached.
-    let asm_schedule = techniques
-        .contains(&Technique::Asm)
-        .then(|| Asm::new(&xcfg.sim, 1).epoch_len());
+    let asm_schedule =
+        techniques.contains(&Technique::Asm).then(|| Asm::new(&xcfg.sim, 1).epoch_len());
 
     let n = xcfg.sim.cores;
     let cap = xcfg.cycle_cap();

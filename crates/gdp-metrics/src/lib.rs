@@ -95,7 +95,14 @@ impl Summary {
                 v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
             }
         };
-        Summary { min: v[0], p25: q(0.25), median: q(0.5), p75: q(0.75), max: *v.last().unwrap(), n: v.len() }
+        Summary {
+            min: v[0],
+            p25: q(0.25),
+            median: q(0.5),
+            p75: q(0.75),
+            max: *v.last().unwrap(),
+            n: v.len(),
+        }
     }
 }
 

@@ -135,10 +135,7 @@ mod tests {
         // Core 1: insensitive streaming → no gain.
         let mut insensitive = signals(0, 16, 4_000, 1.0);
         insensitive.miss_curve = vec![4_000; 17];
-        let ctx = AllocContext {
-            ways: 16,
-            cores: vec![signals(8, 16, 10_000, 1.5), insensitive],
-        };
+        let ctx = AllocContext { ways: 16, cores: vec![signals(8, 16, 10_000, 1.5), insensitive] };
         let alloc = Mcp::new().allocate(&ctx);
         assert!(alloc[0] >= 8, "sensitive core gets its knee: {alloc:?}");
     }
@@ -154,6 +151,7 @@ mod tests {
         // φ≈0 via sms stalls ≈ 0).
         let mut noisy = signals(12, 16, 50_000, 3.0);
         noisy.stall_sms = 100; // overlapped misses: tiny stall time
+
         // Core 1: moderate misses, fully serialised, fast privately.
         let sensitive = signals(12, 16, 6_000, 0.8);
         let ctx = AllocContext { ways: 16, cores: vec![noisy, sensitive] };

@@ -90,18 +90,13 @@ pub(crate) fn projected_cpi(c: &crate::policy::CoreSignals, ways: usize) -> f64 
     }
     let inst = c.instrs as f64;
     // Non-overlapped load count: CPL̂ = S_SMS / L_SMS (paper §V).
-    let cpl_hat = if c.avg_sms_latency > 0.0 {
-        c.stall_sms as f64 / c.avg_sms_latency
-    } else {
-        0.0
-    };
+    let cpl_hat =
+        if c.avg_sms_latency > 0.0 { c.stall_sms as f64 / c.avg_sms_latency } else { 0.0 };
     // Fraction of loads that are non-overlapped, applied per miss.
     let phi = if c.sms_loads > 0 { (cpl_hat / c.sms_loads as f64).min(1.0) } else { 0.0 };
     let pre = (c.commit_cycles + c.stall_non_sms) as f64 + cpl_hat * c.avg_pre_llc_latency;
-    let misses = *c
-        .miss_curve
-        .get(ways.min(c.miss_curve.len() - 1))
-        .unwrap_or(&c.llc_misses) as f64;
+    let misses =
+        *c.miss_curve.get(ways.min(c.miss_curve.len() - 1)).unwrap_or(&c.llc_misses) as f64;
     let g = phi * c.avg_post_llc_latency;
     (pre + g * misses) / inst
 }
@@ -230,10 +225,8 @@ mod tests {
     #[test]
     fn allocations_always_cover_all_ways() {
         for ways in [4usize, 8, 16] {
-            let ctx = AllocContext {
-                ways,
-                cores: vec![streaming_core(ways), streaming_core(ways)],
-            };
+            let ctx =
+                AllocContext { ways, cores: vec![streaming_core(ways), streaming_core(ways)] };
             let u = Ucp::new().allocate(&ctx);
             assert_eq!(u.iter().sum::<usize>(), ways);
             assert!(u.iter().all(|&a| a >= 1));

@@ -176,9 +176,7 @@ impl Core {
     /// Route a completed memory access back into the pipeline.
     pub fn record_mem_completion(&mut self, done: &CompletedAccess) {
         // Store-buffer drain completion?
-        if let Some(pos) =
-            self.store_buffer.iter().position(|e| e.req == Some(done.req))
-        {
+        if let Some(pos) = self.store_buffer.iter().position(|e| e.req == Some(done.req)) {
             self.store_buffer.remove(pos);
             self.release_store_block(done.block);
             return;
@@ -188,11 +186,8 @@ impl Core {
             let was_l1_miss = done.l1_miss;
             if self.in_rob(seq) {
                 let e = self.entry_mut(seq);
-                e.mem = Some(MemInfo {
-                    sms: done.sms,
-                    interference: done.interference,
-                    req: done.req,
-                });
+                e.mem =
+                    Some(MemInfo { sms: done.sms, interference: done.interference, req: done.req });
                 e.state = EState::Done;
             }
             self.wake_dependents(seq);
@@ -353,9 +348,9 @@ impl Core {
                 }
             }
             StallCause::MemoryIndependent => self.stats.stall_ind += duration,
-            StallCause::StoreBufferFull
-            | StallCause::L1Blocked
-            | StallCause::BranchRedirect => self.stats.stall_other += duration,
+            StallCause::StoreBufferFull | StallCause::L1Blocked | StallCause::BranchRedirect => {
+                self.stats.stall_other += duration
+            }
         }
         probes.push(ProbeEvent::Stall {
             core: self.id,
@@ -624,8 +619,7 @@ mod tests {
     fn cold_loads_stall_as_sms() {
         // Independent loads to distinct cold blocks, far apart: every one
         // misses all caches.
-        let prog: Vec<Instr> =
-            (0..128).map(|i| Instr::load(0x10_0000 + i * 4096, &[])).collect();
+        let prog: Vec<Instr> = (0..128).map(|i| Instr::load(0x10_0000 + i * 4096, &[])).collect();
         let (stats, probes) = run_core(prog, 30_000);
         assert!(stats.stall_sms > 0, "cold misses must produce SMS stalls");
         assert!(stats.sms_loads > 0);
@@ -671,8 +665,7 @@ mod tests {
     #[test]
     fn pointer_chase_serializes_loads() {
         // Each load's address depends on the previous load: no MLP.
-        let chase: Vec<Instr> =
-            (0..64).map(|i| Instr::load(0x20_0000 + i * 4096, &[1])).collect();
+        let chase: Vec<Instr> = (0..64).map(|i| Instr::load(0x20_0000 + i * 4096, &[1])).collect();
         let (chase_stats, _) = run_core(chase, 60_000);
         let parallel: Vec<Instr> =
             (0..64).map(|i| Instr::load(0x20_0000 + i * 4096, &[])).collect();
@@ -705,8 +698,7 @@ mod tests {
     fn store_bursts_fill_the_store_buffer() {
         // Stores to distinct cold blocks: the buffer drains slowly, commit
         // must eventually stall on a full SB.
-        let prog: Vec<Instr> =
-            (0..256).map(|i| Instr::store(0x30_0000 + i * 4096, &[])).collect();
+        let prog: Vec<Instr> = (0..256).map(|i| Instr::store(0x30_0000 + i * 4096, &[])).collect();
         let (stats, probes) = run_core(prog, 40_000);
         assert!(
             probes
@@ -729,10 +721,7 @@ mod tests {
         let (stats, _) = run_core(prog, 30_000);
         // Forwarded loads produce no SMS stalls attributable to those loads;
         // the stores' traffic is hidden by the store buffer unless it fills.
-        assert_eq!(
-            stats.stall_sms, 0,
-            "forwarded loads must not stall on memory: {stats:?}"
-        );
+        assert_eq!(stats.stall_sms, 0, "forwarded loads must not stall on memory: {stats:?}");
     }
 
     #[test]
@@ -856,8 +845,7 @@ mod more_tests {
     fn lsq_limit_blocks_memory_dispatch() {
         let mut cfg = SimConfig::scaled(2);
         cfg.core.lsq_entries = 2;
-        let prog: Vec<Instr> =
-            (0..64).map(|i| Instr::load(0x900_0000 + i * 4096, &[])).collect();
+        let prog: Vec<Instr> = (0..64).map(|i| Instr::load(0x900_0000 + i * 4096, &[])).collect();
         let s = run_with_cfg(&cfg, prog, 10_000);
         // With only 2 LSQ entries MLP collapses to ~2: far slower than the
         // default 32-entry configuration.

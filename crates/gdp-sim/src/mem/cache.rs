@@ -301,14 +301,12 @@ mod tests {
         c.fill(0x000, CoreId(0), false);
         c.fill(0x040, CoreId(0), false);
         c.fill(0x080, CoreId(0), false);
-        let present =
-            [0x000u64, 0x040, 0x080].iter().filter(|&&b| c.peek(b)).count();
+        let present = [0x000u64, 0x040, 0x080].iter().filter(|&&b| c.peek(b)).count();
         assert_eq!(present, 2, "core 0 can hold at most its 2 ways");
         // Core 1's fills must not evict core 0's remaining lines.
         c.fill(0x0c0, CoreId(1), false);
         c.fill(0x100, CoreId(1), false);
-        let core0_present =
-            [0x000u64, 0x040, 0x080].iter().filter(|&&b| c.peek(b)).count();
+        let core0_present = [0x000u64, 0x040, 0x080].iter().filter(|&&b| c.peek(b)).count();
         assert_eq!(core0_present, 2, "core 1 must not evict core 0's quota");
         // Hits are allowed in any way: core 0 hitting core 1's line is fine.
         assert_eq!(c.access(0x0c0, false), AccessResult::Hit);

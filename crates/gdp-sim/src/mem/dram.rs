@@ -43,7 +43,13 @@ struct QueuedRead {
     bank: usize,
     row: u64,
     arrived: Cycle,
-    intf_queue: u64,
+    /// Cycles this read's *bank* was blocked by other cores' services.
+    intf_bank: u64,
+    /// Estimated data-bus delay from other cores' bursts while queued
+    /// (one `bus_occ` per rival service). Rival bursts still pending in
+    /// the bus backlog at issue time are also visible as push-out, so
+    /// their `bus_occ` shares are netted out of the push-out charge.
+    intf_bus: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -61,13 +67,33 @@ struct Bank {
     ready_at: Cycle,
 }
 
+/// A data-bus reservation whose burst slot has not yet drained.
+#[derive(Debug, Clone, Copy)]
+struct BusReservation {
+    /// Cycle the owning service was issued.
+    created: Cycle,
+    /// Cycle its data burst leaves the bus.
+    end: Cycle,
+    /// Core the burst belongs to.
+    core: CoreId,
+}
+
 #[derive(Debug, Clone)]
 struct Channel {
     reads: Vec<QueuedRead>,
     writes: Vec<QueuedWrite>,
     banks: Vec<Bank>,
     data_bus_free_at: Cycle,
+    /// Pending data-bus reservations in end order (the bus is reserved
+    /// monotonically), pruned as bursts drain. Used at issue time to
+    /// attribute the rival share of the bus backlog exactly; stays
+    /// shallow (bounded by the backlog depth in bursts).
+    bus_reservations: std::collections::VecDeque<BusReservation>,
     draining_writes: bool,
+    /// Per-core count of queued entries (reads + writes), kept in sync
+    /// with `reads`/`writes` so `queue_pressure` is O(1) — it runs every
+    /// retry cycle of every request blocked on a full read queue.
+    per_core_queued: Vec<u64>,
     /// Per-core shadow of the row each core last touched per bank: the row
     /// state the core would see running alone (open-page private mode).
     shadow_rows: Vec<Vec<Option<u64>>>,
@@ -104,7 +130,9 @@ impl MemoryController {
             writes: Vec::with_capacity(cfg.write_queue),
             banks: (0..cfg.banks).map(|_| Bank { open_row: None, ready_at: 0 }).collect(),
             data_bus_free_at: 0,
+            bus_reservations: std::collections::VecDeque::new(),
             draining_writes: false,
+            per_core_queued: vec![0; cores],
             shadow_rows: vec![vec![None; cores]; cfg.banks],
         };
         MemoryController {
@@ -145,7 +173,16 @@ impl MemoryController {
         if chan.reads.len() >= self.cfg.read_queue {
             return false;
         }
-        chan.reads.push(QueuedRead { req, core, bank, row, arrived: now, intf_queue: 0 });
+        chan.reads.push(QueuedRead {
+            req,
+            core,
+            bank,
+            row,
+            arrived: now,
+            intf_bank: 0,
+            intf_bus: 0,
+        });
+        chan.per_core_queued[core.idx()] += 1;
         true
     }
 
@@ -157,12 +194,26 @@ impl MemoryController {
             return false;
         }
         chan.writes.push(QueuedWrite { core, bank, row, arrived: now });
+        chan.per_core_queued[core.idx()] += 1;
         true
     }
 
     /// Number of queued reads across channels.
     pub fn queued_reads(&self) -> usize {
         self.channels.iter().map(|c| c.reads.len()).sum()
+    }
+
+    /// Queue pressure on the channel serving `block`: `(other, total)`
+    /// occupancy where `other` counts entries (reads and writes) belonging
+    /// to cores other than `core`. Used to attribute the wait of requests
+    /// that cannot even *enter* a full read queue: that wait is
+    /// interference in proportion to the rival cores' share of the queue
+    /// (running alone the queue would hold only the core's own traffic).
+    pub fn queue_pressure(&self, block: Addr, core: CoreId) -> (u64, u64) {
+        let (ch, _, _) = self.map(block);
+        let chan = &self.channels[ch];
+        let total = (chan.reads.len() + chan.writes.len()) as u64;
+        (total - chan.per_core_queued[core.idx()], total)
     }
 
     /// Number of queued writes across channels.
@@ -187,11 +238,18 @@ impl MemoryController {
                 chan.draining_writes = false;
             }
 
+            // Drop bus reservations whose bursts have drained (kept here,
+            // not on the read path, so write-only stretches stay bounded).
+            while chan.bus_reservations.front().is_some_and(|b| b.end <= now) {
+                chan.bus_reservations.pop_front();
+            }
+
             if chan.draining_writes && !chan.writes.is_empty() {
                 if let Some(idx) = pick_write(chan, now) {
                     let w = chan.writes.swap_remove(idx);
+                    chan.per_core_queued[w.core.idx()] -= 1;
                     let (latency, row_hit) = access_latency(&cfg, &chan.banks[w.bank], w.row);
-                    let finish = service(&cfg, chan, w.bank, w.row, now, latency);
+                    let (finish, _) = service(&cfg, chan, w.bank, w.row, w.core, now, latency);
                     let _ = row_hit;
                     charge_queue_interference(&cfg, chan, w.core, w.bank, finish - now);
                     self.writes_serviced += 1;
@@ -201,6 +259,7 @@ impl MemoryController {
 
             if let Some(idx) = pick_read(chan, now, priority) {
                 let r = chan.reads.swap_remove(idx);
+                chan.per_core_queued[r.core.idx()] -= 1;
                 let bank = &chan.banks[r.bank];
                 let (latency, row_hit) = access_latency(&cfg, bank, r.row);
                 // Private-mode shadow row state for this core.
@@ -213,12 +272,35 @@ impl MemoryController {
                 } else {
                     cfg.row_conflict_cycles()
                 };
-                let finish = service(&cfg, chan, r.bank, r.row, now, latency);
+                // The bus backlog `r` is about to wait through is made of
+                // pending reservation slots. Only the *rival* slots are
+                // interference, and of those the ones created while `r`
+                // was queued were already charged to `intf_bus`. Count
+                // before `service` adds this read's own reservation.
+                let (mut rival_pending, mut rival_charged) = (0u64, 0u64);
+                for b in &chan.bus_reservations {
+                    if b.core != r.core {
+                        rival_pending += 1;
+                        if b.created >= r.arrived {
+                            rival_charged += 1;
+                        }
+                    }
+                }
+                let (finish, bus_pushout) =
+                    service(&cfg, chan, r.bank, r.row, r.core, now, latency);
                 chan.shadow_rows[r.bank][r.core.idx()] = Some(r.row);
                 charge_queue_interference(&cfg, chan, r.core, r.bank, finish - now);
 
                 let queue_delay = now.saturating_sub(r.arrived);
-                let intf_queue = r.intf_queue.min(queue_delay);
+                // Bank blocking and queued-phase bus charges cover delay
+                // suffered *before* issue (bounded by the queue residency);
+                // the push-out covers the burst's wait *after* issue. Its
+                // rival share is charged, minus the already-charged slots.
+                let bus_occ = cfg.bus_occupancy_cycles();
+                let pushout_extra = bus_pushout
+                    .min(rival_pending * bus_occ)
+                    .saturating_sub(rival_charged * bus_occ);
+                let intf_queue = (r.intf_bank + r.intf_bus).min(queue_delay) + pushout_extra;
                 let stats = &mut self.core_stats[r.core.idx()];
                 stats.reads += 1;
                 stats.queue_cycles += queue_delay;
@@ -250,27 +332,35 @@ fn access_latency(cfg: &DramConfig, bank: &Bank, row: u64) -> (u64, bool) {
 }
 
 /// Commit a service decision: reserve the data bus, update bank state and
-/// return the finish cycle.
+/// return `(finish cycle, total bus push-out)`. The push-out is the raw
+/// wait behind the whole backlog; the caller splits it into the rival
+/// share (interference) and the core's own self-induced bandwidth limit
+/// using the channel's pending-reservation record.
 fn service(
     cfg: &DramConfig,
     chan: &mut Channel,
     bank_idx: usize,
     row: u64,
+    core: CoreId,
     now: Cycle,
     latency: u64,
-) -> Cycle {
+) -> (Cycle, u64) {
     let bus_occ = cfg.bus_occupancy_cycles();
     let mut finish = now + latency;
+    let mut pushout = 0;
     // The data burst must serialize on the channel's data bus.
     let data_start = finish - bus_occ;
     if data_start < chan.data_bus_free_at {
-        finish = chan.data_bus_free_at + bus_occ;
+        let delayed = chan.data_bus_free_at + bus_occ;
+        pushout = delayed - finish;
+        finish = delayed;
     }
     chan.data_bus_free_at = finish;
+    chan.bus_reservations.push_back(BusReservation { created: now, end: finish, core });
     let bank = &mut chan.banks[bank_idx];
     bank.open_row = Some(row);
     bank.ready_at = finish;
-    finish
+    (finish, pushout)
 }
 
 /// While request `r` of `core` is being serviced for `occupancy` cycles,
@@ -288,7 +378,11 @@ fn charge_queue_interference(
         if r.core != issuing_core {
             // Bus serialization delays everyone; same-bank requests are
             // additionally blocked for the full access.
-            r.intf_queue += if r.bank == issuing_bank { occupancy } else { bus_occ };
+            if r.bank == issuing_bank {
+                r.intf_bank += occupancy;
+            } else {
+                r.intf_bus += bus_occ;
+            }
         }
     }
 }
@@ -340,7 +434,11 @@ mod tests {
         MemoryController::new(&DramConfig::ddr2_800(1), 2)
     }
 
-    fn run_until_complete(mc: &mut MemoryController, start: Cycle, horizon: Cycle) -> Vec<McCompletion> {
+    fn run_until_complete(
+        mc: &mut MemoryController,
+        start: Cycle,
+        horizon: Cycle,
+    ) -> Vec<McCompletion> {
         let mut out = Vec::new();
         for t in start..horizon {
             mc.tick(t, &mut out);
@@ -450,6 +548,74 @@ mod tests {
         let done2 = run_until_complete(&mut m2, 0, 600);
         let second2 = done2.iter().find(|c| c.req == ReqId(2)).unwrap();
         assert_eq!(second2.intf_queue, 0, "same-core queuing is not interference");
+    }
+
+    #[test]
+    fn queue_pressure_tracks_per_core_occupancy() {
+        let mut m = mc();
+        m.enqueue_read(ReqId(1), CoreId(0), 0x0, 0);
+        m.enqueue_read(ReqId(2), CoreId(1), 0x100000, 0);
+        m.enqueue_write(CoreId(1), 0x200000, 0);
+        // From core 0's perspective: two rival entries of three total.
+        assert_eq!(m.queue_pressure(0x0, CoreId(0)), (2, 3));
+        assert_eq!(m.queue_pressure(0x0, CoreId(1)), (1, 3));
+        // Draining everything returns the occupancy to zero.
+        let _ = run_until_complete(&mut m, 0, 2000);
+        assert_eq!(m.queue_pressure(0x0, CoreId(0)), (0, 0));
+    }
+
+    #[test]
+    fn pushout_behind_rival_burst_is_charged_at_issue() {
+        let mut m = mc();
+        let cfg = DramConfig::ddr2_800(1);
+        let bank_stride = cfg.row_bytes * cfg.channels as u64;
+        // Core 1's burst reserves the bus; core 0 arrives only after it
+        // issued, so nothing is charged in-queue and the rival push-out
+        // must be charged at issue time instead.
+        m.enqueue_read(ReqId(1), CoreId(1), 0, 0);
+        let mut out = run_until_complete(&mut m, 0, 5);
+        m.enqueue_read(ReqId(2), CoreId(0), bank_stride, 5);
+        out.extend(run_until_complete(&mut m, 5, 600));
+        let c = out.iter().find(|c| c.req == ReqId(2)).unwrap();
+        assert!(c.intf_queue > 0, "rival bus push-out must be charged");
+        // Never more than one bus slot: the only rival burst is one burst.
+        assert!(
+            c.intf_queue <= cfg.bus_occupancy_cycles(),
+            "charge {} exceeds the rival's single bus slot",
+            c.intf_queue
+        );
+    }
+
+    #[test]
+    fn rival_bus_slot_is_never_double_charged() {
+        let mut m = mc();
+        let cfg = DramConfig::ddr2_800(1);
+        let bank_stride = cfg.row_bytes * cfg.channels as u64;
+        // The rival service happens while the read is queued (charged to
+        // intf_bus); the same slot reappears as push-out at issue and must
+        // be netted, keeping the total within one bus slot.
+        m.enqueue_read(ReqId(1), CoreId(1), 0, 0);
+        m.enqueue_read(ReqId(2), CoreId(0), bank_stride, 0);
+        let done = run_until_complete(&mut m, 0, 600);
+        let c = done.iter().find(|c| c.req == ReqId(2)).unwrap();
+        assert!(
+            c.intf_queue <= cfg.bus_occupancy_cycles(),
+            "double-counted rival slot: {}",
+            c.intf_queue
+        );
+    }
+
+    #[test]
+    fn bus_reservations_stay_bounded_under_write_only_traffic() {
+        let cfg = DramConfig { write_drain_threshold: 1, ..DramConfig::ddr2_800(1) };
+        let mut m = MemoryController::new(&cfg, 1);
+        let mut out = Vec::new();
+        for t in 0..20_000u64 {
+            let _ = m.enqueue_write(CoreId(0), (t % 64) * 4096, t);
+            m.tick(t, &mut out);
+        }
+        let pending: usize = m.channels.iter().map(|c| c.bus_reservations.len()).sum();
+        assert!(pending < 64, "reservation record must stay shallow, saw {pending}");
     }
 
     #[test]

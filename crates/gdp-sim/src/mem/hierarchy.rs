@@ -491,6 +491,10 @@ impl MemorySystem {
                 let bank = self.bank_of(block);
                 let local = self.bank_local(block);
                 if self.llc_mshr[bank].contains(local) {
+                    // Merging discards any accumulated `enqueue_wait_fp` on
+                    // purpose: the primary was queued for that whole window,
+                    // and its mc_queue charges (propagated at release) cover
+                    // it — folding this request's own would double-count.
                     self.llc_mshr[bank].allocate(local, req);
                     return;
                 }
@@ -501,12 +505,23 @@ impl MemorySystem {
                 }
                 if !self.mc.enqueue_read(req, core, block, now) {
                     self.stats.backpressure_events += 1;
+                    // The read queue is full: this wait is interference in
+                    // proportion to the rival cores' share of the queue
+                    // (running alone, only the core's own traffic blocks it).
+                    let (other, total) = self.mc.queue_pressure(block, core);
+                    if let Some(rq) = self.inflight.get_mut(&req) {
+                        if let Some(share) = (other << 16).checked_div(total) {
+                            rq.enqueue_wait_fp += share;
+                        }
+                    }
                     self.retries.push(Retry::LlcMiss(req));
                     return;
                 }
                 self.llc_mshr[bank].allocate(local, req);
                 if let Some(rq) = self.inflight.get_mut(&req) {
                     rq.mc_enqueued_at = Some(now);
+                    rq.interference.mc_queue += rq.enqueue_wait_fp >> 16;
+                    rq.enqueue_wait_fp = 0;
                 }
             }
             Retry::RingResp(req) => {
@@ -598,7 +613,13 @@ impl MemorySystem {
     }
 
     /// Build and deliver the completion for `req`.
-    fn complete(&mut self, req: ReqId, now: Cycle, merged_secondary: bool, probes: &mut Vec<ProbeEvent>) {
+    fn complete(
+        &mut self,
+        req: ReqId,
+        now: Cycle,
+        merged_secondary: bool,
+        probes: &mut Vec<ProbeEvent>,
+    ) {
         let r = match self.inflight.remove(&req) {
             Some(r) => r,
             None => return,
@@ -809,6 +830,27 @@ mod tests {
             t += 3000;
         }
         assert!(ms.l2(CoreId(0)).peek(0), "dirty victim must land in the L2");
+    }
+
+    #[test]
+    fn blocked_mc_enqueue_charges_rival_queue_share() {
+        // A one-entry read queue forces backpressure; the wait to enter it
+        // while a rival occupies it must surface as mc_queue interference.
+        let mut cfg = SimConfig::scaled(2);
+        cfg.dram.read_queue = 1;
+        let mut ms = MemorySystem::new(&cfg);
+        let mut p = Vec::new();
+        for i in 0..6u64 {
+            ms.access(CoreId(0), 0x0100_0000 + i * 4096, AccessKind::Load, 0, &mut p);
+            ms.access(CoreId(1), 0x0900_0000 + i * 4096, AccessKind::Load, 0, &mut p);
+        }
+        run(&mut ms, 0, 30_000, &mut p);
+        let done = ms.take_completions();
+        assert_eq!(done.len(), 12);
+        assert!(ms.stats.backpressure_events > 0, "read queue must backpressure");
+        let mc_q: u64 = done.iter().map(|d| d.interference.mc_queue).sum();
+        assert!(mc_q > 0, "blocked enqueue behind a rival must count as interference");
+        assert!(ms.quiescent());
     }
 
     #[test]

@@ -62,6 +62,11 @@ pub struct MemRequest {
     pub mc_private_row_hit: Option<bool>,
     /// Accumulated interference.
     pub interference: Interference,
+    /// 16.16 fixed-point accumulator of interference suffered while waiting
+    /// to *enter* a full memory-controller read queue: each retry cycle
+    /// adds the rival cores' share of the queue occupancy. Folded into
+    /// [`Interference::mc_queue`] when the request finally enqueues.
+    pub enqueue_wait_fp: u64,
     /// Requests merged into this one (same block, arrived while in flight).
     pub merged: Vec<ReqId>,
 }
@@ -85,6 +90,7 @@ impl MemRequest {
             mc_row_hit: None,
             mc_private_row_hit: None,
             interference: Interference::default(),
+            enqueue_wait_fp: 0,
             merged: Vec::new(),
         }
     }

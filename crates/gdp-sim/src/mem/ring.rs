@@ -141,11 +141,7 @@ impl Ring {
             RingKind::Request => self.request_packets += 1,
             RingKind::Response => self.response_packets += 1,
         }
-        Some(SendOutcome {
-            arrival: slot + hops * hop_latency,
-            queued: slot - now,
-            interference,
-        })
+        Some(SendOutcome { arrival: slot + hops * hop_latency, queued: slot - now, interference })
     }
 }
 

@@ -117,8 +117,7 @@ impl CoreStats {
             cycles: self.cycles - earlier.cycles,
             sms_loads: self.sms_loads - earlier.sms_loads,
             sms_latency_sum: self.sms_latency_sum - earlier.sms_latency_sum,
-            sms_pre_llc_latency_sum: self.sms_pre_llc_latency_sum
-                - earlier.sms_pre_llc_latency_sum,
+            sms_pre_llc_latency_sum: self.sms_pre_llc_latency_sum - earlier.sms_pre_llc_latency_sum,
             sms_post_llc_latency_sum: self.sms_post_llc_latency_sum
                 - earlier.sms_post_llc_latency_sum,
             llc_misses: self.llc_misses - earlier.llc_misses,

@@ -120,9 +120,7 @@ impl System {
     /// instructions, or `max_cycles` elapse. Returns the cycle reached.
     pub fn run_until_committed(&mut self, target: u64, max_cycles: u64) -> Cycle {
         let deadline = self.now + max_cycles;
-        while self.now < deadline
-            && self.cores.iter().any(|c| c.committed() < target)
-        {
+        while self.now < deadline && self.cores.iter().any(|c| c.committed() < target) {
             self.step();
         }
         self.now
@@ -192,10 +190,8 @@ mod tests {
 
         // Shared mode: an antagonist streams on core 1.
         let antagonist = streaming_program(0x4000_0000, 8192);
-        let mut shared = System::new(
-            cfg,
-            vec![InstrStream::cyclic(prog), InstrStream::cyclic(antagonist)],
-        );
+        let mut shared =
+            System::new(cfg, vec![InstrStream::cyclic(prog), InstrStream::cyclic(antagonist)]);
         shared.run_core_until_committed(0, 20_000, 4_000_000);
         let shared_cycles = shared.now();
 

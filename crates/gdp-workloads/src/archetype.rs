@@ -145,7 +145,7 @@ impl Archetype {
                 }
             }
             Archetype::PointerChase { ws_blocks, filler } => {
-                let n_loads = ws_blocks.min(32_768).max(1024);
+                let n_loads = ws_blocks.clamp(1024, 32_768);
                 for _ in 0..n_loads {
                     let blk = b.rng_block(ws_blocks);
                     // The address "depends" on the previous load: distance
@@ -213,7 +213,7 @@ impl Archetype {
                 }
             }
             Archetype::FpHeavy { ws_blocks } => {
-                let n_groups = ws_blocks.min(24_576).max(2048);
+                let n_groups = ws_blocks.clamp(2048, 24_576);
                 let start = b.rng_block(ws_blocks);
                 for i in 0..n_groups {
                     let load_idx = b.index();
@@ -457,10 +457,7 @@ mod tests {
     fn fp_heavy_saturates_fp_units() {
         let a = Archetype::FpHeavy { ws_blocks: 4096 };
         let p = gen(a);
-        let fp = p
-            .iter()
-            .filter(|i| matches!(i.kind, InstrKind::FpMul | InstrKind::FpAlu))
-            .count();
+        let fp = p.iter().filter(|i| matches!(i.kind, InstrKind::FpMul | InstrKind::FpAlu)).count();
         assert!(fp * 2 > p.len(), "fp fraction {fp}/{}", p.len());
     }
 

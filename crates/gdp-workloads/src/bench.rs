@@ -84,62 +84,284 @@ pub fn suite() -> Vec<Benchmark> {
     vec![
         // ---- H: high LLC sensitivity (paper footnote 5) -------------------
         bench!("apsi", H, RandomAccess { ws_blocks: 8192, mlp: 4, filler: 2 }, br(14, 0.01), 101),
-        bench!("facerec", H, Phased { ws_blocks: 8192, mem_span: 3072, compute_span: 768 }, br(16, 0.01), 102),
+        bench!(
+            "facerec",
+            H,
+            Phased { ws_blocks: 8192, mem_span: 3072, compute_span: 768 },
+            br(16, 0.01),
+            102
+        ),
         bench!("galgel", H, RandomAccess { ws_blocks: 6144, mlp: 2, filler: 3 }, br(14, 0.01), 103),
         bench!("ammp", H, PointerChase { ws_blocks: 6144, filler: 2 }, br(12, 0.02), 104),
         bench!("art", H, RandomAccess { ws_blocks: 12288, mlp: 8, filler: 1 }, br(18, 0.005), 105),
         bench!("omnetpp", H, PointerChase { ws_blocks: 8192, filler: 1 }, br(10, 0.03), 106),
         bench!("lbm", H, FpHeavy { ws_blocks: 4096 }, br(24, 0.002), 107),
-        bench!("sphinx3", H, RandomAccess { ws_blocks: 8192, mlp: 2, filler: 3 }, br(12, 0.015), 108),
+        bench!(
+            "sphinx3",
+            H,
+            RandomAccess { ws_blocks: 8192, mlp: 2, filler: 3 },
+            br(12, 0.015),
+            108
+        ),
         // ---- M: medium LLC sensitivity (paper footnote 6) ------------------
-        bench!("equake", M, RandomAccess { ws_blocks: 4096, mlp: 2, filler: 14 }, br(14, 0.01), 201),
+        bench!(
+            "equake",
+            M,
+            RandomAccess { ws_blocks: 4096, mlp: 2, filler: 14 },
+            br(14, 0.01),
+            201
+        ),
         bench!("twolf", M, PointerChase { ws_blocks: 2048, filler: 6 }, br(10, 0.03), 202),
         bench!("parser", M, PointerChase { ws_blocks: 3072, filler: 8 }, br(9, 0.04), 203),
         bench!("vpr", M, RandomAccess { ws_blocks: 3072, mlp: 2, filler: 14 }, br(11, 0.025), 204),
-        bench!("gromacs", M, RandomAccess { ws_blocks: 2560, mlp: 2, filler: 16 }, br(16, 0.01), 205),
+        bench!(
+            "gromacs",
+            M,
+            RandomAccess { ws_blocks: 2560, mlp: 2, filler: 16 },
+            br(16, 0.01),
+            205
+        ),
         bench!("astar", M, PointerChase { ws_blocks: 4096, filler: 9 }, br(10, 0.03), 206),
         bench!("bzip2", M, RandomAccess { ws_blocks: 2048, mlp: 2, filler: 14 }, br(12, 0.02), 207),
-        bench!("hmmer", M, RandomAccess { ws_blocks: 2048, mlp: 2, filler: 16 }, br(15, 0.008), 208),
+        bench!(
+            "hmmer",
+            M,
+            RandomAccess { ws_blocks: 2048, mlp: 2, filler: 16 },
+            br(15, 0.008),
+            208
+        ),
         // ---- L: streaming / bandwidth-bound (LLC-insensitive) --------------
-        bench!("swim", L, Stream { ws_blocks: 65536, filler: 2, store_every: 6 }, br(20, 0.004), 301),
-        bench!("mgrid", L, Stream { ws_blocks: 98304, filler: 3, store_every: 8 }, br(22, 0.004), 302),
-        bench!("lucas", L, Stream { ws_blocks: 65536, filler: 4, store_every: 0 }, br(24, 0.003), 303),
-        bench!("bwaves", L, Stream { ws_blocks: 131072, filler: 2, store_every: 7 }, br(26, 0.002), 304),
-        bench!("leslie3d", L, Stream { ws_blocks: 98304, filler: 3, store_every: 6 }, br(20, 0.004), 305),
-        bench!("milc", L, Stream { ws_blocks: 131072, filler: 2, store_every: 9 }, br(18, 0.005), 306),
-        bench!("zeusmp", L, Stream { ws_blocks: 65536, filler: 4, store_every: 8 }, br(20, 0.004), 307),
-        bench!("gemsfdtd", L, Stream { ws_blocks: 98304, filler: 2, store_every: 5 }, br(22, 0.003), 308),
-        bench!("cactusadm", L, Stream { ws_blocks: 65536, filler: 5, store_every: 7 }, br(24, 0.002), 309),
-        bench!("libquantum", L, BandwidthBurst { ws_blocks: 65536, burst: 5, filler: 2 }, br(30, 0.001), 310),
-        bench!("applu", L, Stream { ws_blocks: 20480, filler: 2, store_every: 8 }, br(20, 0.004), 311),
-        bench!("wupwise", L, Stream { ws_blocks: 49152, filler: 4, store_every: 0 }, br(22, 0.003), 312),
-        bench!("fma3d", L, Stream { ws_blocks: 49152, filler: 3, store_every: 6 }, br(18, 0.006), 313),
+        bench!(
+            "swim",
+            L,
+            Stream { ws_blocks: 65536, filler: 2, store_every: 6 },
+            br(20, 0.004),
+            301
+        ),
+        bench!(
+            "mgrid",
+            L,
+            Stream { ws_blocks: 98304, filler: 3, store_every: 8 },
+            br(22, 0.004),
+            302
+        ),
+        bench!(
+            "lucas",
+            L,
+            Stream { ws_blocks: 65536, filler: 4, store_every: 0 },
+            br(24, 0.003),
+            303
+        ),
+        bench!(
+            "bwaves",
+            L,
+            Stream { ws_blocks: 131072, filler: 2, store_every: 7 },
+            br(26, 0.002),
+            304
+        ),
+        bench!(
+            "leslie3d",
+            L,
+            Stream { ws_blocks: 98304, filler: 3, store_every: 6 },
+            br(20, 0.004),
+            305
+        ),
+        bench!(
+            "milc",
+            L,
+            Stream { ws_blocks: 131072, filler: 2, store_every: 9 },
+            br(18, 0.005),
+            306
+        ),
+        bench!(
+            "zeusmp",
+            L,
+            Stream { ws_blocks: 65536, filler: 4, store_every: 8 },
+            br(20, 0.004),
+            307
+        ),
+        bench!(
+            "gemsfdtd",
+            L,
+            Stream { ws_blocks: 98304, filler: 2, store_every: 5 },
+            br(22, 0.003),
+            308
+        ),
+        bench!(
+            "cactusadm",
+            L,
+            Stream { ws_blocks: 65536, filler: 5, store_every: 7 },
+            br(24, 0.002),
+            309
+        ),
+        bench!(
+            "libquantum",
+            L,
+            BandwidthBurst { ws_blocks: 65536, burst: 5, filler: 2 },
+            br(30, 0.001),
+            310
+        ),
+        bench!(
+            "applu",
+            L,
+            Stream { ws_blocks: 20480, filler: 2, store_every: 8 },
+            br(20, 0.004),
+            311
+        ),
+        bench!(
+            "wupwise",
+            L,
+            Stream { ws_blocks: 49152, filler: 4, store_every: 0 },
+            br(22, 0.003),
+            312
+        ),
+        bench!(
+            "fma3d",
+            L,
+            Stream { ws_blocks: 49152, filler: 3, store_every: 6 },
+            br(18, 0.006),
+            313
+        ),
         // ---- L: huge pointer chasing (insensitive, latency-bound) ----------
         bench!("mcf", L, PointerChase { ws_blocks: 131072, filler: 2 }, br(11, 0.035), 320),
         bench!("mcf2000", L, PointerChase { ws_blocks: 98304, filler: 3 }, br(11, 0.03), 321),
         bench!("xalancbmk", L, PointerChase { ws_blocks: 49152, filler: 4 }, br(9, 0.04), 322),
-        bench!("soplex", L, RandomAccess { ws_blocks: 98304, mlp: 2, filler: 4 }, br(13, 0.02), 323),
+        bench!(
+            "soplex",
+            L,
+            RandomAccess { ws_blocks: 98304, mlp: 2, filler: 4 },
+            br(13, 0.02),
+            323
+        ),
         bench!("omnetpp2k", L, PointerChase { ws_blocks: 65536, filler: 3 }, br(10, 0.035), 324),
         // ---- L: store pressure ---------------------------------------------
-        bench!("vortex", L, Stream { ws_blocks: 65536, filler: 3, store_every: 5 }, br(12, 0.02), 330),
-        bench!("gap", L, Stream { ws_blocks: 98304, filler: 4, store_every: 5 }, br(14, 0.015), 331),
+        bench!(
+            "vortex",
+            L,
+            Stream { ws_blocks: 65536, filler: 3, store_every: 5 },
+            br(12, 0.02),
+            330
+        ),
+        bench!(
+            "gap",
+            L,
+            Stream { ws_blocks: 98304, filler: 4, store_every: 5 },
+            br(14, 0.015),
+            331
+        ),
         // ---- L: compute-bound ----------------------------------------------
-        bench!("wrf", L, Compute { ws_blocks: 512, load_every: 12, fp: true, chain_len: 4 }, br(20, 0.004), 340),
-        bench!("h264ref", L, Compute { ws_blocks: 768, load_every: 8, fp: false, chain_len: 3 }, br(9, 0.03), 341),
-        bench!("tonto", L, Compute { ws_blocks: 512, load_every: 10, fp: true, chain_len: 5 }, br(18, 0.006), 342),
-        bench!("crafty", L, Compute { ws_blocks: 384, load_every: 6, fp: false, chain_len: 2 }, br(7, 0.06), 343),
-        bench!("eon", L, Compute { ws_blocks: 256, load_every: 9, fp: true, chain_len: 3 }, br(12, 0.02), 344),
-        bench!("gzip", L, Compute { ws_blocks: 512, load_every: 7, fp: false, chain_len: 3 }, br(10, 0.025), 345),
-        bench!("mesa", L, Compute { ws_blocks: 384, load_every: 10, fp: true, chain_len: 4 }, br(14, 0.012), 346),
-        bench!("perlbmk", L, Compute { ws_blocks: 640, load_every: 6, fp: false, chain_len: 2 }, br(8, 0.05), 347),
-        bench!("sixtrack", L, Compute { ws_blocks: 256, load_every: 14, fp: true, chain_len: 6 }, br(22, 0.003), 348),
-        bench!("gcc2000", L, Compute { ws_blocks: 768, load_every: 5, fp: false, chain_len: 2 }, br(8, 0.045), 349),
-        bench!("gcc", L, Compute { ws_blocks: 1024, load_every: 5, fp: false, chain_len: 2 }, br(8, 0.05), 350),
-        bench!("gobmk", L, Compute { ws_blocks: 512, load_every: 7, fp: false, chain_len: 2 }, br(7, 0.065), 351),
-        bench!("sjeng", L, Compute { ws_blocks: 384, load_every: 8, fp: false, chain_len: 2 }, br(7, 0.06), 352),
-        bench!("namd", L, Compute { ws_blocks: 512, load_every: 11, fp: true, chain_len: 5 }, br(18, 0.005), 353),
-        bench!("calculix", L, Compute { ws_blocks: 384, load_every: 12, fp: true, chain_len: 5 }, br(20, 0.004), 354),
-        bench!("perlbench", L, Compute { ws_blocks: 768, load_every: 6, fp: false, chain_len: 2 }, br(9, 0.045), 355),
+        bench!(
+            "wrf",
+            L,
+            Compute { ws_blocks: 512, load_every: 12, fp: true, chain_len: 4 },
+            br(20, 0.004),
+            340
+        ),
+        bench!(
+            "h264ref",
+            L,
+            Compute { ws_blocks: 768, load_every: 8, fp: false, chain_len: 3 },
+            br(9, 0.03),
+            341
+        ),
+        bench!(
+            "tonto",
+            L,
+            Compute { ws_blocks: 512, load_every: 10, fp: true, chain_len: 5 },
+            br(18, 0.006),
+            342
+        ),
+        bench!(
+            "crafty",
+            L,
+            Compute { ws_blocks: 384, load_every: 6, fp: false, chain_len: 2 },
+            br(7, 0.06),
+            343
+        ),
+        bench!(
+            "eon",
+            L,
+            Compute { ws_blocks: 256, load_every: 9, fp: true, chain_len: 3 },
+            br(12, 0.02),
+            344
+        ),
+        bench!(
+            "gzip",
+            L,
+            Compute { ws_blocks: 512, load_every: 7, fp: false, chain_len: 3 },
+            br(10, 0.025),
+            345
+        ),
+        bench!(
+            "mesa",
+            L,
+            Compute { ws_blocks: 384, load_every: 10, fp: true, chain_len: 4 },
+            br(14, 0.012),
+            346
+        ),
+        bench!(
+            "perlbmk",
+            L,
+            Compute { ws_blocks: 640, load_every: 6, fp: false, chain_len: 2 },
+            br(8, 0.05),
+            347
+        ),
+        bench!(
+            "sixtrack",
+            L,
+            Compute { ws_blocks: 256, load_every: 14, fp: true, chain_len: 6 },
+            br(22, 0.003),
+            348
+        ),
+        bench!(
+            "gcc2000",
+            L,
+            Compute { ws_blocks: 768, load_every: 5, fp: false, chain_len: 2 },
+            br(8, 0.045),
+            349
+        ),
+        bench!(
+            "gcc",
+            L,
+            Compute { ws_blocks: 1024, load_every: 5, fp: false, chain_len: 2 },
+            br(8, 0.05),
+            350
+        ),
+        bench!(
+            "gobmk",
+            L,
+            Compute { ws_blocks: 512, load_every: 7, fp: false, chain_len: 2 },
+            br(7, 0.065),
+            351
+        ),
+        bench!(
+            "sjeng",
+            L,
+            Compute { ws_blocks: 384, load_every: 8, fp: false, chain_len: 2 },
+            br(7, 0.06),
+            352
+        ),
+        bench!(
+            "namd",
+            L,
+            Compute { ws_blocks: 512, load_every: 11, fp: true, chain_len: 5 },
+            br(18, 0.005),
+            353
+        ),
+        bench!(
+            "calculix",
+            L,
+            Compute { ws_blocks: 384, load_every: 12, fp: true, chain_len: 5 },
+            br(20, 0.004),
+            354
+        ),
+        bench!(
+            "perlbench",
+            L,
+            Compute { ws_blocks: 768, load_every: 6, fp: false, chain_len: 2 },
+            br(9, 0.045),
+            355
+        ),
     ]
 }
 

@@ -72,11 +72,7 @@ pub fn classify(bench: &Benchmark, cfg: &SimConfig, instrs: u64) -> LlcClass {
 /// Build streams for a list of benchmarks with disjoint per-core address
 /// spaces (base = core index << 36).
 pub fn streams_for(benchmarks: &[Benchmark]) -> Vec<InstrStream> {
-    benchmarks
-        .iter()
-        .enumerate()
-        .map(|(i, b)| b.stream((i as u64) << 36))
-        .collect()
+    benchmarks.iter().enumerate().map(|(i, b)| b.stream((i as u64) << 36)).collect()
 }
 
 #[cfg(test)]
@@ -126,8 +122,10 @@ mod tests {
         for b in crate::suite() {
             let r = profile_speedup(&b, &cfg, crate::profile::PROFILE_INSTRS);
             if r.class != b.class {
-                mismatches.push(format!("{}: intended {} measured {} ({:.3})",
-                    b.name, b.class, r.class, r.speedup));
+                mismatches.push(format!(
+                    "{}: intended {} measured {} ({:.3})",
+                    b.name, b.class, r.class, r.speedup
+                ));
             }
         }
         assert!(mismatches.is_empty(), "misclassified: {mismatches:#?}");

@@ -46,12 +46,7 @@ impl Workload {
 /// Sampling follows the paper: without replacement for 2-/4-core CMPs;
 /// for 8-core H/M workloads each benchmark may be used twice (the pool is
 /// duplicated before sampling).
-pub fn generate_workloads(
-    cores: usize,
-    class: LlcClass,
-    count: usize,
-    seed: u64,
-) -> Vec<Workload> {
+pub fn generate_workloads(cores: usize, class: LlcClass, count: usize, seed: u64) -> Vec<Workload> {
     let pool = by_class(class);
     assert!(!pool.is_empty());
     let mut rng = StdRng::seed_from_u64(seed ^ (cores as u64) << 8 ^ class_tag(class));
@@ -65,11 +60,7 @@ pub fn generate_workloads(
             };
             candidates.shuffle(&mut rng);
             let benchmarks = candidates.into_iter().take(cores).collect();
-            Workload {
-                name: format!("{cores}c-{class}-{i:02}"),
-                class: Some(class),
-                benchmarks,
-            }
+            Workload { name: format!("{cores}c-{class}-{i:02}"), class: Some(class), benchmarks }
         })
         .collect()
 }
@@ -108,18 +99,19 @@ impl MixPattern {
 /// Generate `count` 4-core mixed workloads for `pattern` (paper §VII-D:
 /// 10 workloads per mix).
 pub fn generate_mixed_workloads(pattern: MixPattern, count: usize, seed: u64) -> Vec<Workload> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xA1A1 ^ pattern.name().len() as u64
-        ^ (pattern.classes()[1] as u64) << 4
-        ^ (pattern.classes()[2] as u64) << 8);
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ 0xA1A1
+            ^ pattern.name().len() as u64
+            ^ (pattern.classes()[1] as u64) << 4
+            ^ (pattern.classes()[2] as u64) << 8,
+    );
     (0..count)
         .map(|i| {
             let mut benchmarks = Vec::with_capacity(4);
             let mut used: Vec<&'static str> = Vec::new();
             for class in pattern.classes() {
-                let pool: Vec<Benchmark> = by_class(class)
-                    .into_iter()
-                    .filter(|b| !used.contains(&b.name))
-                    .collect();
+                let pool: Vec<Benchmark> =
+                    by_class(class).into_iter().filter(|b| !used.contains(&b.name)).collect();
                 let pick = pool.choose(&mut rng).copied().expect("pool exhausted");
                 used.push(pick.name);
                 benchmarks.push(pick);

@@ -12,10 +12,16 @@ fn main() {
     for b in suite() {
         let r = profile_speedup(&b, &cfg, instrs);
         let ok = r.class == b.class;
-        if !ok { mismatches += 1; }
+        if !ok {
+            mismatches += 1;
+        }
         println!(
             "{:12} intended={} measured={} speedup={:.3} {}",
-            b.name, b.class, r.class, r.speedup, if ok { "" } else { "  <-- MISMATCH" }
+            b.name,
+            b.class,
+            r.class,
+            r.speedup,
+            if ok { "" } else { "  <-- MISMATCH" }
         );
     }
     println!("mismatches: {mismatches}/52");

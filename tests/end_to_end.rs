@@ -3,8 +3,7 @@
 //! the partitioning policies.
 
 use gdp::experiments::{
-    evaluate_workload_subset, run_policy_study, run_shared, ExperimentConfig, PolicyKind,
-    Technique,
+    evaluate_workload_subset, run_policy_study, run_shared, ExperimentConfig, PolicyKind, Technique,
 };
 use gdp::metrics::mean;
 use gdp::workloads::{by_name, paper_workloads, Workload};
@@ -67,10 +66,7 @@ fn transparent_techniques_do_not_perturb_the_run() {
     let a = run_shared(w, &x, &[Technique::Gdp]);
     let b = run_shared(w, &x, &[Technique::Itca, Technique::Ptca, Technique::GdpO]);
     assert_eq!(a.cycles, b.cycles, "observers must be performance-transparent");
-    assert_eq!(
-        a.final_stats[0].committed_instrs,
-        b.final_stats[0].committed_instrs
-    );
+    assert_eq!(a.final_stats[0].committed_instrs, b.final_stats[0].committed_instrs);
 }
 
 #[test]
@@ -80,10 +76,7 @@ fn asm_perturbs_the_run_it_measures() {
     let x = tiny_xcfg(2);
     let transparent = run_shared(w, &x, &[Technique::Gdp]);
     let invasive = run_shared(w, &x, &[Technique::Asm]);
-    assert_ne!(
-        transparent.cycles, invasive.cycles,
-        "ASM's priority rotation must perturb timing"
-    );
+    assert_ne!(transparent.cycles, invasive.cycles, "ASM's priority rotation must perturb timing");
 }
 
 #[test]

@@ -168,17 +168,13 @@ proptest! {
 /// The simulator's cycle taxonomy is complete for arbitrary benchmarks.
 #[test]
 fn cycle_taxonomy_is_complete_across_benchmarks() {
-    use gdp::sim::{System, SimConfig};
+    use gdp::sim::{SimConfig, System};
     for name in ["art", "mcf", "wrf", "libquantum", "vortex", "facerec"] {
         let b = gdp::workloads::by_name(name).unwrap();
         let mut sys = System::new(SimConfig::scaled(2), vec![b.stream(0)]);
         sys.run_cycles(15_000);
         sys.finalize();
         let s = sys.core_stats(0);
-        assert_eq!(
-            s.commit_cycles + s.stalls(),
-            s.cycles,
-            "{name}: taxonomy gap: {s:?}"
-        );
+        assert_eq!(s.commit_cycles + s.stalls(), s.cycles, "{name}: taxonomy gap: {s:?}");
     }
 }

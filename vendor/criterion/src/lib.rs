@@ -1,0 +1,257 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The build environment has no network access, so this crate vendors the
+//! subset of the criterion 0.5 API that `gdp-bench` uses: [`Criterion`]
+//! with `sample_size`/`measurement_time`/`warm_up_time`, `bench_function`,
+//! [`Bencher::iter`] and [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — wall-clock samples with a
+//! median/mean summary printed per benchmark, no statistical regression
+//! analysis or HTML reports. Swap the workspace dependency back to the
+//! real crate for publication-grade numbers.
+
+use std::time::{Duration, Instant};
+
+/// Hint the optimizer not to constant-fold `value` away.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How much setup output `iter_batched` should amortise per timing batch.
+///
+/// The stub times one routine call per batch regardless, so the variants
+/// only document intent; they match the real API for drop-in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; a fresh input per routine call is cheap.
+    SmallInput,
+    /// Setup output is large; prefer fewer, bigger batches.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Benchmark harness entry point: owns the measurement configuration and
+/// runs named benchmark functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run `f` as the benchmark `id` and print a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+}
+
+/// Passed to each benchmark closure; times the routine it is given.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Nanoseconds per routine call, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` called in a tight loop.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and discover a per-sample iteration count that makes one
+        // sample last roughly measurement_time / sample_size.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut calls = 0u64;
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            calls += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_call.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: a few setup+routine rounds.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let elapsed = start.elapsed().as_secs_f64();
+            black_box(out);
+            self.samples.push(elapsed * 1e9);
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<44} (no samples)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let n = self.samples.len();
+        let median = self.samples[n / 2];
+        let mean = self.samples.iter().sum::<f64>() / n as f64;
+        println!("{id:<44} median {:>12} mean {:>12} ({n} samples)", fmt_ns(median), fmt_ns(mean));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Benchmark group defined by `criterion_group!`.
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup_from_routine() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u64; 64], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn formatting_covers_magnitudes() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5.0e3).ends_with("µs"));
+        assert!(fmt_ns(5.0e6).ends_with("ms"));
+        assert!(fmt_ns(5.0e9).ends_with('s'));
+    }
+}

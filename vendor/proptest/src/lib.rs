@@ -1,0 +1,313 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no network access, so this crate vendors the
+//! subset of the proptest 1.x API that `tests/properties.rs` uses:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(...)]` header) generating one `#[test]` per
+//!   property,
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`],
+//! * range strategies (`0u64..4096`), tuple strategies and
+//!   [`collection::vec`].
+//!
+//! Cases are generated from a deterministic per-test seed, so failures
+//! reproduce exactly on re-run. There is **no shrinking**: a failing case
+//! reports the case index and message but not a minimised input. Swap the
+//! workspace dependency back to the real crate for shrinking support.
+
+use rand::rngs::StdRng;
+
+/// Strategy: a recipe for generating random values of one type.
+pub mod strategy {
+    use super::cases::CaseRng;
+    use core::ops::Range;
+    use rand::Rng;
+
+    /// A value generator, the stub's analogue of `proptest::Strategy`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut CaseRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut CaseRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, f64);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn sample(&self, rng: &mut CaseRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn sample(&self, rng: &mut CaseRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+}
+
+/// Collection strategies ([`vec`](collection::vec)).
+pub mod collection {
+    use super::cases::CaseRng;
+    use super::strategy::Strategy;
+    use core::ops::Range;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generate vectors of `elem` values with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut CaseRng) -> Self::Value {
+            let len = rng.0.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic case generation driving each property.
+pub mod cases {
+    use super::prelude::ProptestConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-case random source handed to strategies.
+    pub struct CaseRng(pub StdRng);
+
+    /// Runs a property closure over `config.cases` deterministic cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Build a runner for `config`.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Run `property` once per case; panic (failing the enclosing
+        /// `#[test]`) on the first case whose closure returns `Err`.
+        pub fn run_cases<F>(&mut self, test_name: &str, mut property: F)
+        where
+            F: FnMut(&mut CaseRng) -> Result<(), String>,
+        {
+            for case in 0..self.config.cases {
+                let seed = fnv1a(test_name) ^ (0xC0FF_EE00 + case as u64);
+                let mut rng = CaseRng(StdRng::seed_from_u64(seed));
+                if let Err(msg) = property(&mut rng) {
+                    panic!("property failed at case {case}/{}: {msg}", self.config.cases);
+                }
+            }
+        }
+    }
+
+    /// FNV-1a over the test name: stable per-test seed base.
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Everything `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Runner configuration (only the case count is modelled).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; the stub keeps CI latency low.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+// Re-exported so the macro-generated code can name them via `$crate`.
+#[doc(hidden)]
+pub use cases::{CaseRng, TestRunner};
+#[doc(hidden)]
+pub use prelude::ProptestConfig;
+#[doc(hidden)]
+pub use strategy::Strategy;
+#[doc(hidden)]
+pub type __StdRng = StdRng;
+
+/// Define property tests: each `fn name(binders in strategies) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($binder:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($config);
+            runner.run_cases(stringify!($name), |__case_rng| {
+                $(let $binder = $crate::Strategy::sample(&($strat), __case_rng);)*
+                #[allow(clippy::redundant_closure_call)]
+                (|| -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+}
+
+/// `assert!` that fails the current case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {:?} != {:?}", l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            // No shrinking/resampling in the stub: an unmet assumption
+            // simply passes the case.
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(0u64..100, 3..10)) {
+            prop_assert!(v.len() >= 3 && v.len() < 10, "len {}", v.len());
+            prop_assert!(v.iter().all(|x| *x < 100));
+        }
+
+        #[test]
+        fn tuples_sample_componentwise(pairs in crate::collection::vec((0u64..4, 10u8..12), 1..50)) {
+            for (a, b) in pairs {
+                prop_assert!(a < 4);
+                prop_assert!((10..12).contains(&b));
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed at case")]
+    fn failures_report_the_case() {
+        let mut runner = crate::TestRunner::new(ProptestConfig::with_cases(4));
+        runner.run_cases("always_fails", |_| Err("boom".into()));
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test_name() {
+        use crate::Strategy;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (out, _) in [(&mut a, 0), (&mut b, 1)] {
+            let mut runner = crate::TestRunner::new(ProptestConfig::with_cases(8));
+            runner.run_cases("same_name", |rng| {
+                out.push((0u64..1_000_000).sample(rng));
+                Ok(())
+            });
+        }
+        assert_eq!(a, b);
+    }
+}
