@@ -4,13 +4,21 @@
 //! stall-cycle estimates, for ITCA / PTCA / ASM / GDP / GDP-O across the
 //! 2-, 4- and 8-core CMPs and the H/M/L workload categories.
 
-use gdp_bench::{accuracy_cell, banner, Scale};
+use gdp_bench::{
+    accuracy_sweep, aggregate, all_cells, banner, cell_accuracy_json, sweep_job_count, BenchArgs,
+};
 use gdp_experiments::Technique;
-use gdp_workloads::LlcClass;
+use gdp_runner::{Json, Progress};
 
 fn main() {
-    let scale = Scale::from_args();
-    banner("Figure 3: average private-mode prediction accuracy", scale);
+    let args = BenchArgs::parse("fig3");
+    banner("Figure 3: average private-mode prediction accuracy", args.scale);
+
+    let cells = all_cells();
+    let job_count = sweep_job_count(&cells, args.scale, &Technique::ALL);
+    let campaign = args.campaign();
+    let progress = Progress::new(args.bin, job_count);
+    let sweep = accuracy_sweep(&cells, args.scale, &Technique::ALL, &args.pool(), &progress);
 
     let header = {
         let mut h = format!("{:8}", "cell");
@@ -22,20 +30,19 @@ fn main() {
 
     let mut ipc_rows = Vec::new();
     let mut stall_rows = Vec::new();
-    for cores in [2usize, 4, 8] {
-        for class in [LlcClass::H, LlcClass::M, LlcClass::L] {
-            let cell = accuracy_cell(cores, class, scale);
-            let label = format!("{cores}c-{class}");
-            let mut ipc_row = format!("{label:8}");
-            let mut stall_row = format!("{label:8}");
-            for t in 0..Technique::ALL.len() {
-                ipc_row += &format!(" {:>12.4}", cell.ipc_rms[t]);
-                stall_row += &format!(" {:>12.0}", cell.stall_rms[t]);
-            }
-            ipc_rows.push(ipc_row);
-            stall_rows.push(stall_row);
-            eprintln!("[fig3] finished {label}");
+    let mut data_cells = Vec::new();
+    for (cell, results) in cells.iter().zip(&sweep) {
+        let agg = aggregate(results);
+        let label = cell.label();
+        let mut ipc_row = format!("{label:8}");
+        let mut stall_row = format!("{label:8}");
+        for t in 0..Technique::ALL.len() {
+            ipc_row += &format!(" {:>12.4}", agg.ipc_rms[t]);
+            stall_row += &format!(" {:>12.0}", agg.stall_rms[t]);
         }
+        ipc_rows.push(ipc_row);
+        stall_rows.push(stall_row);
+        data_cells.push(cell_accuracy_json(&label, &agg));
     }
 
     println!("\n(a) IPC estimate, average absolute RMS error");
@@ -52,4 +59,7 @@ fn main() {
         "\nPaper reference (Fig. 3): GDP and GDP-O lowest in nearly every cell; \
          ITCA/PTCA/ASM errors grow with core count, ASM catastrophically on 8c-L."
     );
+
+    let data = Json::obj(vec![("cells", Json::Arr(data_cells))]);
+    args.write_json(&campaign, job_count, data);
 }

@@ -2,20 +2,30 @@
 //! predictions — all workload categories combined, errors sorted
 //! ascending per technique (one series per CMP size).
 
-use gdp_bench::{banner, class_workloads, Scale};
-use gdp_experiments::{evaluate_workload, Technique};
-use gdp_workloads::LlcClass;
+use gdp_bench::{accuracy_sweep, all_cells, banner, sweep_job_count, BenchArgs};
+use gdp_experiments::Technique;
+use gdp_runner::{Json, Progress};
 
 fn main() {
-    let scale = Scale::from_args();
-    banner("Figure 4: sorted SMS-stall RMS error distributions", scale);
+    let args = BenchArgs::parse("fig4");
+    banner("Figure 4: sorted SMS-stall RMS error distributions", args.scale);
 
+    // One flattened campaign over all nine cells; regrouped by CMP size
+    // below (classes are combined per the figure).
+    let cells = all_cells();
+    let job_count = sweep_job_count(&cells, args.scale, &Technique::ALL);
+    let campaign = args.campaign();
+    let progress = Progress::new(args.bin, job_count);
+    let sweep = accuracy_sweep(&cells, args.scale, &Technique::ALL, &args.pool(), &progress);
+
+    let mut data_sizes = Vec::new();
     for cores in [2usize, 4, 8] {
-        let xcfg = scale.xcfg(cores);
         let mut per_tech: Vec<Vec<f64>> = vec![Vec::new(); Technique::ALL.len()];
-        for class in [LlcClass::H, LlcClass::M, LlcClass::L] {
-            for w in class_workloads(cores, class, scale) {
-                let r = evaluate_workload(&w, &xcfg);
+        for (cell, results) in cells.iter().zip(&sweep) {
+            if cell.cores != cores {
+                continue;
+            }
+            for r in results {
                 for b in &r.benches {
                     for t in 0..Technique::ALL.len() {
                         if !b.stall_err[t].is_empty() {
@@ -37,22 +47,45 @@ fn main() {
         }
         println!();
         // Print deciles rather than every point (the full series is long).
+        let mut decile_rows: Vec<Vec<f64>> = vec![Vec::new(); Technique::ALL.len()];
         for decile in 0..=10 {
             let idx = if n == 0 { 0 } else { ((n - 1) * decile) / 10 };
             print!("{:>5}%", decile * 10);
-            for v in &per_tech {
+            for (t, v) in per_tech.iter().enumerate() {
                 if v.is_empty() {
                     print!(" {:>12}", "-");
                 } else {
                     print!(" {:>12.0}", v[idx]);
+                    decile_rows[t].push(v[idx]);
                 }
             }
             println!();
         }
-        eprintln!("[fig4] finished {cores}-core");
+        data_sizes.push(Json::obj(vec![
+            ("cores", Json::from(cores)),
+            ("benchmarks", Json::from(n)),
+            (
+                "stall_rms_deciles",
+                Json::Obj(
+                    Technique::ALL
+                        .iter()
+                        .zip(&decile_rows)
+                        .map(|(t, row)| {
+                            (
+                                t.name().to_string(),
+                                Json::Arr(row.iter().map(|&x| Json::from(x)).collect()),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
     }
     println!(
         "\nPaper reference (Fig. 4): GDP and GDP-O curves sit below ITCA/PTCA/ASM \
          across the distribution for every CMP size."
     );
+
+    let data = Json::obj(vec![("cmp_sizes", Json::Arr(data_sizes))]);
+    args.write_json(&campaign, job_count, data);
 }

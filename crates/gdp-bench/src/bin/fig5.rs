@@ -2,9 +2,12 @@
 //! components — (a) CPL, (b) overlap, (c) DIEF private latency — reported
 //! as five-number summaries (the paper uses violin plots).
 
-use gdp_bench::{accuracy_cell, banner, Scale};
+use gdp_bench::{
+    accuracy_sweep, aggregate, all_cells, banner, cell_accuracy_json, sweep_job_count, BenchArgs,
+};
+use gdp_experiments::Technique;
 use gdp_metrics::Summary;
-use gdp_workloads::LlcClass;
+use gdp_runner::{Json, Progress};
 
 fn print_summary(label: &str, s: &Summary) {
     println!(
@@ -14,21 +17,26 @@ fn print_summary(label: &str, s: &Summary) {
 }
 
 fn main() {
-    let scale = Scale::from_args();
-    banner("Figure 5: GDP/GDP-O component error distributions", scale);
+    let args = BenchArgs::parse("fig5");
+    banner("Figure 5: GDP/GDP-O component error distributions", args.scale);
+
+    let cells = all_cells();
+    let job_count = sweep_job_count(&cells, args.scale, &Technique::ALL);
+    let campaign = args.campaign();
+    let progress = Progress::new(args.bin, job_count);
+    let sweep = accuracy_sweep(&cells, args.scale, &Technique::ALL, &args.pool(), &progress);
 
     let mut cpl: Vec<(String, Summary)> = Vec::new();
     let mut overlap: Vec<(String, Summary)> = Vec::new();
     let mut lambda: Vec<(String, Summary)> = Vec::new();
-    for cores in [2usize, 4, 8] {
-        for class in [LlcClass::H, LlcClass::M, LlcClass::L] {
-            let cell = accuracy_cell(cores, class, scale);
-            let label = format!("{cores}c-{class}");
-            cpl.push((label.clone(), Summary::of(&cell.cpl_rel)));
-            overlap.push((label.clone(), Summary::of(&cell.overlap_rel)));
-            lambda.push((label.clone(), Summary::of(&cell.lambda_rel)));
-            eprintln!("[fig5] finished {label}");
-        }
+    let mut data_cells = Vec::new();
+    for (cell, results) in cells.iter().zip(&sweep) {
+        let agg = aggregate(results);
+        let label = cell.label();
+        cpl.push((label.clone(), Summary::of(&agg.cpl_rel)));
+        overlap.push((label.clone(), Summary::of(&agg.overlap_rel)));
+        lambda.push((label.clone(), Summary::of(&agg.lambda_rel)));
+        data_cells.push(cell_accuracy_json(&label, &agg));
     }
 
     println!("\n(a) CPL estimate, relative RMS error distribution");
@@ -48,4 +56,7 @@ fn main() {
          outlier clusters; overlap errors can be large for L-workloads without harming \
          IPC accuracy; latency medians ≤ 31%."
     );
+
+    let data = Json::obj(vec![("cells", Json::Arr(data_cells))]);
+    args.write_json(&campaign, job_count, data);
 }

@@ -2,14 +2,43 @@
 //! LRU / UCP / ASM / MCP / MCP-O per (CMP size, workload class); (b) STP
 //! relative to LRU for every 8-core H-workload.
 
-use gdp_bench::{banner, class_workloads, Scale};
-use gdp_experiments::{run_policy_study, PolicyKind};
+use gdp_bench::{all_cells, banner, class_workloads, BenchArgs};
+use gdp_experiments::{run_policy_study, ExperimentConfig, PolicyKind};
 use gdp_metrics::mean;
-use gdp_workloads::LlcClass;
+use gdp_runner::{Json, Progress};
+use gdp_workloads::{LlcClass, Workload};
 
 fn main() {
-    let scale = Scale::from_args();
-    banner("Figure 6: system throughput with LLC partitioning", scale);
+    let args = BenchArgs::parse("fig6");
+    banner("Figure 6: system throughput with LLC partitioning", args.scale);
+
+    // Flatten to one job per (cell, workload): each runs the full policy
+    // study (all five LLC managers plus the private reference runs).
+    let cells = all_cells();
+    let prep: Vec<(ExperimentConfig, Vec<Workload>)> = cells
+        .iter()
+        .map(|c| (args.scale.xcfg(c.cores), class_workloads(c.cores, c.class, args.scale)))
+        .collect();
+    let job_count: usize = prep.iter().map(|(_, ws)| ws.len()).sum();
+    let campaign = args.campaign();
+    let progress = Progress::new(args.bin, job_count);
+
+    let jobs: Vec<_> = cells
+        .iter()
+        .zip(&prep)
+        .flat_map(|(cell, (xcfg, workloads))| {
+            let progress = &progress;
+            workloads.iter().map(move |w| {
+                let label = format!("{}/{}", cell.label(), w.name);
+                move || {
+                    let out = run_policy_study(w, xcfg, &PolicyKind::ALL);
+                    progress.finish_item(&label);
+                    out
+                }
+            })
+        })
+        .collect();
+    let mut outcomes = args.pool().run(jobs).into_iter();
 
     // ---- (a) average STP per (cores, class) ----
     println!("\n(a) average STP");
@@ -19,27 +48,36 @@ fn main() {
     }
     println!();
     let mut eight_core_h: Vec<(String, Vec<f64>)> = Vec::new();
-    for cores in [2usize, 4, 8] {
-        let xcfg = scale.xcfg(cores);
-        for class in [LlcClass::H, LlcClass::M, LlcClass::L] {
-            let workloads = class_workloads(cores, class, scale);
-            let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); PolicyKind::ALL.len()];
-            for w in &workloads {
-                let out = run_policy_study(w, &xcfg, &PolicyKind::ALL);
-                for (i, o) in out.iter().enumerate() {
-                    per_policy[i].push(o.stp);
-                }
-                if cores == 8 && class == LlcClass::H {
-                    eight_core_h.push((w.name.clone(), out.iter().map(|o| o.stp).collect()));
-                }
+    let mut data_cells = Vec::new();
+    for (cell, (_, workloads)) in cells.iter().zip(&prep) {
+        let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); PolicyKind::ALL.len()];
+        for w in workloads {
+            let out = outcomes.next().expect("one outcome per workload");
+            for (i, o) in out.iter().enumerate() {
+                per_policy[i].push(o.stp);
             }
-            print!("{:8}", format!("{cores}c-{class}"));
-            for v in &per_policy {
-                print!(" {:>8.3}", mean(v));
+            if cell.cores == 8 && cell.class == LlcClass::H {
+                eight_core_h.push((w.name.clone(), out.iter().map(|o| o.stp).collect()));
             }
-            println!();
-            eprintln!("[fig6] finished {cores}c-{class}");
         }
+        print!("{:8}", cell.label());
+        for v in &per_policy {
+            print!(" {:>8.3}", mean(v));
+        }
+        println!();
+        data_cells.push(Json::obj(vec![
+            ("cell", Json::from(cell.label())),
+            (
+                "avg_stp",
+                Json::Obj(
+                    PolicyKind::ALL
+                        .iter()
+                        .zip(&per_policy)
+                        .map(|(p, v)| (p.name().to_string(), Json::from(mean(v))))
+                        .collect(),
+                ),
+            ),
+        ]));
     }
 
     // ---- (b) 8-core H workloads relative to LRU ----
@@ -49,6 +87,7 @@ fn main() {
         print!(" {:>8}", p.name());
     }
     println!();
+    let mut data_8ch = Vec::new();
     for (name, stps) in &eight_core_h {
         let lru = stps[0].max(1e-9);
         print!("{name:12}");
@@ -56,10 +95,29 @@ fn main() {
             print!(" {:>8.3}", s / lru);
         }
         println!();
+        data_8ch.push(Json::obj(vec![
+            ("workload", Json::from(name.as_str())),
+            (
+                "stp_vs_lru",
+                Json::Obj(
+                    PolicyKind::ALL
+                        .iter()
+                        .zip(stps)
+                        .map(|(p, s)| (p.name().to_string(), Json::from(s / lru)))
+                        .collect(),
+                ),
+            ),
+        ]));
     }
     println!(
         "\nPaper reference (Fig. 6): MCP and MCP-O are the top performers on the 4- \
          and 8-core CMPs (8c-H: +11%/+34%/+52% vs LRU/UCP/ASM); all policies tie on \
          the 2-core CMP where contention is limited."
     );
+
+    let data = Json::obj(vec![
+        ("cells", Json::Arr(data_cells)),
+        ("eight_core_h_vs_lru", Json::Arr(data_8ch)),
+    ]);
+    args.write_json(&campaign, job_count, data);
 }

@@ -3,119 +3,220 @@
 //! (b) LLC associativity, (c) DDR2 channel count, (d) DRAM interface,
 //! (e) PRB entries, and (f) mixed H/M/L workloads.
 
-use gdp_bench::{banner, class_workloads, Scale, SWEEP_SEED};
+use gdp_bench::{banner, class_workloads, BenchArgs, Scale, SWEEP_SEED};
 use gdp_experiments::{evaluate_workload_subset, ExperimentConfig, Technique};
 use gdp_metrics::mean;
+use gdp_runner::{Json, Progress};
 use gdp_sim::DramConfig;
 use gdp_workloads::{generate_mixed_workloads, LlcClass, MixPattern, Workload};
 
-/// GDP-O average IPC RMS error over one class of workloads under `xcfg`.
-fn gdpo_error(workloads: &[Workload], xcfg: &ExperimentConfig) -> f64 {
-    let mut errs = Vec::new();
-    for w in workloads {
-        let r = evaluate_workload_subset(w, xcfg, &[Technique::GdpO]);
-        for b in &r.benches {
-            let i = Technique::ALL.iter().position(|t| *t == Technique::GdpO).unwrap();
-            if !b.ipc_err[i].is_empty() {
-                errs.push(b.ipc_err[i].rms_abs());
-            }
-        }
-    }
-    mean(&errs)
+type Tweak = Box<dyn Fn(&mut ExperimentConfig) + Send + Sync>;
+
+/// One sensitivity sweep: a titled list of configuration variants.
+struct Sweep {
+    title: &'static str,
+    variants: Vec<(&'static str, Tweak)>,
+}
+
+fn sweeps() -> Vec<Sweep> {
+    vec![
+        // (a) LLC size (scaled analogues of the paper's 4/8/16 MB).
+        Sweep {
+            title: "(a) LLC size (scaled: 512 KB / 1 MB / 2 MB)",
+            variants: vec![
+                ("512KB", Box::new(|x: &mut ExperimentConfig| x.sim.llc.size_bytes = 512 << 10)),
+                ("1MB", Box::new(|_| {})),
+                ("2MB", Box::new(|x: &mut ExperimentConfig| x.sim.llc.size_bytes = 2 << 20)),
+            ],
+        },
+        Sweep {
+            title: "(b) LLC associativity",
+            variants: vec![
+                ("16", Box::new(|_| {})),
+                ("32", Box::new(|x: &mut ExperimentConfig| x.sim.llc.ways = 32)),
+                ("64", Box::new(|x: &mut ExperimentConfig| x.sim.llc.ways = 64)),
+            ],
+        },
+        Sweep {
+            title: "(c) DDR2 channels",
+            variants: vec![
+                ("1", Box::new(|_| {})),
+                ("2", Box::new(|x: &mut ExperimentConfig| x.sim.dram = DramConfig::ddr2_800(2))),
+                ("4", Box::new(|x: &mut ExperimentConfig| x.sim.dram = DramConfig::ddr2_800(4))),
+            ],
+        },
+        Sweep {
+            title: "(d) DRAM interface",
+            variants: vec![
+                ("DDR2", Box::new(|_| {})),
+                (
+                    "DDR4",
+                    Box::new(|x: &mut ExperimentConfig| x.sim.dram = DramConfig::ddr4_2666(1)),
+                ),
+            ],
+        },
+        Sweep {
+            title: "(e) PRB entries",
+            variants: vec![
+                ("8", Box::new(|x: &mut ExperimentConfig| x.prb_entries = 8)),
+                ("16", Box::new(|x: &mut ExperimentConfig| x.prb_entries = 16)),
+                ("32", Box::new(|_| {})),
+                ("64", Box::new(|x: &mut ExperimentConfig| x.prb_entries = 64)),
+                ("1024", Box::new(|x: &mut ExperimentConfig| x.prb_entries = 1024)),
+            ],
+        },
+    ]
 }
 
 fn classes() -> [LlcClass; 3] {
     [LlcClass::H, LlcClass::M, LlcClass::L]
 }
 
-fn sweep(title: &str, scale: Scale, variants: &[(&str, Box<dyn Fn(&mut ExperimentConfig)>)]) {
-    println!("\n{title}");
-    print!("{:8}", "class");
-    for (label, _) in variants {
-        print!(" {:>10}", label);
-    }
-    println!();
-    for class in classes() {
-        let workloads = class_workloads(4, class, scale);
-        print!("4c-{class:6}");
-        for (_, tweak) in variants {
-            let mut xcfg = scale.xcfg(4);
-            tweak(&mut xcfg);
-            print!(" {:>10.4}", gdpo_error(&workloads, &xcfg));
-        }
-        println!();
-        eprintln!("[fig7] {title}: finished {class}");
-    }
+/// GDP-O per-benchmark absolute RMS IPC errors of one workload.
+fn gdpo_errors(w: &Workload, xcfg: &ExperimentConfig) -> Vec<f64> {
+    let i = Technique::ALL.iter().position(|t| *t == Technique::GdpO).unwrap();
+    evaluate_workload_subset(w, xcfg, &[Technique::GdpO])
+        .benches
+        .iter()
+        .filter(|b| !b.ipc_err[i].is_empty())
+        .map(|b| b.ipc_err[i].rms_abs())
+        .collect()
 }
 
 fn main() {
-    let scale = Scale::from_args();
-    banner("Figure 7: GDP-O sensitivity analysis (4-core)", scale);
+    let args = BenchArgs::parse("fig7");
+    banner("Figure 7: GDP-O sensitivity analysis (4-core)", args.scale);
 
-    // (a) LLC size (scaled analogues of the paper's 4/8/16 MB).
-    sweep(
-        "(a) LLC size (scaled: 512 KB / 1 MB / 2 MB)",
-        scale,
-        &[
-            ("512KB", Box::new(|x: &mut ExperimentConfig| x.sim.llc.size_bytes = 512 << 10)),
-            ("1MB", Box::new(|_| {})),
-            ("2MB", Box::new(|x: &mut ExperimentConfig| x.sim.llc.size_bytes = 2 << 20)),
-        ],
-    );
+    let sweeps = sweeps();
+    let per_class: Vec<(LlcClass, Vec<Workload>)> =
+        classes().iter().map(|&c| (c, class_workloads(4, c, args.scale))).collect();
+    let mix_count = if args.scale == Scale::Full { 10 } else { 3 };
+    let mixes: Vec<(MixPattern, Vec<Workload>)> =
+        [MixPattern::Hhml, MixPattern::Hmml, MixPattern::Hmll]
+            .iter()
+            .map(|&p| (p, generate_mixed_workloads(p, mix_count, SWEEP_SEED)))
+            .collect();
 
-    // (b) LLC associativity.
-    sweep(
-        "(b) LLC associativity",
-        scale,
-        &[
-            ("16", Box::new(|_| {})),
-            ("32", Box::new(|x: &mut ExperimentConfig| x.sim.llc.ways = 32)),
-            ("64", Box::new(|x: &mut ExperimentConfig| x.sim.llc.ways = 64)),
-        ],
-    );
+    // Tweaked configurations, one per (sweep, variant).
+    let variant_cfgs: Vec<Vec<ExperimentConfig>> = sweeps
+        .iter()
+        .map(|s| {
+            s.variants
+                .iter()
+                .map(|(_, tweak)| {
+                    let mut xcfg = args.scale.xcfg(4);
+                    tweak(&mut xcfg);
+                    xcfg
+                })
+                .collect()
+        })
+        .collect();
+    let base_cfg = args.scale.xcfg(4);
 
-    // (c) DDR2 channels.
-    sweep(
-        "(c) DDR2 channels",
-        scale,
-        &[
-            ("1", Box::new(|_| {})),
-            ("2", Box::new(|x: &mut ExperimentConfig| x.sim.dram = DramConfig::ddr2_800(2))),
-            ("4", Box::new(|x: &mut ExperimentConfig| x.sim.dram = DramConfig::ddr2_800(4))),
-        ],
-    );
+    // Flatten (sweep × variant × class × workload) plus the mixed
+    // workloads into one job list; every job returns per-bench errors.
+    let workloads_total: usize = per_class.iter().map(|(_, ws)| ws.len()).sum();
+    let variants_total: usize = sweeps.iter().map(|s| s.variants.len()).sum();
+    let job_count =
+        variants_total * workloads_total + mixes.iter().map(|(_, ws)| ws.len()).sum::<usize>();
+    let campaign = args.campaign();
+    let progress = Progress::new(args.bin, job_count);
 
-    // (d) DRAM interface.
-    sweep(
-        "(d) DRAM interface",
-        scale,
-        &[
-            ("DDR2", Box::new(|_| {})),
-            ("DDR4", Box::new(|x: &mut ExperimentConfig| x.sim.dram = DramConfig::ddr4_2666(1))),
-        ],
-    );
+    type Job<'a> = Box<dyn FnOnce() -> Vec<f64> + Send + 'a>;
+    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(job_count);
+    for (sweep, cfgs) in sweeps.iter().zip(&variant_cfgs) {
+        for ((vlabel, _), xcfg) in sweep.variants.iter().zip(cfgs) {
+            for (class, workloads) in &per_class {
+                for w in workloads {
+                    let label = format!("{}={vlabel} 4c-{class} {}", sweep.title, w.name);
+                    let progress = &progress;
+                    jobs.push(Box::new(move || {
+                        let e = gdpo_errors(w, xcfg);
+                        progress.finish_item(&label);
+                        e
+                    }));
+                }
+            }
+        }
+    }
+    for (pat, workloads) in &mixes {
+        for w in workloads {
+            let label = format!("mix {} {}", pat.name(), w.name);
+            let progress = &progress;
+            let base_cfg = &base_cfg;
+            jobs.push(Box::new(move || {
+                let e = gdpo_errors(w, base_cfg);
+                progress.finish_item(&label);
+                e
+            }));
+        }
+    }
+    let mut results = args.pool().run(jobs).into_iter();
 
-    // (e) PRB entries.
-    sweep(
-        "(e) PRB entries",
-        scale,
-        &[
-            ("8", Box::new(|x: &mut ExperimentConfig| x.prb_entries = 8)),
-            ("16", Box::new(|x: &mut ExperimentConfig| x.prb_entries = 16)),
-            ("32", Box::new(|_| {})),
-            ("64", Box::new(|x: &mut ExperimentConfig| x.prb_entries = 64)),
-            ("1024", Box::new(|x: &mut ExperimentConfig| x.prb_entries = 1024)),
-        ],
-    );
+    // ---- reassemble in job order ----
+    let mut data_sweeps = Vec::new();
+    for sweep in &sweeps {
+        // errors[variant][class] = mean over the class's per-bench errors.
+        let mut table: Vec<Vec<f64>> = Vec::new();
+        for _ in &sweep.variants {
+            let mut per_class_means = Vec::new();
+            for (_, workloads) in &per_class {
+                let mut errs = Vec::new();
+                for _ in workloads {
+                    errs.extend(results.next().expect("one result per workload"));
+                }
+                per_class_means.push(mean(&errs));
+            }
+            table.push(per_class_means);
+        }
+
+        println!("\n{}", sweep.title);
+        print!("{:8}", "class");
+        for (label, _) in &sweep.variants {
+            print!(" {:>10}", label);
+        }
+        println!();
+        let mut data_rows = Vec::new();
+        for (ci, (class, _)) in per_class.iter().enumerate() {
+            print!("4c-{class:6}");
+            for row in &table {
+                print!(" {:>10.4}", row[ci]);
+            }
+            println!();
+            data_rows.push(Json::obj(vec![
+                ("class", Json::from(format!("{class}"))),
+                (
+                    "gdpo_ipc_rms",
+                    Json::Obj(
+                        sweep
+                            .variants
+                            .iter()
+                            .zip(&table)
+                            .map(|((label, _), row)| (label.to_string(), Json::from(row[ci])))
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+        data_sweeps.push(Json::obj(vec![
+            ("title", Json::from(sweep.title)),
+            ("rows", Json::Arr(data_rows)),
+        ]));
+    }
 
     // (f) Mixed workloads.
     println!("\n(f) mixed workloads (GDP-O avg abs RMS IPC error)");
-    let count = if scale == Scale::Full { 10 } else { 3 };
-    let xcfg = scale.xcfg(4);
-    for pat in [MixPattern::Hhml, MixPattern::Hmml, MixPattern::Hmll] {
-        let ws = generate_mixed_workloads(pat, count, SWEEP_SEED);
-        println!("4c-{:6} {:>10.4}", pat.name(), gdpo_error(&ws, &xcfg));
-        eprintln!("[fig7] mixes: finished {}", pat.name());
+    let mut data_mixes = Vec::new();
+    for (pat, workloads) in &mixes {
+        let mut errs = Vec::new();
+        for _ in workloads {
+            errs.extend(results.next().expect("one result per mixed workload"));
+        }
+        println!("4c-{:6} {:>10.4}", pat.name(), mean(&errs));
+        data_mixes.push(Json::obj(vec![
+            ("pattern", Json::from(pat.name())),
+            ("gdpo_ipc_rms", Json::from(mean(&errs))),
+        ]));
     }
 
     println!(
@@ -123,4 +224,8 @@ fn main() {
          parameters; H-workloads need ≥32 PRB entries; error shrinks or stays flat \
          as resources grow."
     );
+
+    let data =
+        Json::obj(vec![("sweeps", Json::Arr(data_sweeps)), ("mixes", Json::Arr(data_mixes))]);
+    args.write_json(&campaign, job_count, data);
 }

@@ -7,30 +7,72 @@
 //! * MCP improves average STP by 11.9% / 20.8% over ASM partitioning;
 //! * ASM's invasive accounting slowed individual processes by up to 57%.
 
-use gdp_bench::{banner, class_workloads, Scale};
-use gdp_experiments::{evaluate_workload, run_policy_study, PolicyKind, Technique};
+use gdp_bench::{accuracy_sweep, banner, class_workloads, sweep_job_count, BenchArgs, SweepCell};
+use gdp_experiments::{run_policy_study, ExperimentConfig, PolicyKind, Technique};
 use gdp_metrics::mean;
-use gdp_workloads::LlcClass;
+use gdp_runner::{Json, Progress};
+use gdp_workloads::{LlcClass, Workload};
 
 fn tech_idx(t: Technique) -> usize {
     Technique::ALL.iter().position(|x| *x == t).unwrap()
 }
 
 fn main() {
-    let scale = Scale::from_args();
-    banner("Headline numbers (paper §I / §VII)", scale);
+    let args = BenchArgs::parse("headline");
+    banner("Headline numbers (paper §I / §VII)", args.scale);
 
+    let cells: Vec<SweepCell> = [4usize, 8]
+        .iter()
+        .flat_map(|&cores| {
+            [LlcClass::H, LlcClass::M, LlcClass::L]
+                .iter()
+                .map(move |&class| SweepCell { cores, class })
+        })
+        .collect();
+    let prep: Vec<(ExperimentConfig, Vec<Workload>)> = cells
+        .iter()
+        .map(|c| (args.scale.xcfg(c.cores), class_workloads(c.cores, c.class, args.scale)))
+        .collect();
+    let stp_jobs: usize = prep.iter().map(|(_, ws)| ws.len()).sum();
+    let job_count = sweep_job_count(&cells, args.scale, &Technique::ALL) + stp_jobs;
+    let campaign = args.campaign();
+    let progress = Progress::new(args.bin, job_count);
+    let pool = args.pool();
+
+    // Phase 1: the accuracy campaign over both CMP sizes.
+    let sweep = accuracy_sweep(&cells, args.scale, &Technique::ALL, &pool, &progress);
+
+    // Phase 2: the MCP-vs-ASM STP study, one job per workload.
+    let policy_jobs: Vec<_> = cells
+        .iter()
+        .zip(&prep)
+        .flat_map(|(cell, (xcfg, workloads))| {
+            let progress = &progress;
+            workloads.iter().map(move |w| {
+                let label = format!("{}/{} STP", cell.label(), w.name);
+                move || {
+                    let out = run_policy_study(w, xcfg, &[PolicyKind::AsmPart, PolicyKind::Mcp]);
+                    progress.finish_item(&label);
+                    out
+                }
+            })
+        })
+        .collect();
+    let mut policy_outcomes = pool.run(policy_jobs).into_iter();
+
+    let mut data_sizes = Vec::new();
     for cores in [4usize, 8] {
-        let xcfg = scale.xcfg(cores);
         let mut rel_ipc_gdp = Vec::new();
         let mut ipc_gdp = Vec::new();
         let mut ipc_asm = Vec::new();
         let mut stall_gdp = Vec::new();
         let mut stall_gdpo = Vec::new();
         let mut worst_slowdown = 1.0f64;
-        for class in [LlcClass::H, LlcClass::M, LlcClass::L] {
-            for w in class_workloads(cores, class, scale) {
-                let r = evaluate_workload(&w, &xcfg);
+        for (cell, results) in cells.iter().zip(&sweep) {
+            if cell.cores != cores {
+                continue;
+            }
+            for r in results {
                 for b in &r.benches {
                     let g = tech_idx(Technique::Gdp);
                     let go = tech_idx(Technique::GdpO);
@@ -49,7 +91,6 @@ fn main() {
                     worst_slowdown = worst_slowdown.max(*s);
                 }
             }
-            eprintln!("[headline] finished {cores}c-{class}");
         }
         println!("\n--- {cores}-core CMP ---");
         println!(
@@ -74,21 +115,37 @@ fn main() {
             (worst_slowdown - 1.0) * 100.0
         );
 
-        // MCP vs ASM partitioning STP.
+        // MCP vs ASM partitioning STP (outcomes arrive in cell order;
+        // this CMP size owns the next three cells' workloads).
         let mut stp_mcp = Vec::new();
         let mut stp_asm = Vec::new();
-        for class in [LlcClass::H, LlcClass::M, LlcClass::L] {
-            for w in class_workloads(cores, class, scale) {
-                let out = run_policy_study(&w, &xcfg, &[PolicyKind::AsmPart, PolicyKind::Mcp]);
+        for (cell, (_, workloads)) in cells.iter().zip(&prep) {
+            if cell.cores != cores {
+                continue;
+            }
+            for _ in workloads {
+                let out = policy_outcomes.next().expect("one STP outcome per workload");
                 stp_asm.push(out[0].stp);
                 stp_mcp.push(out[1].stp);
             }
-            eprintln!("[headline] STP finished {cores}c-{class}");
         }
+        let mcp_gain = 100.0 * (mean(&stp_mcp) / mean(&stp_asm).max(1e-12) - 1.0);
         println!(
             "MCP avg STP improvement over ASM partitioning: {:+.1}%   (paper: {}%)",
-            100.0 * (mean(&stp_mcp) / mean(&stp_asm).max(1e-12) - 1.0),
+            mcp_gain,
             if cores == 4 { "+11.9" } else { "+20.8" }
         );
+
+        data_sizes.push(Json::obj(vec![
+            ("cores", Json::from(cores)),
+            ("gdp_mean_rel_ipc_err_pct", Json::from(mean(&rel_ipc_gdp))),
+            ("asm_over_gdp_ipc_rms_ratio", Json::from(ratio)),
+            ("gdpo_stall_rms_gain_pct", Json::from(gdpo_gain)),
+            ("worst_asm_slowdown_pct", Json::from((worst_slowdown - 1.0) * 100.0)),
+            ("mcp_vs_asm_stp_gain_pct", Json::from(mcp_gain)),
+        ]));
     }
+
+    let data = Json::obj(vec![("cmp_sizes", Json::Arr(data_sizes))]);
+    args.write_json(&campaign, job_count, data);
 }

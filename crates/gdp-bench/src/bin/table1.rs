@@ -1,6 +1,8 @@
 //! Regenerates Table I: CMP model parameters, for both the paper preset
 //! and the scaled preset actually used in the experiments.
 
+use gdp_bench::BenchArgs;
+use gdp_runner::Json;
 use gdp_sim::SimConfig;
 
 fn print_config(label: &str, cfg: &SimConfig) {
@@ -53,13 +55,77 @@ fn print_config(label: &str, cfg: &SimConfig) {
     println!();
 }
 
+fn config_json(preset: &str, cfg: &SimConfig) -> Json {
+    Json::obj(vec![
+        ("preset", Json::from(preset)),
+        ("cores", Json::from(cfg.cores)),
+        (
+            "core",
+            Json::obj(vec![
+                ("rob_entries", Json::from(cfg.core.rob_entries)),
+                ("lsq_entries", Json::from(cfg.core.lsq_entries)),
+                ("iq_entries", Json::from(cfg.core.iq_entries)),
+                ("width", Json::from(cfg.core.width)),
+            ]),
+        ),
+        (
+            "l1d",
+            Json::obj(vec![
+                ("ways", Json::from(cfg.l1d.ways)),
+                ("size_bytes", Json::from(cfg.l1d.size_bytes)),
+                ("latency", Json::from(cfg.l1d.latency)),
+                ("mshrs", Json::from(cfg.l1d.mshrs)),
+            ]),
+        ),
+        (
+            "l2",
+            Json::obj(vec![
+                ("ways", Json::from(cfg.l2.ways)),
+                ("size_bytes", Json::from(cfg.l2.size_bytes)),
+                ("latency", Json::from(cfg.l2.latency)),
+                ("mshrs", Json::from(cfg.l2.mshrs)),
+            ]),
+        ),
+        (
+            "llc",
+            Json::obj(vec![
+                ("ways", Json::from(cfg.llc.ways)),
+                ("size_bytes", Json::from(cfg.llc.size_bytes)),
+                ("latency", Json::from(cfg.llc.latency)),
+                ("mshrs_per_bank", Json::from(cfg.llc.mshrs)),
+                ("banks", Json::from(cfg.llc_banks)),
+            ]),
+        ),
+        (
+            "dram",
+            Json::obj(vec![
+                ("kind", Json::from(format!("{:?}", cfg.dram.kind))),
+                ("channels", Json::from(cfg.dram.channels)),
+                ("banks", Json::from(cfg.dram.banks)),
+                ("read_queue", Json::from(cfg.dram.read_queue)),
+                ("write_queue", Json::from(cfg.dram.write_queue)),
+                ("row_bytes", Json::from(cfg.dram.row_bytes)),
+            ]),
+        ),
+    ])
+}
+
 fn main() {
+    let args = BenchArgs::parse("table1");
     println!("Table I: CMP model parameters");
     println!("(multiple-value encoding in the paper: 2-core/4-core/8-core)\n");
+    let campaign = args.campaign();
+    let mut configs = Vec::new();
     for cores in [2usize, 4, 8] {
-        print_config(&format!("paper preset, {cores}-core"), &SimConfig::paper(cores));
+        let cfg = SimConfig::paper(cores);
+        print_config(&format!("paper preset, {cores}-core"), &cfg);
+        configs.push(config_json("paper", &cfg));
     }
     for cores in [2usize, 4, 8] {
-        print_config(&format!("scaled preset, {cores}-core"), &SimConfig::scaled(cores));
+        let cfg = SimConfig::scaled(cores);
+        print_config(&format!("scaled preset, {cores}-core"), &cfg);
+        configs.push(config_json("scaled", &cfg));
     }
+    let data = Json::obj(vec![("configs", Json::Arr(configs))]);
+    args.write_json(&campaign, 0, data);
 }

@@ -12,13 +12,22 @@
 //! | `fig7` | Fig. 7 — GDP-O sensitivity sweeps |
 //! | `headline` | §I / §VII headline numbers |
 //!
-//! Every binary accepts `--quick` (fewer workloads, shorter samples;
-//! the default) and `--full` (paper-scale workload counts — hours).
-//! Results go to stdout as aligned tables; EXPERIMENTS.md records a
-//! reference transcript.
+//! Every binary runs through `gdp-runner`: the sweep is flattened into
+//! independent jobs (per-workload shared-mode runs — the invasive ASM
+//! run is its own job — then per-core private reference runs), executed
+//! on a work-stealing pool (`--jobs N`, default all cores), and
+//! reassembled in deterministic job order, so stdout tables and result
+//! files are **byte-identical for every worker count**. `--json`
+//! additionally writes machine-readable results to `results/<name>.json`
+//! (see `gdp_runner::report` for the document layout); progress goes to
+//! stderr. EXPERIMENTS.md records a reference transcript.
 
-use gdp_experiments::{evaluate_workload, ExperimentConfig, Technique, WorkloadAccuracy};
-use gdp_metrics::mean;
+use gdp_experiments::{
+    transparent_subset, ExperimentConfig, PrivateRun, SharedRun, Technique, WorkloadAccuracy,
+    WorkloadEval,
+};
+use gdp_metrics::{mean, Summary};
+use gdp_runner::{cli, summary_json, Campaign, Json, Pool, Progress, ScaleFlag};
 use gdp_workloads::{generate_workloads, LlcClass, Workload};
 
 /// Sweep scale selected on the command line.
@@ -32,16 +41,23 @@ pub enum Scale {
     Full,
 }
 
+impl From<ScaleFlag> for Scale {
+    fn from(f: ScaleFlag) -> Scale {
+        match f {
+            ScaleFlag::Tiny => Scale::Tiny,
+            ScaleFlag::Quick => Scale::Quick,
+            ScaleFlag::Full => Scale::Full,
+        }
+    }
+}
+
 impl Scale {
-    /// Parse from argv: `--full` / `--tiny` select those scales, anything
-    /// else quick.
-    pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--full") {
-            Scale::Full
-        } else if std::env::args().any(|a| a == "--tiny") {
-            Scale::Tiny
-        } else {
-            Scale::Quick
+    /// Lower-case name (the `scale` field of result files).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
         }
     }
 
@@ -57,21 +73,90 @@ impl Scale {
     /// Experiment configuration for `cores`.
     pub fn xcfg(self, cores: usize) -> ExperimentConfig {
         match self {
-            Scale::Tiny => {
-                let mut x = ExperimentConfig::quick(cores);
-                x.sample_instrs = 12_000;
-                x.interval_cycles = 15_000;
-                x.max_cycles_per_instr = 250;
-                x
-            }
+            Scale::Tiny => ExperimentConfig::tiny(cores),
             Scale::Quick => ExperimentConfig::quick(cores),
             Scale::Full => ExperimentConfig::scaled(cores),
         }
     }
 }
 
+/// Parsed command line of a figure binary (shared `gdp-runner` surface:
+/// `--tiny/--quick/--full`, `--jobs N`, `--json`; unknown flags exit
+/// non-zero with usage).
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Binary name (used for progress labels and the results file).
+    pub bin: &'static str,
+    /// Sweep scale.
+    pub scale: Scale,
+    /// Worker count.
+    pub jobs: usize,
+    /// Write `results/<bin>.json`.
+    pub json: bool,
+}
+
+impl BenchArgs {
+    /// Parse [`std::env::args`]; prints usage and exits on bad input.
+    pub fn parse(bin: &'static str) -> BenchArgs {
+        let a = cli::parse_or_exit(bin);
+        BenchArgs { bin, scale: a.scale.into(), jobs: a.jobs(), json: a.json }
+    }
+
+    /// The job pool for this invocation.
+    pub fn pool(&self) -> Pool {
+        Pool::new(self.jobs)
+    }
+
+    /// Start the campaign clock/identity for this invocation.
+    pub fn campaign(&self) -> Campaign {
+        Campaign::new(self.bin, self.scale.name(), SWEEP_SEED, self.jobs)
+    }
+
+    /// Under `--json`, write `data` to `results/<bin>.json` (with the
+    /// run record appended) and note the path on stderr.
+    pub fn write_json(&self, campaign: &Campaign, job_count: usize, data: Json) {
+        if !self.json {
+            return;
+        }
+        match campaign.write(job_count, data) {
+            Ok(path) => eprintln!("[{}] wrote {}", self.bin, path.display()),
+            Err(e) => {
+                eprintln!("{}: cannot write results: {e}", self.bin);
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 /// Workload-generation seed shared by all figures (deterministic output).
 pub const SWEEP_SEED: u64 = 2018;
+
+/// One (core count, LLC class) cell of the paper's sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepCell {
+    /// CMP core count (2, 4 or 8).
+    pub cores: usize,
+    /// Workload LLC-sensitivity class.
+    pub class: LlcClass,
+}
+
+impl SweepCell {
+    /// Display label, e.g. `2c-H`.
+    pub fn label(&self) -> String {
+        format!("{}c-{}", self.cores, self.class)
+    }
+}
+
+/// The nine cells of Figs. 3–6: {2,4,8} cores × {H,M,L}.
+pub fn all_cells() -> Vec<SweepCell> {
+    let mut out = Vec::with_capacity(9);
+    for cores in [2usize, 4, 8] {
+        for class in [LlcClass::H, LlcClass::M, LlcClass::L] {
+            out.push(SweepCell { cores, class });
+        }
+    }
+    out
+}
 
 /// The workloads of one class for one core count at the chosen scale.
 pub fn class_workloads(cores: usize, class: LlcClass, scale: Scale) -> Vec<Workload> {
@@ -82,6 +167,115 @@ pub fn class_workloads(cores: usize, class: LlcClass, scale: Scale) -> Vec<Workl
         LlcClass::L => l,
     };
     generate_workloads(cores, class, count, SWEEP_SEED)
+}
+
+/// Workloads per cell at `scale` (without generating them).
+pub fn cell_workload_count(class: LlcClass, scale: Scale) -> usize {
+    let (h, m, l) = scale.class_counts();
+    match class {
+        LlcClass::H => h,
+        LlcClass::M => m,
+        LlcClass::L => l,
+    }
+}
+
+/// Total number of jobs [`accuracy_sweep`] will submit for `cells`:
+/// per workload, one transparent shared run, one invasive shared run if
+/// ASM is evaluated, and one private run per core.
+pub fn sweep_job_count(cells: &[SweepCell], scale: Scale, techniques: &[Technique]) -> usize {
+    let shared_per_workload = if techniques.contains(&Technique::Asm) { 2 } else { 1 };
+    cells
+        .iter()
+        .map(|c| cell_workload_count(c.class, scale) * (shared_per_workload + c.cores))
+        .sum()
+}
+
+/// Run the accuracy campaign over `cells` as parallel jobs, reassembled
+/// deterministically: `result[i][w]` is workload `w` of `cells[i]`,
+/// bit-identical for every pool size.
+///
+/// The sweep is flattened at two granularities (the flattening the
+/// runner subsystem exists for): first one job per (workload ×
+/// technique-subset) shared-mode simulation — ASM's invasive run is
+/// separate from the transparent run — then one job per (workload ×
+/// core) private reference run, the expensive inner loop of the
+/// methodology.
+pub fn accuracy_sweep(
+    cells: &[SweepCell],
+    scale: Scale,
+    techniques: &[Technique],
+    pool: &Pool,
+    progress: &Progress,
+) -> Vec<Vec<WorkloadAccuracy>> {
+    let prep: Vec<(ExperimentConfig, Vec<Workload>)> = cells
+        .iter()
+        .map(|c| (scale.xcfg(c.cores), class_workloads(c.cores, c.class, scale)))
+        .collect();
+    let with_asm = techniques.contains(&Technique::Asm);
+    let transparent = transparent_subset(techniques);
+
+    // Phase 1: shared-mode runs.
+    type SharedJob<'a> = Box<dyn FnOnce() -> SharedRun + Send + 'a>;
+    let mut shared_jobs: Vec<SharedJob<'_>> = Vec::new();
+    for (cell, (xcfg, workloads)) in cells.iter().zip(&prep) {
+        for w in workloads {
+            let label = cell.label();
+            let transparent = &transparent;
+            shared_jobs.push(Box::new(move || {
+                let r = gdp_experiments::run_shared(w, xcfg, transparent);
+                progress.finish_item(&format!("{label}/{} shared", w.name));
+                r
+            }));
+            if with_asm {
+                let label = cell.label();
+                shared_jobs.push(Box::new(move || {
+                    let r = gdp_experiments::run_shared(w, xcfg, &[Technique::Asm]);
+                    progress.finish_item(&format!("{label}/{} shared (ASM)", w.name));
+                    r
+                }));
+            }
+        }
+    }
+    let mut shared_results = pool.run(shared_jobs).into_iter();
+
+    // Reassemble shared runs into per-workload evaluations (job order).
+    let mut evals: Vec<WorkloadEval> = Vec::new();
+    for (xcfg, workloads) in &prep {
+        for w in workloads {
+            let t_run = shared_results.next().expect("one transparent run per workload");
+            let a_run = if with_asm {
+                Some(shared_results.next().expect("one invasive run per workload"))
+            } else {
+                None
+            };
+            evals.push(WorkloadEval::from_runs(w, xcfg, t_run, a_run));
+        }
+    }
+
+    // Phase 2: per-(workload, core) private reference runs.
+    let private_jobs: Vec<_> = evals
+        .iter()
+        .flat_map(|eval| {
+            (0..eval.cores()).map(move |core| {
+                move || {
+                    let p = eval.run_private_for(core);
+                    progress.finish_item(&format!("{} private core {core}", eval.workload_name()));
+                    p
+                }
+            })
+        })
+        .collect();
+    let mut privates = pool.run(private_jobs).into_iter();
+
+    // Phase 3: score and regroup per cell (pure, serial, deterministic).
+    let mut accuracies = evals.iter().map(|eval| {
+        let ps: Vec<PrivateRun> =
+            (0..eval.cores()).map(|_| privates.next().expect("one private run per core")).collect();
+        eval.finish(&ps)
+    });
+    prep.iter()
+        .map(|(_, ws)| ws.iter().map(|_| accuracies.next().expect("per workload")).collect())
+        .collect()
 }
 
 /// Aggregated accuracy numbers for one (core count, class) cell.
@@ -104,13 +298,19 @@ pub struct CellAccuracy {
     pub worst_asm_slowdown: f64,
 }
 
-/// Evaluate all workloads of a class and aggregate per-benchmark errors.
+/// Evaluate all workloads of a class serially and aggregate
+/// per-benchmark errors (the single-cell convenience entry point; the
+/// binaries use [`accuracy_sweep`]).
 pub fn accuracy_cell(cores: usize, class: LlcClass, scale: Scale) -> CellAccuracy {
-    let xcfg = scale.xcfg(cores);
-    let workloads = class_workloads(cores, class, scale);
-    let results: Vec<WorkloadAccuracy> =
-        workloads.iter().map(|w| evaluate_workload(w, &xcfg)).collect();
-    aggregate(&results)
+    let cells = [SweepCell { cores, class }];
+    let sweep = accuracy_sweep(
+        &cells,
+        scale,
+        &Technique::ALL,
+        &Pool::new(1),
+        &Progress::silent(sweep_job_count(&cells, scale, &Technique::ALL)),
+    );
+    aggregate(&sweep[0])
 }
 
 /// Aggregate a set of workload evaluations into a cell.
@@ -155,6 +355,31 @@ pub fn aggregate(results: &[WorkloadAccuracy]) -> CellAccuracy {
     }
 }
 
+/// Per-technique values as an ordered JSON object keyed by display name.
+pub fn technique_json(values: &[f64]) -> Json {
+    Json::Obj(
+        Technique::ALL
+            .iter()
+            .zip(values)
+            .map(|(t, v)| (t.name().to_string(), Json::from(*v)))
+            .collect(),
+    )
+}
+
+/// One cell's aggregated accuracy as JSON (shared by fig3/fig5 and the
+/// determinism suite).
+pub fn cell_accuracy_json(label: &str, cell: &CellAccuracy) -> Json {
+    Json::obj(vec![
+        ("cell", Json::from(label)),
+        ("ipc_rms", technique_json(&cell.ipc_rms)),
+        ("stall_rms", technique_json(&cell.stall_rms)),
+        ("cpl_rel_pct", summary_json(&Summary::of(&cell.cpl_rel))),
+        ("overlap_rel_pct", summary_json(&Summary::of(&cell.overlap_rel))),
+        ("lambda_rel_pct", summary_json(&Summary::of(&cell.lambda_rel))),
+        ("worst_asm_slowdown", Json::from(cell.worst_asm_slowdown)),
+    ])
+}
+
 /// Print a header banner for a figure binary.
 pub fn banner(title: &str, scale: Scale) {
     println!("================================================================");
@@ -185,5 +410,34 @@ mod tests {
         let b = class_workloads(2, LlcClass::H, Scale::Quick);
         assert_eq!(a.len(), 4);
         assert_eq!(a[0].names(), b[0].names());
+    }
+
+    #[test]
+    fn scale_flags_map_to_scales() {
+        assert_eq!(Scale::from(ScaleFlag::Tiny), Scale::Tiny);
+        assert_eq!(Scale::from(ScaleFlag::Quick), Scale::Quick);
+        assert_eq!(Scale::from(ScaleFlag::Full), Scale::Full);
+        assert_eq!(Scale::Tiny.name(), "tiny");
+    }
+
+    #[test]
+    fn job_count_accounts_for_shared_and_private_jobs() {
+        let cells = [
+            SweepCell { cores: 2, class: LlcClass::H },
+            SweepCell { cores: 4, class: LlcClass::M },
+        ];
+        // Tiny: 2 H workloads, 1 M workload. With ASM: per workload
+        // 2 shared + cores private jobs.
+        assert_eq!(
+            sweep_job_count(&cells, Scale::Tiny, &Technique::ALL),
+            2 * (2 + 2) + 1 * (2 + 4)
+        );
+        // Without ASM, one shared job per workload.
+        assert_eq!(
+            sweep_job_count(&cells, Scale::Tiny, &[Technique::Gdp]),
+            2 * (1 + 2) + 1 * (1 + 4)
+        );
+        assert_eq!(all_cells().len(), 9);
+        assert_eq!(all_cells()[0].label(), "2c-H");
     }
 }

@@ -1,0 +1,48 @@
+//! Parallel-equals-serial: the campaign runner's core guarantee.
+//!
+//! A fig3-style tiny sweep executed with one worker and with four
+//! workers must produce **byte-identical** aggregated results — the
+//! serialized `data` section of the results document is compared as a
+//! string, which is exactly what lands in `results/<figure>.json` and on
+//! stdout.
+
+use gdp_bench::{accuracy_sweep, aggregate, cell_accuracy_json, sweep_job_count, Scale, SweepCell};
+use gdp_experiments::Technique;
+use gdp_runner::{Json, Pool, Progress};
+use gdp_workloads::LlcClass;
+
+fn tiny_fig3_data(workers: usize) -> String {
+    // One 2-core cell keeps the wall-clock of the (debug-build) test
+    // suite sane while still exercising multi-job scheduling: at tiny
+    // scale this is 2 workloads × (2 shared jobs + 2 private jobs) = 8
+    // jobs racing on up to 4 workers.
+    let cells = [SweepCell { cores: 2, class: LlcClass::H }];
+    let scale = Scale::Tiny;
+    let progress = Progress::silent(sweep_job_count(&cells, scale, &Technique::ALL));
+    let sweep = accuracy_sweep(&cells, scale, &Technique::ALL, &Pool::new(workers), &progress);
+    let data_cells: Vec<Json> = cells
+        .iter()
+        .zip(&sweep)
+        .map(|(cell, results)| cell_accuracy_json(&cell.label(), &aggregate(results)))
+        .collect();
+    Json::obj(vec![("cells", Json::Arr(data_cells))]).to_pretty()
+}
+
+#[test]
+fn parallel_campaign_is_byte_identical_to_serial() {
+    let serial = tiny_fig3_data(1);
+    let parallel = tiny_fig3_data(4);
+    assert!(
+        serial == parallel,
+        "parallel campaign diverged from serial\n--- serial ---\n{serial}\n--- parallel ---\n{parallel}"
+    );
+    // Sanity: the data is real, not an empty skeleton.
+    let doc = Json::parse(&serial).expect("valid JSON");
+    let cells = doc.get("cells").unwrap().as_arr().unwrap();
+    assert_eq!(cells.len(), 1);
+    let ipc = cells[0].get("ipc_rms").unwrap();
+    for t in Technique::ALL {
+        let v = ipc.get(t.name()).unwrap().as_f64().unwrap();
+        assert!(v.is_finite() && v > 0.0, "{t} must report a positive RMS error, got {v}");
+    }
+}

@@ -7,7 +7,7 @@ use gdp_metrics::ErrorSeries;
 use gdp_workloads::Workload;
 
 use crate::config::ExperimentConfig;
-use crate::private::run_private;
+use crate::private::{run_private, PrivateRun};
 use crate::shared::{run_shared, SharedRun};
 
 /// The five accounting techniques under comparison.
@@ -91,68 +91,181 @@ pub fn evaluate_workload(workload: &Workload, xcfg: &ExperimentConfig) -> Worklo
 
 /// Evaluate a subset of techniques (cheaper: the invasive ASM run is only
 /// performed when ASM is requested).
+///
+/// Serial composition of the two [`WorkloadEval`] phases; the campaign
+/// runner composes the same phases as parallel jobs instead.
 pub fn evaluate_workload_subset(
     workload: &Workload,
     xcfg: &ExperimentConfig,
     techniques: &[Technique],
 ) -> WorkloadAccuracy {
-    let transparent: Vec<Technique> =
-        techniques.iter().copied().filter(|t| *t != Technique::Asm).collect();
-    let with_asm = techniques.contains(&Technique::Asm);
-    let t_run = run_shared(workload, xcfg, &transparent);
-    let a_run = if with_asm { Some(run_shared(workload, xcfg, &[Technique::Asm])) } else { None };
+    let eval = WorkloadEval::shared(workload, xcfg, techniques);
+    let privates: Vec<PrivateRun> = (0..eval.cores()).map(|c| eval.run_private_for(c)).collect();
+    eval.finish(&privates)
+}
 
-    let n = workload.cores();
-    let mut benches = Vec::with_capacity(n);
-    let mut invasive_slowdown = Vec::with_capacity(n);
+/// Evaluate a workload with the per-core private reference runs — the
+/// expensive inner loop of the methodology — executed as parallel jobs on
+/// `pool`. Results are bit-identical to [`evaluate_workload_subset`].
+pub fn evaluate_workload_pooled(
+    workload: &Workload,
+    xcfg: &ExperimentConfig,
+    techniques: &[Technique],
+    pool: &gdp_runner::Pool,
+) -> WorkloadAccuracy {
+    let eval = WorkloadEval::shared(workload, xcfg, techniques);
+    let jobs: Vec<_> = (0..eval.cores())
+        .map(|core| {
+            let eval = &eval;
+            move || eval.run_private_for(core)
+        })
+        .collect();
+    let privates = pool.run(jobs);
+    eval.finish(&privates)
+}
 
-    for core in 0..n {
-        // Union of checkpoints from both shared runs.
-        let mut cks: Vec<u64> = t_run
+/// The techniques of `techniques` that share one transparent run (all but
+/// the invasive ASM).
+pub fn transparent_subset(techniques: &[Technique]) -> Vec<Technique> {
+    techniques.iter().copied().filter(|t| *t != Technique::Asm).collect()
+}
+
+/// A workload evaluation split into its two phases (paper §VI):
+///
+/// 1. **Shared phase** ([`WorkloadEval::shared`] or, when the shared runs
+///    are themselves jobs, [`WorkloadEval::from_runs`]): the transparent
+///    shared-mode run and — if ASM is under evaluation — the separate
+///    invasive one.
+/// 2. **Private phase**: one ground-truth run *per core slot* at the
+///    union of both shared runs' instruction checkpoints. Each
+///    [`WorkloadEval::run_private_for`] call is pure, takes `&self` and
+///    is independent of every other core's, so a campaign runner can
+///    execute them as parallel jobs.
+///
+/// [`WorkloadEval::finish`] then scores estimates against the private
+/// records and assembles the [`WorkloadAccuracy`].
+#[derive(Debug, Clone)]
+pub struct WorkloadEval {
+    workload_name: String,
+    benchmarks: Vec<gdp_workloads::Benchmark>,
+    xcfg: ExperimentConfig,
+    t_run: SharedRun,
+    a_run: Option<SharedRun>,
+}
+
+impl WorkloadEval {
+    /// Run the shared phase: the transparent run, plus the invasive ASM
+    /// run when `techniques` contains [`Technique::Asm`].
+    pub fn shared(
+        workload: &Workload,
+        xcfg: &ExperimentConfig,
+        techniques: &[Technique],
+    ) -> WorkloadEval {
+        let t_run = run_shared(workload, xcfg, &transparent_subset(techniques));
+        let a_run = techniques
+            .contains(&Technique::Asm)
+            .then(|| run_shared(workload, xcfg, &[Technique::Asm]));
+        Self::from_runs(workload, xcfg, t_run, a_run)
+    }
+
+    /// Assemble an evaluation from shared runs executed elsewhere (e.g.
+    /// as two independent campaign jobs). `t_run` must be the transparent
+    /// run and `a_run`, if present, the invasive ASM run of the same
+    /// workload under the same configuration.
+    pub fn from_runs(
+        workload: &Workload,
+        xcfg: &ExperimentConfig,
+        t_run: SharedRun,
+        a_run: Option<SharedRun>,
+    ) -> WorkloadEval {
+        debug_assert!(!t_run.techniques.contains(&Technique::Asm));
+        debug_assert!(a_run.as_ref().map_or(true, |r| r.techniques == [Technique::Asm]));
+        WorkloadEval {
+            workload_name: workload.name.clone(),
+            benchmarks: workload.benchmarks.clone(),
+            xcfg: xcfg.clone(),
+            t_run,
+            a_run,
+        }
+    }
+
+    /// Core slots (= private jobs) of this evaluation.
+    pub fn cores(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Name of the workload under evaluation.
+    pub fn workload_name(&self) -> &str {
+        &self.workload_name
+    }
+
+    /// Sorted, deduplicated union of both shared runs' checkpoints for
+    /// `core` — the instruction sample points handed to the private run.
+    pub fn checkpoints_for(&self, core: usize) -> Vec<u64> {
+        let mut cks: Vec<u64> = self
+            .t_run
             .checkpoints(core)
             .into_iter()
-            .chain(a_run.iter().flat_map(|r| r.checkpoints(core)))
+            .chain(self.a_run.iter().flat_map(|r| r.checkpoints(core)))
             .filter(|&x| x > 0)
             .collect();
         cks.sort_unstable();
         cks.dedup();
-
-        let bench = workload.benchmarks[core];
-        let base = (core as u64) << 36;
-        let private = run_private(&bench, base, xcfg, &cks);
-        let by_target: HashMap<u64, usize> =
-            private.checkpoints.iter().enumerate().map(|(i, c)| (c.instrs, i)).collect();
-
-        let mut acc = BenchAccuracy {
-            bench: bench.name,
-            core,
-            ipc_err: Technique::ALL.iter().map(|_| ErrorSeries::new()).collect(),
-            stall_err: Technique::ALL.iter().map(|_| ErrorSeries::new()).collect(),
-            cpl_err: ErrorSeries::new(),
-            overlap_err: ErrorSeries::new(),
-            lambda_err: ErrorSeries::new(),
-        };
-
-        // Transparent techniques.
-        score_run(&t_run, core, &private, &by_target, &mut acc, true, xcfg.warmup_intervals);
-        // ASM (separate invasive run).
-        if let Some(ar) = &a_run {
-            score_run(ar, core, &private, &by_target, &mut acc, false, xcfg.warmup_intervals);
-            let t_cpi = t_run.final_stats[core].cpi();
-            let a_cpi = ar.final_stats[core].cpi();
-            invasive_slowdown.push(if t_cpi.is_finite() && t_cpi > 0.0 {
-                a_cpi / t_cpi
-            } else {
-                1.0
-            });
-        } else {
-            invasive_slowdown.push(1.0);
-        }
-
-        benches.push(acc);
+        cks
     }
 
-    WorkloadAccuracy { workload: workload.name.clone(), benches, invasive_slowdown }
+    /// The private ground-truth run for `core` (the expensive inner
+    /// loop; pure and independent across cores).
+    pub fn run_private_for(&self, core: usize) -> PrivateRun {
+        let base = (core as u64) << 36;
+        run_private(&self.benchmarks[core], base, &self.xcfg, &self.checkpoints_for(core))
+    }
+
+    /// Score every core's shared-mode estimates against its private
+    /// record (`privates[core]`, as produced by
+    /// [`WorkloadEval::run_private_for`]).
+    pub fn finish(&self, privates: &[PrivateRun]) -> WorkloadAccuracy {
+        let n = self.cores();
+        assert_eq!(privates.len(), n, "one private run per core slot");
+        let mut benches = Vec::with_capacity(n);
+        let mut invasive_slowdown = Vec::with_capacity(n);
+
+        for (core, private) in privates.iter().enumerate() {
+            let by_target: HashMap<u64, usize> =
+                private.checkpoints.iter().enumerate().map(|(i, c)| (c.instrs, i)).collect();
+
+            let mut acc = BenchAccuracy {
+                bench: self.benchmarks[core].name,
+                core,
+                ipc_err: Technique::ALL.iter().map(|_| ErrorSeries::new()).collect(),
+                stall_err: Technique::ALL.iter().map(|_| ErrorSeries::new()).collect(),
+                cpl_err: ErrorSeries::new(),
+                overlap_err: ErrorSeries::new(),
+                lambda_err: ErrorSeries::new(),
+            };
+
+            let warmup = self.xcfg.warmup_intervals;
+            // Transparent techniques.
+            score_run(&self.t_run, core, private, &by_target, &mut acc, true, warmup);
+            // ASM (separate invasive run).
+            if let Some(ar) = &self.a_run {
+                score_run(ar, core, private, &by_target, &mut acc, false, warmup);
+                let t_cpi = self.t_run.final_stats[core].cpi();
+                let a_cpi = ar.final_stats[core].cpi();
+                invasive_slowdown.push(if t_cpi.is_finite() && t_cpi > 0.0 {
+                    a_cpi / t_cpi
+                } else {
+                    1.0
+                });
+            } else {
+                invasive_slowdown.push(1.0);
+            }
+
+            benches.push(acc);
+        }
+
+        WorkloadAccuracy { workload: self.workload_name.clone(), benches, invasive_slowdown }
+    }
 }
 
 /// Score one shared run's estimates for `core` against the private record.
@@ -238,10 +351,32 @@ mod tests {
     use gdp_workloads::paper_workloads;
 
     fn xcfg() -> ExperimentConfig {
-        let mut x = ExperimentConfig::quick(2);
-        x.sample_instrs = 12_000;
-        x.interval_cycles = 15_000;
-        x
+        ExperimentConfig::tiny(2)
+    }
+
+    #[test]
+    fn pooled_private_runs_match_the_serial_composition() {
+        // The per-core private reference runs are independent jobs: the
+        // pooled evaluation must be bit-identical to the serial one.
+        let w = &paper_workloads(2, 5)[0];
+        let mut x = xcfg();
+        x.sample_instrs = 6_000;
+        let serial = evaluate_workload_subset(w, &x, &[Technique::Gdp, Technique::GdpO]);
+        let pooled = evaluate_workload_pooled(
+            w,
+            &x,
+            &[Technique::Gdp, Technique::GdpO],
+            &gdp_runner::Pool::new(4),
+        );
+        assert_eq!(serial.benches.len(), pooled.benches.len());
+        for (a, b) in serial.benches.iter().zip(&pooled.benches) {
+            for t in 0..Technique::ALL.len() {
+                assert_eq!(a.ipc_err[t].rms_abs().to_bits(), b.ipc_err[t].rms_abs().to_bits());
+                assert_eq!(a.stall_err[t].rms_abs().to_bits(), b.stall_err[t].rms_abs().to_bits());
+            }
+            assert_eq!(a.cpl_err.rms_rel().to_bits(), b.cpl_err.rms_rel().to_bits());
+        }
+        assert_eq!(serial.invasive_slowdown, pooled.invasive_slowdown);
     }
 
     #[test]

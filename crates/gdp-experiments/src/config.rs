@@ -45,6 +45,19 @@ impl ExperimentConfig {
         ExperimentConfig { sample_instrs: 25_000, interval_cycles: 25_000, ..Self::scaled(cores) }
     }
 
+    /// Smallest meaningful variant (`--tiny`): smoke transcripts, CI and
+    /// unit tests. The single source of the hand-tuned 12K/15K sample
+    /// and interval lengths that were previously copy-pasted across the
+    /// bench harness and the accuracy tests.
+    pub fn tiny(cores: usize) -> Self {
+        ExperimentConfig {
+            sample_instrs: 12_000,
+            interval_cycles: 15_000,
+            max_cycles_per_instr: 250,
+            ..Self::quick(cores)
+        }
+    }
+
     /// Cycle budget for a run.
     pub fn cycle_cap(&self) -> u64 {
         self.sample_instrs * self.max_cycles_per_instr
@@ -64,5 +77,9 @@ mod tests {
         let q = ExperimentConfig::quick(4);
         assert!(q.sample_instrs < c.sample_instrs);
         assert!(q.cycle_cap() < c.cycle_cap());
+        let t = ExperimentConfig::tiny(4);
+        assert_eq!(t.sim.cores, 4);
+        assert!(t.sample_instrs < q.sample_instrs);
+        assert!(t.cycle_cap() < q.cycle_cap());
     }
 }

@@ -19,7 +19,8 @@ pub mod private;
 pub mod shared;
 
 pub use accuracy::{
-    evaluate_workload, evaluate_workload_subset, BenchAccuracy, Technique, WorkloadAccuracy,
+    evaluate_workload, evaluate_workload_pooled, evaluate_workload_subset, transparent_subset,
+    BenchAccuracy, Technique, WorkloadAccuracy, WorkloadEval,
 };
 pub use config::ExperimentConfig;
 pub use policy_run::{run_policy_study, PolicyKind, PolicyOutcome};

@@ -104,6 +104,19 @@ impl Summary {
             n: v.len(),
         }
     }
+
+    /// The five numbers as named pairs in presentation order — the
+    /// serialization contract used by result writers (`n` is carried
+    /// separately as a count).
+    pub fn as_pairs(&self) -> [(&'static str, f64); 5] {
+        [
+            ("min", self.min),
+            ("p25", self.p25),
+            ("median", self.median),
+            ("p75", self.p75),
+            ("max", self.max),
+        ]
+    }
 }
 
 /// Per-benchmark error series: collects interval errors, reports RMS.
@@ -204,6 +217,53 @@ mod tests {
         assert_eq!(s.n, 5);
         let empty = Summary::of(&[]);
         assert_eq!(empty.n, 0);
+    }
+
+    #[test]
+    fn summary_of_single_element_collapses_all_quantiles() {
+        let s = Summary::of(&[7.5]);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.p25, 7.5);
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.p75, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn summary_pairs_follow_presentation_order() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let pairs = s.as_pairs();
+        assert_eq!(pairs.map(|(k, _)| k), ["min", "p25", "median", "p75", "max"]);
+        assert_eq!(pairs[0].1, 1.0);
+        assert_eq!(pairs[2].1, 3.0);
+        assert_eq!(pairs[4].1, 5.0);
+    }
+
+    #[test]
+    fn empty_error_series_reports_zero_errors() {
+        let e = ErrorSeries::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.rms_abs(), 0.0);
+        assert_eq!(e.rms_rel(), 0.0);
+        assert_eq!(e.mean_abs(), 0.0);
+        assert_eq!(e.mean_rel(), 0.0);
+    }
+
+    #[test]
+    fn single_element_error_series_is_its_own_rms_and_bias() {
+        let mut e = ErrorSeries::new();
+        e.push(1.5, 1.0);
+        assert_eq!(e.len(), 1);
+        assert!((e.rms_abs() - 0.5).abs() < 1e-12);
+        assert!((e.rms_rel() - 0.5).abs() < 1e-12);
+        assert!((e.mean_abs() - 0.5).abs() < 1e-12);
+        // RMS of one sample equals its |error|; bias keeps the sign.
+        let mut neg = ErrorSeries::new();
+        neg.push(0.5, 1.0);
+        assert!((neg.rms_abs() - 0.5).abs() < 1e-12);
+        assert!((neg.mean_abs() + 0.5).abs() < 1e-12);
     }
 
     #[test]

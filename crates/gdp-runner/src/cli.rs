@@ -1,0 +1,219 @@
+//! Shared command-line parsing for campaign binaries.
+//!
+//! Every figure/table binary accepts the same surface:
+//!
+//! ```text
+//! --tiny | --quick | --full   sweep scale (default --quick)
+//! --jobs N                    parallel workers (default: all cores)
+//! --json                      also write results/<name>.json
+//! --help | -h                 usage
+//! ```
+//!
+//! Unlike the earlier per-binary `Scale::from_args`, unrecognized
+//! arguments are **errors**: the binary prints usage to stderr and exits
+//! non-zero instead of silently running the default sweep.
+
+use crate::pool::{default_parallelism, Pool};
+
+/// Sweep scale requested on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScaleFlag {
+    /// `--tiny`: smallest meaningful sweep (CI smoke, transcripts).
+    Tiny,
+    /// `--quick`: reduced workload counts (the default).
+    #[default]
+    Quick,
+    /// `--full`: the paper's workload counts (hours).
+    Full,
+}
+
+impl ScaleFlag {
+    /// Lower-case flag name (also the `scale` field of result files).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleFlag::Tiny => "tiny",
+            ScaleFlag::Quick => "quick",
+            ScaleFlag::Full => "full",
+        }
+    }
+}
+
+/// Parsed arguments of a campaign binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunnerArgs {
+    /// Sweep scale.
+    pub scale: ScaleFlag,
+    /// `--jobs N` if given; `None` means "all available cores".
+    pub jobs: Option<usize>,
+    /// Write machine-readable results under `results/`.
+    pub json: bool,
+}
+
+impl RunnerArgs {
+    /// Effective worker count: `--jobs N` or the machine's parallelism.
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(default_parallelism).max(1)
+    }
+
+    /// A [`Pool`] sized by [`RunnerArgs::jobs`].
+    pub fn pool(&self) -> Pool {
+        Pool::new(self.jobs())
+    }
+}
+
+/// A rejected command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help` / `-h`: not an error, but parsing stops.
+    Help,
+    /// An argument no campaign binary understands.
+    Unknown(String),
+    /// `--jobs` without a value, or with a non-numeric / zero value.
+    BadJobs(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Help => f.write_str("help requested"),
+            CliError::Unknown(a) => write!(f, "unrecognized argument `{a}`"),
+            CliError::BadJobs(v) => write!(f, "--jobs expects a positive integer, got `{v}`"),
+        }
+    }
+}
+
+/// Usage text for `bin`.
+pub fn usage(bin: &str) -> String {
+    format!(
+        "usage: {bin} [--tiny|--quick|--full] [--jobs N] [--json]\n\
+         \n\
+         \x20 --tiny     smallest meaningful sweep (CI smoke; minutes)\n\
+         \x20 --quick    reduced workload counts (default)\n\
+         \x20 --full     the paper's 30/15/5 workloads per class (hours)\n\
+         \x20 --jobs N   run N campaign jobs in parallel (default: all cores);\n\
+         \x20            results are identical for every N\n\
+         \x20 --json     also write machine-readable results/{bin}.json\n\
+         \x20 --help     this text"
+    )
+}
+
+/// Parse an argument list (without the program name).
+pub fn parse<I>(args: I) -> Result<RunnerArgs, CliError>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut out = RunnerArgs { scale: ScaleFlag::default(), jobs: None, json: false };
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tiny" => out.scale = ScaleFlag::Tiny,
+            "--quick" => out.scale = ScaleFlag::Quick,
+            "--full" => out.scale = ScaleFlag::Full,
+            "--json" => out.json = true,
+            "--help" | "-h" => return Err(CliError::Help),
+            "--jobs" => {
+                let v = it.next().ok_or_else(|| CliError::BadJobs("<missing>".into()))?;
+                out.jobs = Some(parse_jobs(&v)?);
+            }
+            s => {
+                if let Some(v) = s.strip_prefix("--jobs=") {
+                    out.jobs = Some(parse_jobs(v)?);
+                } else {
+                    return Err(CliError::Unknown(a));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_jobs(v: &str) -> Result<usize, CliError> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(CliError::BadJobs(v.into())),
+    }
+}
+
+/// Parse [`std::env::args`] for `bin`; on `--help` print usage and exit 0,
+/// on a bad command line print the error and usage to stderr and exit 2.
+pub fn parse_or_exit(bin: &str) -> RunnerArgs {
+    match parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(CliError::Help) => {
+            println!("{}", usage(bin));
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{bin}: {e}\n{}", usage(bin));
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<RunnerArgs, CliError> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick_all_cores_no_json() {
+        let a = p(&[]).unwrap();
+        assert_eq!(a.scale, ScaleFlag::Quick);
+        assert_eq!(a.jobs, None);
+        assert!(a.jobs() >= 1);
+        assert!(!a.json);
+    }
+
+    #[test]
+    fn scale_flags_select_scales() {
+        assert_eq!(p(&["--tiny"]).unwrap().scale, ScaleFlag::Tiny);
+        assert_eq!(p(&["--full"]).unwrap().scale, ScaleFlag::Full);
+        // Last flag wins, as with the legacy parser's precedence quirks
+        // resolved: the command line reads left to right.
+        assert_eq!(p(&["--full", "--tiny"]).unwrap().scale, ScaleFlag::Tiny);
+    }
+
+    #[test]
+    fn jobs_accepts_separate_and_equals_forms() {
+        assert_eq!(p(&["--jobs", "4"]).unwrap().jobs, Some(4));
+        assert_eq!(p(&["--jobs=8"]).unwrap().jobs, Some(8));
+        assert_eq!(p(&["--jobs", "4"]).unwrap().pool().workers(), 4);
+    }
+
+    #[test]
+    fn bad_jobs_values_are_rejected() {
+        assert!(matches!(p(&["--jobs"]), Err(CliError::BadJobs(_))));
+        assert!(matches!(p(&["--jobs", "zero"]), Err(CliError::BadJobs(_))));
+        assert!(matches!(p(&["--jobs", "0"]), Err(CliError::BadJobs(_))));
+        assert!(matches!(p(&["--jobs=-2"]), Err(CliError::BadJobs(_))));
+    }
+
+    #[test]
+    fn unknown_flags_are_errors_not_ignored() {
+        // The legacy `Scale::from_args` silently ran the default sweep on
+        // typos like `--fulll`; that is exactly the bug this parser fixes.
+        assert_eq!(p(&["--fulll"]), Err(CliError::Unknown("--fulll".into())));
+        assert_eq!(p(&["extra"]), Err(CliError::Unknown("extra".into())));
+    }
+
+    #[test]
+    fn help_is_reported_and_usage_mentions_every_flag() {
+        assert_eq!(p(&["-h"]), Err(CliError::Help));
+        assert_eq!(p(&["--help"]), Err(CliError::Help));
+        let u = usage("fig3");
+        for flag in ["--tiny", "--quick", "--full", "--jobs", "--json"] {
+            assert!(u.contains(flag), "usage must mention {flag}");
+        }
+    }
+
+    #[test]
+    fn json_flag_parses() {
+        let a = p(&["--tiny", "--json", "--jobs", "2"]).unwrap();
+        assert!(a.json);
+        assert_eq!(a.scale.name(), "tiny");
+        assert_eq!(a.jobs(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! # gdp-runner — parallel, deterministic campaign execution
+//!
+//! The evaluation campaigns of the paper (Figs. 3–7, Table I, headline)
+//! are sweeps over (core count × LLC class × workload × technique
+//! subset). Every point of such a sweep is an independent, pure
+//! simulation, so this crate flattens sweeps into **jobs**, executes them
+//! on a std-only work-stealing pool ([`Pool`]), and reassembles results
+//! in **deterministic job order** — a campaign run with `--jobs 8` emits
+//! output byte-identical to `--jobs 1`.
+//!
+//! Layers:
+//!
+//! * [`pool`] — the work-stealing job pool (`std::thread::scope` +
+//!   `Mutex<VecDeque>` deques; no rayon, no unsafe).
+//! * [`cli`] — the shared `--tiny/--quick/--full/--jobs/--json` command
+//!   line of every campaign binary; unknown flags are rejected.
+//! * [`json`] — a dependency-free JSON document model (ordered objects,
+//!   deterministic pretty-printer, strict parser).
+//! * [`report`] — the `results/<figure>.json` structured-results layer.
+//! * [`progress`] — thread-safe completion reporting on stderr.
+
+pub mod cli;
+pub mod json;
+pub mod pool;
+pub mod progress;
+pub mod report;
+
+pub use cli::{parse_or_exit, usage, CliError, RunnerArgs, ScaleFlag};
+pub use json::{Json, JsonError};
+pub use pool::{default_parallelism, Pool};
+pub use progress::Progress;
+pub use report::{summary_json, write_results_in, Campaign, RESULTS_DIR};

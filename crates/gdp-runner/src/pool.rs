@@ -1,0 +1,198 @@
+//! A std-only work-stealing job pool with deterministic result order.
+//!
+//! Campaign jobs are pure, independent and of wildly varying cost (an
+//! 8-core shared-mode simulation vs. a 2-core private run), which is the
+//! classic work-stealing setting: jobs are dealt round-robin onto
+//! per-worker deques, each worker pops its own deque from the front and
+//! steals from the *back* of its neighbours' deques when it runs dry.
+//!
+//! Results are reassembled **in job-submission order**, so a campaign
+//! executed on eight workers produces output byte-identical to the same
+//! campaign on one worker. The workspace denies `unsafe_code`, so the
+//! pool borrows jobs safely through [`std::thread::scope`] rather than
+//! smuggling non-`'static` closures into long-lived threads; workers are
+//! spawned per [`Pool::run`] call, which is noise next to the
+//! seconds-long simulations they execute.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Execution context for a batch of independent jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with `workers` parallel workers (clamped to at least 1).
+    pub fn new(workers: usize) -> Pool {
+        Pool { workers: workers.max(1) }
+    }
+
+    /// A pool sized by [`std::thread::available_parallelism`] (1 if the
+    /// runtime cannot tell).
+    pub fn from_available_parallelism() -> Pool {
+        Pool::new(default_parallelism())
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute every job and return the results **in job order**,
+    /// regardless of which worker finished which job when.
+    ///
+    /// With one worker (or at most one job) the jobs run inline on the
+    /// calling thread in submission order — the serial reference
+    /// behaviour that parallel runs must reproduce byte-for-byte.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panic of any job.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = jobs.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return jobs.into_iter().map(|f| f()).collect();
+        }
+
+        // Deal jobs round-robin onto per-worker deques, tagged with
+        // their submission index.
+        let queues: Vec<Mutex<VecDeque<(usize, F)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, f) in jobs.into_iter().enumerate() {
+            queues[i % workers].lock().expect("queue poisoned").push_back((i, f));
+        }
+
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let queues = &queues;
+                s.spawn(move || {
+                    while let Some((i, f)) = take(queues, w) {
+                        if tx.send((i, f())).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            // The channel closes once every worker has exited; a job
+            // panic unwinds its worker, and `scope` re-raises the panic
+            // when it joins the threads below.
+            for (i, v) in rx {
+                out[i] = Some(v);
+            }
+        });
+
+        out.into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} produced no result")))
+            .collect()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_available_parallelism()
+    }
+}
+
+/// The machine's available parallelism (1 when undeterminable).
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Pop from our own deque's front, else steal from the back of the
+/// nearest non-empty neighbour.
+fn take<J>(queues: &[Mutex<VecDeque<J>>], me: usize) -> Option<J> {
+    if let Some(j) = queues[me].lock().expect("queue poisoned").pop_front() {
+        return Some(j);
+    }
+    let n = queues.len();
+    for off in 1..n {
+        if let Some(j) = queues[(me + off) % n].lock().expect("queue poisoned").pop_back() {
+            return Some(j);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let pool = Pool::new(4);
+        // Jobs deliberately finish out of order: later jobs are cheaper.
+        let jobs: Vec<_> = (0..32u64)
+            .map(|i| {
+                move || {
+                    let spin = (32 - i) * 2_000;
+                    let mut acc = 0u64;
+                    for k in 0..spin {
+                        acc = acc.wrapping_add(k * k);
+                    }
+                    (i, acc & 1)
+                }
+            })
+            .collect();
+        let out = pool.run(jobs);
+        let ids: Vec<u64> = out.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_pure_jobs() {
+        let mk = || (0..100u64).map(|i| move || i * i + 1).collect::<Vec<_>>();
+        let serial = Pool::new(1).run(mk());
+        let parallel = Pool::new(8).run(mk());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn all_jobs_execute_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..257)
+            .map(|_| {
+                let count = &count;
+                move || count.fetch_add(1, Ordering::SeqCst)
+            })
+            .collect();
+        let out = Pool::new(3).run(jobs);
+        assert_eq!(out.len(), 257);
+        assert_eq!(count.load(Ordering::SeqCst), 257);
+    }
+
+    #[test]
+    fn empty_and_single_job_batches() {
+        let pool = Pool::new(4);
+        let empty: Vec<fn() -> u32> = Vec::new();
+        assert!(pool.run(empty).is_empty());
+        assert_eq!(pool.run(vec![|| 7u32]), vec![7]);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(Pool::new(0).workers(), 1);
+        assert!(Pool::from_available_parallelism().workers() >= 1);
+    }
+
+    #[test]
+    fn boxed_jobs_are_supported() {
+        // Heterogeneous closures unify behind Box<dyn FnOnce>.
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| 2 + 3), Box::new(|| 42)];
+        assert_eq!(Pool::new(2).run(jobs), vec![1, 5, 42]);
+    }
+}

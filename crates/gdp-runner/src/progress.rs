@@ -1,0 +1,67 @@
+//! Campaign progress reporting.
+//!
+//! Progress goes to **stderr** in completion order (which varies with the
+//! worker count); everything on stdout and in result files is emitted
+//! after reassembly and is byte-identical for every `--jobs N`.
+
+use std::sync::Mutex;
+
+/// Thread-safe completed-jobs counter that reports to stderr.
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    total: usize,
+    done: Mutex<usize>,
+    enabled: bool,
+}
+
+impl Progress {
+    /// A reporter for `total` jobs, prefixed `[label]`.
+    pub fn new(label: &str, total: usize) -> Progress {
+        Progress { label: label.to_string(), total, done: Mutex::new(0), enabled: true }
+    }
+
+    /// A reporter that counts but prints nothing (library/test use).
+    pub fn silent(total: usize) -> Progress {
+        Progress { label: String::new(), total, done: Mutex::new(0), enabled: false }
+    }
+
+    /// Record one finished job described by `item`.
+    pub fn finish_item(&self, item: &str) {
+        let mut done = self.done.lock().expect("progress poisoned");
+        *done += 1;
+        if self.enabled {
+            eprintln!("[{}] {}/{} done: {item}", self.label, *done, self.total);
+        }
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> usize {
+        *self.done.lock().expect("progress poisoned")
+    }
+
+    /// Total jobs expected.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_across_threads() {
+        let p = Progress::silent(8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    p.finish_item("a");
+                    p.finish_item("b");
+                });
+            }
+        });
+        assert_eq!(p.completed(), 8);
+        assert_eq!(p.total(), 8);
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`metrics`] — RMS error, STP and distribution summaries.
 //! * [`experiments`] — shared/private mode drivers reproducing the paper's
 //!   evaluation.
+//! * [`runner`] — parallel, deterministic campaign execution (job pool,
+//!   shared CLI, machine-readable JSON results).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -20,5 +22,6 @@ pub use gdp_dief as dief;
 pub use gdp_experiments as experiments;
 pub use gdp_metrics as metrics;
 pub use gdp_partition as partition;
+pub use gdp_runner as runner;
 pub use gdp_sim as sim;
 pub use gdp_workloads as workloads;
