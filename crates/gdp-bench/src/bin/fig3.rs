@@ -5,20 +5,33 @@
 //! 2-, 4- and 8-core CMPs and the H/M/L workload categories.
 
 use gdp_bench::{
-    accuracy_sweep, aggregate, all_cells, banner, cell_accuracy_json, sweep_job_count, BenchArgs,
+    accuracy_sweep_traced, aggregate, all_cells, banner, cell_accuracy_json, sweep_job_count,
+    sweep_job_labels, BenchArgs,
 };
 use gdp_experiments::Technique;
 use gdp_runner::{Json, Progress};
 
 fn main() {
     let args = BenchArgs::parse("fig3");
+    let cells = all_cells();
+    if args.list {
+        args.print_plan(&sweep_job_labels(&cells, args.scale, &Technique::ALL));
+        return;
+    }
     banner("Figure 3: average private-mode prediction accuracy", args.scale);
 
-    let cells = all_cells();
     let job_count = sweep_job_count(&cells, args.scale, &Technique::ALL);
-    let campaign = args.campaign();
+    let mut campaign = args.campaign();
     let progress = Progress::new(args.bin, job_count);
-    let sweep = accuracy_sweep(&cells, args.scale, &Technique::ALL, &args.pool(), &progress);
+    let traces = args.traces();
+    let sweep = accuracy_sweep_traced(
+        &cells,
+        args.scale,
+        &Technique::ALL,
+        &args.pool(),
+        &progress,
+        traces.as_ref(),
+    );
 
     let header = {
         let mut h = format!("{:8}", "cell");
@@ -61,5 +74,6 @@ fn main() {
     );
 
     let data = Json::obj(vec![("cells", Json::Arr(data_cells))]);
+    args.finish_campaign(&mut campaign, &progress, traces.as_ref());
     args.write_json(&campaign, job_count, data);
 }

@@ -2,21 +2,35 @@
 //! predictions — all workload categories combined, errors sorted
 //! ascending per technique (one series per CMP size).
 
-use gdp_bench::{accuracy_sweep, all_cells, banner, sweep_job_count, BenchArgs};
+use gdp_bench::{
+    accuracy_sweep_traced, all_cells, banner, sweep_job_count, sweep_job_labels, BenchArgs,
+};
 use gdp_experiments::Technique;
 use gdp_runner::{Json, Progress};
 
 fn main() {
     let args = BenchArgs::parse("fig4");
-    banner("Figure 4: sorted SMS-stall RMS error distributions", args.scale);
-
     // One flattened campaign over all nine cells; regrouped by CMP size
     // below (classes are combined per the figure).
     let cells = all_cells();
+    if args.list {
+        args.print_plan(&sweep_job_labels(&cells, args.scale, &Technique::ALL));
+        return;
+    }
+    banner("Figure 4: sorted SMS-stall RMS error distributions", args.scale);
+
     let job_count = sweep_job_count(&cells, args.scale, &Technique::ALL);
-    let campaign = args.campaign();
+    let mut campaign = args.campaign();
     let progress = Progress::new(args.bin, job_count);
-    let sweep = accuracy_sweep(&cells, args.scale, &Technique::ALL, &args.pool(), &progress);
+    let traces = args.traces();
+    let sweep = accuracy_sweep_traced(
+        &cells,
+        args.scale,
+        &Technique::ALL,
+        &args.pool(),
+        &progress,
+        traces.as_ref(),
+    );
 
     let mut data_sizes = Vec::new();
     for cores in [2usize, 4, 8] {
@@ -87,5 +101,6 @@ fn main() {
     );
 
     let data = Json::obj(vec![("cmp_sizes", Json::Arr(data_sizes))]);
+    args.finish_campaign(&mut campaign, &progress, traces.as_ref());
     args.write_json(&campaign, job_count, data);
 }

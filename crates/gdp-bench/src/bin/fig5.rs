@@ -3,7 +3,8 @@
 //! as five-number summaries (the paper uses violin plots).
 
 use gdp_bench::{
-    accuracy_sweep, aggregate, all_cells, banner, cell_accuracy_json, sweep_job_count, BenchArgs,
+    accuracy_sweep_traced, aggregate, all_cells, banner, cell_accuracy_json, sweep_job_count,
+    sweep_job_labels, BenchArgs,
 };
 use gdp_experiments::Technique;
 use gdp_metrics::Summary;
@@ -18,13 +19,25 @@ fn print_summary(label: &str, s: &Summary) {
 
 fn main() {
     let args = BenchArgs::parse("fig5");
+    let cells = all_cells();
+    if args.list {
+        args.print_plan(&sweep_job_labels(&cells, args.scale, &Technique::ALL));
+        return;
+    }
     banner("Figure 5: GDP/GDP-O component error distributions", args.scale);
 
-    let cells = all_cells();
     let job_count = sweep_job_count(&cells, args.scale, &Technique::ALL);
-    let campaign = args.campaign();
+    let mut campaign = args.campaign();
     let progress = Progress::new(args.bin, job_count);
-    let sweep = accuracy_sweep(&cells, args.scale, &Technique::ALL, &args.pool(), &progress);
+    let traces = args.traces();
+    let sweep = accuracy_sweep_traced(
+        &cells,
+        args.scale,
+        &Technique::ALL,
+        &args.pool(),
+        &progress,
+        traces.as_ref(),
+    );
 
     let mut cpl: Vec<(String, Summary)> = Vec::new();
     let mut overlap: Vec<(String, Summary)> = Vec::new();
@@ -58,5 +71,6 @@ fn main() {
     );
 
     let data = Json::obj(vec![("cells", Json::Arr(data_cells))]);
+    args.finish_campaign(&mut campaign, &progress, traces.as_ref());
     args.write_json(&campaign, job_count, data);
 }

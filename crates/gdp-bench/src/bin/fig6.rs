@@ -10,32 +10,45 @@ use gdp_workloads::{LlcClass, Workload};
 
 fn main() {
     let args = BenchArgs::parse("fig6");
-    banner("Figure 6: system throughput with LLC partitioning", args.scale);
-
     // Flatten to one job per (cell, workload): each runs the full policy
     // study (all five LLC managers plus the private reference runs).
+    // Policy studies measure throughput under invasive repartitioning,
+    // not the estimator-facing stream, so the trace cache does not apply
+    // here (`--record`/`--replay` are accepted and ignored).
     let cells = all_cells();
     let prep: Vec<(ExperimentConfig, Vec<Workload>)> = cells
         .iter()
         .map(|c| (args.scale.xcfg(c.cores), class_workloads(c.cores, c.class, args.scale)))
         .collect();
-    let job_count: usize = prep.iter().map(|(_, ws)| ws.len()).sum();
-    let campaign = args.campaign();
-    let progress = Progress::new(args.bin, job_count);
-
-    let jobs: Vec<_> = cells
+    // One label per job, shared between the `--list` plan and execution
+    // progress so the two can never drift.
+    let flat: Vec<(&Workload, &ExperimentConfig, String)> = cells
         .iter()
         .zip(&prep)
-        .flat_map(|(cell, (xcfg, workloads))| {
+        .flat_map(|(cell, (xcfg, ws))| {
+            ws.iter().map(move |w| (w, xcfg, format!("{}/{}", cell.label(), w.name)))
+        })
+        .collect();
+    if args.list {
+        let labels: Vec<String> = flat.iter().map(|(_, _, l)| l.clone()).collect();
+        args.print_plan(&labels);
+        return;
+    }
+    banner("Figure 6: system throughput with LLC partitioning", args.scale);
+
+    let job_count = flat.len();
+    let mut campaign = args.campaign();
+    let progress = Progress::new(args.bin, job_count);
+
+    let jobs: Vec<_> = flat
+        .iter()
+        .map(|(w, xcfg, label)| {
             let progress = &progress;
-            workloads.iter().map(move |w| {
-                let label = format!("{}/{}", cell.label(), w.name);
-                move || {
-                    let out = run_policy_study(w, xcfg, &PolicyKind::ALL);
-                    progress.finish_item(&label);
-                    out
-                }
-            })
+            move || {
+                let out = run_policy_study(w, xcfg, &PolicyKind::ALL);
+                progress.finish_item(label);
+                out
+            }
         })
         .collect();
     let mut outcomes = args.pool().run(jobs).into_iter();
@@ -119,5 +132,6 @@ fn main() {
         ("cells", Json::Arr(data_cells)),
         ("eight_core_h_vs_lru", Json::Arr(data_8ch)),
     ]);
+    args.finish_campaign(&mut campaign, &progress, None);
     args.write_json(&campaign, job_count, data);
 }

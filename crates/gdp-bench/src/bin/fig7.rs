@@ -4,7 +4,7 @@
 //! (e) PRB entries, and (f) mixed H/M/L workloads.
 
 use gdp_bench::{banner, class_workloads, BenchArgs, Scale, SWEEP_SEED};
-use gdp_experiments::{evaluate_workload_subset, ExperimentConfig, Technique};
+use gdp_experiments::{evaluate_workload_traced, CampaignTraces, ExperimentConfig, Technique};
 use gdp_metrics::mean;
 use gdp_runner::{Json, Progress};
 use gdp_sim::DramConfig;
@@ -72,10 +72,13 @@ fn classes() -> [LlcClass; 3] {
     [LlcClass::H, LlcClass::M, LlcClass::L]
 }
 
-/// GDP-O per-benchmark absolute RMS IPC errors of one workload.
-fn gdpo_errors(w: &Workload, xcfg: &ExperimentConfig) -> Vec<f64> {
+/// GDP-O per-benchmark absolute RMS IPC errors of one workload (routed
+/// through the trace cache when one is active — every *distinct*
+/// configuration keys its own traces, so replays stay exact; the
+/// identical baseline variants of the five sweeps share keys).
+fn gdpo_errors(w: &Workload, xcfg: &ExperimentConfig, traces: Option<&CampaignTraces>) -> Vec<f64> {
     let i = Technique::ALL.iter().position(|t| *t == Technique::GdpO).unwrap();
-    evaluate_workload_subset(w, xcfg, &[Technique::GdpO])
+    evaluate_workload_traced(w, xcfg, &[Technique::GdpO], traces)
         .benches
         .iter()
         .filter(|b| !b.ipc_err[i].is_empty())
@@ -85,8 +88,6 @@ fn gdpo_errors(w: &Workload, xcfg: &ExperimentConfig) -> Vec<f64> {
 
 fn main() {
     let args = BenchArgs::parse("fig7");
-    banner("Figure 7: GDP-O sensitivity analysis (4-core)", args.scale);
-
     let sweeps = sweeps();
     let per_class: Vec<(LlcClass, Vec<Workload>)> =
         classes().iter().map(|&c| (c, class_workloads(4, c, args.scale))).collect();
@@ -114,43 +115,51 @@ fn main() {
     let base_cfg = args.scale.xcfg(4);
 
     // Flatten (sweep × variant × class × workload) plus the mixed
-    // workloads into one job list; every job returns per-bench errors.
-    let workloads_total: usize = per_class.iter().map(|(_, ws)| ws.len()).sum();
-    let variants_total: usize = sweeps.iter().map(|s| s.variants.len()).sum();
-    let job_count =
-        variants_total * workloads_total + mixes.iter().map(|(_, ws)| ws.len()).sum::<usize>();
-    let campaign = args.campaign();
-    let progress = Progress::new(args.bin, job_count);
-
-    type Job<'a> = Box<dyn FnOnce() -> Vec<f64> + Send + 'a>;
-    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(job_count);
+    // workloads into one (workload, config, label) list — the single
+    // source for the `--list` plan and the executed jobs, so the two
+    // can never drift. Note sweeps (a)–(e) each carry a baseline
+    // variant identical to the untweaked config: those jobs share one
+    // set of cache keys, so under `--record --replay` only the first
+    // simulates and the rest replay.
+    let mut plan: Vec<(&Workload, &ExperimentConfig, String)> = Vec::new();
     for (sweep, cfgs) in sweeps.iter().zip(&variant_cfgs) {
         for ((vlabel, _), xcfg) in sweep.variants.iter().zip(cfgs) {
             for (class, workloads) in &per_class {
                 for w in workloads {
-                    let label = format!("{}={vlabel} 4c-{class} {}", sweep.title, w.name);
-                    let progress = &progress;
-                    jobs.push(Box::new(move || {
-                        let e = gdpo_errors(w, xcfg);
-                        progress.finish_item(&label);
-                        e
-                    }));
+                    plan.push((w, xcfg, format!("{}={vlabel} 4c-{class} {}", sweep.title, w.name)));
                 }
             }
         }
     }
     for (pat, workloads) in &mixes {
         for w in workloads {
-            let label = format!("mix {} {}", pat.name(), w.name);
-            let progress = &progress;
-            let base_cfg = &base_cfg;
-            jobs.push(Box::new(move || {
-                let e = gdpo_errors(w, base_cfg);
-                progress.finish_item(&label);
-                e
-            }));
+            plan.push((w, &base_cfg, format!("mix {} {}", pat.name(), w.name)));
         }
     }
+    if args.list {
+        let labels: Vec<String> = plan.iter().map(|(_, _, l)| l.clone()).collect();
+        args.print_plan(&labels);
+        return;
+    }
+    banner("Figure 7: GDP-O sensitivity analysis (4-core)", args.scale);
+
+    let job_count = plan.len();
+    let mut campaign = args.campaign();
+    let progress = Progress::new(args.bin, job_count);
+    let traces = args.traces();
+
+    let jobs: Vec<_> = plan
+        .iter()
+        .map(|(w, xcfg, label)| {
+            let progress = &progress;
+            let traces = &traces;
+            move || {
+                let e = gdpo_errors(w, xcfg, traces.as_ref());
+                progress.finish_item(label);
+                e
+            }
+        })
+        .collect();
     let mut results = args.pool().run(jobs).into_iter();
 
     // ---- reassemble in job order ----
@@ -227,5 +236,6 @@ fn main() {
 
     let data =
         Json::obj(vec![("sweeps", Json::Arr(data_sweeps)), ("mixes", Json::Arr(data_mixes))]);
+    args.finish_campaign(&mut campaign, &progress, traces.as_ref());
     args.write_json(&campaign, job_count, data);
 }

@@ -7,7 +7,10 @@
 //! * MCP improves average STP by 11.9% / 20.8% over ASM partitioning;
 //! * ASM's invasive accounting slowed individual processes by up to 57%.
 
-use gdp_bench::{accuracy_sweep, banner, class_workloads, sweep_job_count, BenchArgs, SweepCell};
+use gdp_bench::{
+    accuracy_sweep_traced, banner, class_workloads, sweep_job_count, sweep_job_labels, BenchArgs,
+    SweepCell,
+};
 use gdp_experiments::{run_policy_study, ExperimentConfig, PolicyKind, Technique};
 use gdp_metrics::mean;
 use gdp_runner::{Json, Progress};
@@ -19,8 +22,6 @@ fn tech_idx(t: Technique) -> usize {
 
 fn main() {
     let args = BenchArgs::parse("headline");
-    banner("Headline numbers (paper §I / §VII)", args.scale);
-
     let cells: Vec<SweepCell> = [4usize, 8]
         .iter()
         .flat_map(|&cores| {
@@ -33,29 +34,51 @@ fn main() {
         .iter()
         .map(|c| (args.scale.xcfg(c.cores), class_workloads(c.cores, c.class, args.scale)))
         .collect();
-    let stp_jobs: usize = prep.iter().map(|(_, ws)| ws.len()).sum();
-    let job_count = sweep_job_count(&cells, args.scale, &Technique::ALL) + stp_jobs;
-    let campaign = args.campaign();
-    let progress = Progress::new(args.bin, job_count);
-    let pool = args.pool();
-
-    // Phase 1: the accuracy campaign over both CMP sizes.
-    let sweep = accuracy_sweep(&cells, args.scale, &Technique::ALL, &pool, &progress);
-
-    // Phase 2: the MCP-vs-ASM STP study, one job per workload.
-    let policy_jobs: Vec<_> = cells
+    // The STP phase's labels, shared between the `--list` plan and
+    // execution progress (the accuracy phase's come from
+    // `sweep_job_labels`, which `accuracy_sweep_traced` also uses).
+    let stp_plan: Vec<(&Workload, &ExperimentConfig, String)> = cells
         .iter()
         .zip(&prep)
-        .flat_map(|(cell, (xcfg, workloads))| {
+        .flat_map(|(cell, (xcfg, ws))| {
+            ws.iter().map(move |w| (w, xcfg, format!("{}/{} STP", cell.label(), w.name)))
+        })
+        .collect();
+    if args.list {
+        let mut labels = sweep_job_labels(&cells, args.scale, &Technique::ALL);
+        labels.extend(stp_plan.iter().map(|(_, _, l)| l.clone()));
+        args.print_plan(&labels);
+        return;
+    }
+    banner("Headline numbers (paper §I / §VII)", args.scale);
+
+    let stp_jobs: usize = prep.iter().map(|(_, ws)| ws.len()).sum();
+    let job_count = sweep_job_count(&cells, args.scale, &Technique::ALL) + stp_jobs;
+    let mut campaign = args.campaign();
+    let progress = Progress::new(args.bin, job_count);
+    let pool = args.pool();
+    let traces = args.traces();
+
+    // Phase 1: the accuracy campaign over both CMP sizes.
+    let sweep = accuracy_sweep_traced(
+        &cells,
+        args.scale,
+        &Technique::ALL,
+        &pool,
+        &progress,
+        traces.as_ref(),
+    );
+
+    // Phase 2: the MCP-vs-ASM STP study, one job per workload.
+    let policy_jobs: Vec<_> = stp_plan
+        .iter()
+        .map(|(w, xcfg, label)| {
             let progress = &progress;
-            workloads.iter().map(move |w| {
-                let label = format!("{}/{} STP", cell.label(), w.name);
-                move || {
-                    let out = run_policy_study(w, xcfg, &[PolicyKind::AsmPart, PolicyKind::Mcp]);
-                    progress.finish_item(&label);
-                    out
-                }
-            })
+            move || {
+                let out = run_policy_study(w, xcfg, &[PolicyKind::AsmPart, PolicyKind::Mcp]);
+                progress.finish_item(label);
+                out
+            }
         })
         .collect();
     let mut policy_outcomes = pool.run(policy_jobs).into_iter();
@@ -147,5 +170,6 @@ fn main() {
     }
 
     let data = Json::obj(vec![("cmp_sizes", Json::Arr(data_sizes))]);
+    args.finish_campaign(&mut campaign, &progress, traces.as_ref());
     args.write_json(&campaign, job_count, data);
 }

@@ -112,6 +112,11 @@ fn config_json(preset: &str, cfg: &SimConfig) -> Json {
 
 fn main() {
     let args = BenchArgs::parse("table1");
+    // table1 is pure printing: the job plan is empty, and the trace
+    // cache has nothing to record or replay.
+    if args.print_plan(&[]) {
+        return;
+    }
     println!("Table I: CMP model parameters");
     println!("(multiple-value encoding in the paper: 2-core/4-core/8-core)\n");
     let campaign = args.campaign();

@@ -23,11 +23,11 @@
 //! stderr. EXPERIMENTS.md records a reference transcript.
 
 use gdp_experiments::{
-    transparent_subset, ExperimentConfig, PrivateRun, SharedRun, Technique, WorkloadAccuracy,
-    WorkloadEval,
+    transparent_subset, CampaignTraces, ExperimentConfig, PrivateRun, SharedRun, Technique,
+    WorkloadAccuracy, WorkloadEval,
 };
 use gdp_metrics::{mean, Summary};
-use gdp_runner::{cli, summary_json, Campaign, Json, Pool, Progress, ScaleFlag};
+use gdp_runner::{cli, summary_json, CacheCounters, Campaign, Json, Pool, Progress, ScaleFlag};
 use gdp_workloads::{generate_workloads, LlcClass, Workload};
 
 /// Sweep scale selected on the command line.
@@ -81,8 +81,9 @@ impl Scale {
 }
 
 /// Parsed command line of a figure binary (shared `gdp-runner` surface:
-/// `--tiny/--quick/--full`, `--jobs N`, `--json`; unknown flags exit
-/// non-zero with usage).
+/// `--tiny/--quick/--full`, `--jobs N`, `--json`, `--list`, and the
+/// trace-cache flags `--record`/`--replay`/`--trace-dir DIR`; unknown
+/// flags exit non-zero with usage).
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Binary name (used for progress labels and the results file).
@@ -93,13 +94,30 @@ pub struct BenchArgs {
     pub jobs: usize,
     /// Write `results/<bin>.json`.
     pub json: bool,
+    /// `--list`: print the flattened job plan and exit 0.
+    pub list: bool,
+    /// `--record`: store event traces after simulating.
+    pub record: bool,
+    /// `--replay`: reuse cached event traces when present.
+    pub replay: bool,
+    /// Trace-cache directory.
+    pub trace_dir: String,
 }
 
 impl BenchArgs {
     /// Parse [`std::env::args`]; prints usage and exits on bad input.
     pub fn parse(bin: &'static str) -> BenchArgs {
         let a = cli::parse_or_exit(bin);
-        BenchArgs { bin, scale: a.scale.into(), jobs: a.jobs(), json: a.json }
+        BenchArgs {
+            bin,
+            scale: a.scale.into(),
+            jobs: a.jobs(),
+            json: a.json,
+            list: a.list,
+            record: a.record,
+            replay: a.replay,
+            trace_dir: a.trace_dir,
+        }
     }
 
     /// The job pool for this invocation.
@@ -110,6 +128,46 @@ impl BenchArgs {
     /// Start the campaign clock/identity for this invocation.
     pub fn campaign(&self) -> Campaign {
         Campaign::new(self.bin, self.scale.name(), SWEEP_SEED, self.jobs)
+    }
+
+    /// The campaign trace policy, when `--record`/`--replay` asked for
+    /// one. `None` keeps the cache entirely out of the hot path.
+    pub fn traces(&self) -> Option<CampaignTraces> {
+        (self.record || self.replay)
+            .then(|| CampaignTraces::new(&self.trace_dir, self.record, self.replay))
+    }
+
+    /// Under `--list`, print the flattened job plan (one label per job,
+    /// in submission order) and report `true` so the binary exits
+    /// without running anything.
+    pub fn print_plan(&self, labels: &[String]) -> bool {
+        if !self.list {
+            return false;
+        }
+        for l in labels {
+            println!("{l}");
+        }
+        eprintln!("[{}] {} jobs planned", self.bin, labels.len());
+        true
+    }
+
+    /// End-of-campaign bookkeeping: the stderr `done:` summary line and
+    /// trace-cache counters for the run record.
+    pub fn finish_campaign(
+        &self,
+        campaign: &mut Campaign,
+        progress: &Progress,
+        traces: Option<&CampaignTraces>,
+    ) {
+        progress.campaign_done();
+        if let Some(tc) = traces {
+            let s = tc.stats();
+            campaign.set_cache(CacheCounters { hits: s.hits, misses: s.misses, stores: s.stores });
+            eprintln!(
+                "[{}] trace cache: {} hits, {} misses, {} stores ({})",
+                self.bin, s.hits, s.misses, s.stores, self.trace_dir
+            );
+        }
     }
 
     /// Under `--json`, write `data` to `results/<bin>.json` (with the
@@ -207,30 +265,92 @@ pub fn accuracy_sweep(
     pool: &Pool,
     progress: &Progress,
 ) -> Vec<Vec<WorkloadAccuracy>> {
+    accuracy_sweep_traced(cells, scale, techniques, pool, progress, None)
+}
+
+/// Label of one shared-mode job — the single source for both the
+/// `--list` plan and execution progress, so the two can never drift.
+fn shared_job_label(cell: &SweepCell, workload: &str, asm: bool) -> String {
+    let suffix = if asm { " (ASM)" } else { "" };
+    format!("{}/{workload} shared{suffix}", cell.label())
+}
+
+/// Label of one private ground-truth job.
+fn private_job_label(workload: &str, core: usize) -> String {
+    format!("{workload} private core {core}")
+}
+
+/// The flattened job plan of [`accuracy_sweep`] as one label per job, in
+/// submission order (`--list`; each label names the simulation a cache
+/// key covers, which makes cache hits/misses attributable).
+pub fn sweep_job_labels(
+    cells: &[SweepCell],
+    scale: Scale,
+    techniques: &[Technique],
+) -> Vec<String> {
+    let with_asm = techniques.contains(&Technique::Asm);
+    let mut labels = Vec::new();
+    let prep: Vec<Vec<Workload>> =
+        cells.iter().map(|c| class_workloads(c.cores, c.class, scale)).collect();
+    for (cell, workloads) in cells.iter().zip(&prep) {
+        for w in workloads {
+            labels.push(shared_job_label(cell, &w.name, false));
+            if with_asm {
+                labels.push(shared_job_label(cell, &w.name, true));
+            }
+        }
+    }
+    for (cell, workloads) in cells.iter().zip(&prep) {
+        for w in workloads {
+            for core in 0..cell.cores {
+                labels.push(private_job_label(&w.name, core));
+            }
+        }
+    }
+    labels
+}
+
+/// [`accuracy_sweep`] with an optional trace policy: when `traces` is
+/// given, every shared and private job routes through the
+/// content-addressed cache (replayed on a hit, simulated — and under
+/// `--record` stored — on a miss). Results are bit-identical either way.
+pub fn accuracy_sweep_traced(
+    cells: &[SweepCell],
+    scale: Scale,
+    techniques: &[Technique],
+    pool: &Pool,
+    progress: &Progress,
+    traces: Option<&CampaignTraces>,
+) -> Vec<Vec<WorkloadAccuracy>> {
     let prep: Vec<(ExperimentConfig, Vec<Workload>)> = cells
         .iter()
         .map(|c| (scale.xcfg(c.cores), class_workloads(c.cores, c.class, scale)))
         .collect();
     let with_asm = techniques.contains(&Technique::Asm);
     let transparent = transparent_subset(techniques);
+    let run_shared_job = move |w: &Workload, xcfg: &ExperimentConfig, ts: &[Technique]| match traces
+    {
+        None => gdp_experiments::run_shared(w, xcfg, ts),
+        Some(tc) => tc.shared(w, xcfg, ts),
+    };
 
     // Phase 1: shared-mode runs.
     type SharedJob<'a> = Box<dyn FnOnce() -> SharedRun + Send + 'a>;
     let mut shared_jobs: Vec<SharedJob<'_>> = Vec::new();
     for (cell, (xcfg, workloads)) in cells.iter().zip(&prep) {
         for w in workloads {
-            let label = cell.label();
+            let label = shared_job_label(cell, &w.name, false);
             let transparent = &transparent;
             shared_jobs.push(Box::new(move || {
-                let r = gdp_experiments::run_shared(w, xcfg, transparent);
-                progress.finish_item(&format!("{label}/{} shared", w.name));
+                let r = run_shared_job(w, xcfg, transparent);
+                progress.finish_item(&label);
                 r
             }));
             if with_asm {
-                let label = cell.label();
+                let label = shared_job_label(cell, &w.name, true);
                 shared_jobs.push(Box::new(move || {
-                    let r = gdp_experiments::run_shared(w, xcfg, &[Technique::Asm]);
-                    progress.finish_item(&format!("{label}/{} shared (ASM)", w.name));
+                    let r = run_shared_job(w, xcfg, &[Technique::Asm]);
+                    progress.finish_item(&label);
                     r
                 }));
             }
@@ -258,8 +378,11 @@ pub fn accuracy_sweep(
         .flat_map(|eval| {
             (0..eval.cores()).map(move |core| {
                 move || {
-                    let p = eval.run_private_for(core);
-                    progress.finish_item(&format!("{} private core {core}", eval.workload_name()));
+                    let p = match traces {
+                        None => eval.run_private_for(core),
+                        Some(tc) => tc.private(eval, core),
+                    };
+                    progress.finish_item(&private_job_label(eval.workload_name(), core));
                     p
                 }
             })
@@ -418,6 +541,19 @@ mod tests {
         assert_eq!(Scale::from(ScaleFlag::Quick), Scale::Quick);
         assert_eq!(Scale::from(ScaleFlag::Full), Scale::Full);
         assert_eq!(Scale::Tiny.name(), "tiny");
+    }
+
+    #[test]
+    fn job_labels_match_the_job_count_and_name_every_phase() {
+        let cells = all_cells();
+        for techniques in [&Technique::ALL[..], &[Technique::Gdp][..]] {
+            let labels = sweep_job_labels(&cells, Scale::Tiny, techniques);
+            assert_eq!(labels.len(), sweep_job_count(&cells, Scale::Tiny, techniques));
+            assert!(labels.iter().any(|l| l.ends_with("shared")));
+            assert!(labels.iter().any(|l| l.contains("private core")));
+            let has_asm = labels.iter().any(|l| l.contains("(ASM)"));
+            assert_eq!(has_asm, techniques.contains(&Technique::Asm));
+        }
     }
 
     #[test]

@@ -73,6 +73,32 @@ pub trait PrivateModeEstimator {
     fn estimate(&mut self, core: CoreId, m: &IntervalMeasurement) -> PrivateEstimate;
 }
 
+/// Feed one interval's probe-event batch to every estimator, in event
+/// order (events outer, estimators inner).
+///
+/// This is *the* observation loop: the live shared-mode run and the
+/// trace-replay engine both call it, so an estimator sees byte-for-byte
+/// the same call sequence either way — the property that makes replayed
+/// estimates bit-identical to live ones.
+pub fn observe_all(estimators: &mut [Box<dyn PrivateModeEstimator>], events: &[ProbeEvent]) {
+    for ev in events {
+        for e in estimators.iter_mut() {
+            e.observe(ev);
+        }
+    }
+}
+
+/// Produce one estimate per estimator (in estimator order) for `core` at
+/// an interval boundary. The shared counterpart of [`observe_all`]: live
+/// runs and replays both produce their estimate vectors through it.
+pub fn estimate_all(
+    estimators: &mut [Box<dyn PrivateModeEstimator>],
+    core: CoreId,
+    m: &IntervalMeasurement,
+) -> Vec<PrivateEstimate> {
+    estimators.iter_mut().map(|e| e.estimate(core, m)).collect()
+}
+
 /// σ̂_Other: other memory-related stalls scale with the latency ratio
 /// (paper §III: "assuming that the stall length is proportional to the
 /// memory latency difference between the shared and private modes").
@@ -163,6 +189,25 @@ mod tests {
         let cpi = private_cpi(&s, sigma, 0.0);
         let back = sigma_sms_from_cpi(&s, cpi, 0.0);
         assert!((back - sigma).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drive_helpers_visit_estimators_in_order() {
+        use crate::{GdpEstimator, GdpVariant};
+        let mut est: Vec<Box<dyn PrivateModeEstimator>> = vec![
+            Box::new(GdpEstimator::new(GdpVariant::Gdp, 1, 4)),
+            Box::new(GdpEstimator::new(GdpVariant::GdpO, 1, 4)),
+        ];
+        let ev = ProbeEvent::LoadL1Miss {
+            core: CoreId(0),
+            req: gdp_sim::types::ReqId(1),
+            block: 0x40,
+            cycle: 3,
+        };
+        observe_all(&mut est, &[ev]);
+        let m = IntervalMeasurement { stats: stats(), lambda: 10.0, shared_latency: 20.0 };
+        let out = estimate_all(&mut est, CoreId(0), &m);
+        assert_eq!(out.len(), 2, "one estimate per estimator, in order");
     }
 
     #[test]

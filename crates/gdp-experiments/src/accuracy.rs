@@ -124,6 +124,12 @@ pub fn evaluate_workload_pooled(
     eval.finish(&privates)
 }
 
+/// Address-space base a private run uses for `core` (disjoint across
+/// cores; part of the private trace cache key).
+pub fn private_base(core: usize) -> u64 {
+    (core as u64) << 36
+}
+
 /// The techniques of `techniques` that share one transparent run (all but
 /// the invasive ASM).
 pub fn transparent_subset(techniques: &[Technique]) -> Vec<Technique> {
@@ -199,6 +205,16 @@ impl WorkloadEval {
         &self.workload_name
     }
 
+    /// The experiment configuration the evaluation runs under.
+    pub fn xcfg(&self) -> &ExperimentConfig {
+        &self.xcfg
+    }
+
+    /// Name of the benchmark occupying `core`.
+    pub fn bench_name(&self, core: usize) -> &'static str {
+        self.benchmarks[core].name
+    }
+
     /// Sorted, deduplicated union of both shared runs' checkpoints for
     /// `core` — the instruction sample points handed to the private run.
     pub fn checkpoints_for(&self, core: usize) -> Vec<u64> {
@@ -217,8 +233,12 @@ impl WorkloadEval {
     /// The private ground-truth run for `core` (the expensive inner
     /// loop; pure and independent across cores).
     pub fn run_private_for(&self, core: usize) -> PrivateRun {
-        let base = (core as u64) << 36;
-        run_private(&self.benchmarks[core], base, &self.xcfg, &self.checkpoints_for(core))
+        run_private(
+            &self.benchmarks[core],
+            private_base(core),
+            &self.xcfg,
+            &self.checkpoints_for(core),
+        )
     }
 
     /// Score every core's shared-mode estimates against its private

@@ -11,18 +11,27 @@
 //!   CPL, overlap and latency estimates (Figs. 3–5).
 //! * [`policy_run`] — the LLC-partitioning case study: LRU, UCP, ASM, MCP
 //!   and MCP-O under way-partitioning with STP scoring (Fig. 6).
+//! * [`trace`] — record/replay glue over `gdp-trace`: capture the
+//!   estimator-facing stream once per (config × workload), replay any
+//!   technique from it bit-identically, and route campaign jobs through
+//!   the content-addressed trace cache.
 
 pub mod accuracy;
 pub mod config;
 pub mod policy_run;
 pub mod private;
 pub mod shared;
+pub mod trace;
 
 pub use accuracy::{
-    evaluate_workload, evaluate_workload_pooled, evaluate_workload_subset, transparent_subset,
-    BenchAccuracy, Technique, WorkloadAccuracy, WorkloadEval,
+    evaluate_workload, evaluate_workload_pooled, evaluate_workload_subset, private_base,
+    transparent_subset, BenchAccuracy, Technique, WorkloadAccuracy, WorkloadEval,
 };
 pub use config::ExperimentConfig;
 pub use policy_run::{run_policy_study, PolicyKind, PolicyOutcome};
 pub use private::{run_private, PrivateCheckpoint, PrivateRun};
-pub use shared::{run_shared, CoreInterval, SharedRun};
+pub use shared::{run_shared, run_shared_with_sink, CoreInterval, SharedRun};
+pub use trace::{
+    evaluate_workload_traced, private_from_trace, private_to_trace, private_trace_key,
+    record_shared, replay_shared, shared_trace_key, CampaignTraces,
+};

@@ -1,12 +1,13 @@
 //! Shared-mode runs with accounting techniques attached.
 
 use gdp_accounting::{Asm, Itca, Ptca};
-use gdp_core::model::{IntervalMeasurement, PrivateEstimate, PrivateModeEstimator};
+use gdp_core::model::{estimate_all, observe_all, PrivateEstimate, PrivateModeEstimator};
 use gdp_core::{GdpEstimator, GdpVariant};
 use gdp_dief::Dief;
 use gdp_sim::stats::CoreStats;
 use gdp_sim::types::CoreId;
 use gdp_sim::System;
+use gdp_trace::{Boundary, NullSink, TraceSink};
 use gdp_workloads::Workload;
 
 use crate::accuracy::Technique;
@@ -56,7 +57,7 @@ impl SharedRun {
     }
 }
 
-fn build(t: Technique, xcfg: &ExperimentConfig) -> Box<dyn PrivateModeEstimator> {
+pub(crate) fn build(t: Technique, xcfg: &ExperimentConfig) -> Box<dyn PrivateModeEstimator> {
     match t {
         Technique::Itca => Box::new(Itca::new(&xcfg.sim, xcfg.sampled_sets)),
         Technique::Ptca => Box::new(Ptca::new(&xcfg.sim, xcfg.sampled_sets)),
@@ -80,6 +81,18 @@ pub fn run_shared(
     workload: &Workload,
     xcfg: &ExperimentConfig,
     techniques: &[Technique],
+) -> SharedRun {
+    run_shared_with_sink(workload, xcfg, techniques, &mut NullSink)
+}
+
+/// [`run_shared`] with a [`TraceSink`] capture hook attached: the sink
+/// sees, per interval, exactly the event batch and per-core boundary
+/// measurements the estimators see (the `gdp-trace` recording surface).
+pub fn run_shared_with_sink(
+    workload: &Workload,
+    xcfg: &ExperimentConfig,
+    techniques: &[Technique],
+    sink: &mut dyn TraceSink,
 ) -> SharedRun {
     assert_eq!(workload.cores(), xcfg.sim.cores, "workload size must match the CMP");
     let mut sys = System::new(xcfg.sim.clone(), workload.streams());
@@ -112,28 +125,33 @@ pub fn run_shared(
             let events = sys.drain_probes();
             for ev in &events {
                 dief.observe(ev);
-                for e in &mut estimators {
-                    e.observe(ev);
-                }
             }
+            // Estimators observe through the shared driving helper — the
+            // same call sequence the trace-replay engine reproduces.
+            observe_all(&mut estimators, &events);
+            sink.record_events(&events);
             let mut row = Vec::with_capacity(n);
             for c in 0..n {
                 let core = CoreId(c as u8);
                 let cum = *sys.core_stats(c);
                 let delta = cum.delta(&last_snapshot[c]);
                 let lat = dief.interval_estimate(core);
-                let m = IntervalMeasurement {
-                    stats: delta,
-                    lambda: lat.private,
-                    shared_latency: delta.avg_sms_latency(),
-                };
-                let estimates = estimators.iter_mut().map(|e| e.estimate(core, &m)).collect();
-                row.push(CoreInterval {
+                let boundary = Boundary {
                     instr_start: last_snapshot[c].committed_instrs,
                     instr_end: cum.committed_instrs,
                     stats: delta,
                     lambda: lat.private,
                     shared_latency: delta.avg_sms_latency(),
+                };
+                let m = boundary.measurement();
+                let estimates = estimate_all(&mut estimators, core, &m);
+                sink.record_boundary(boundary);
+                row.push(CoreInterval {
+                    instr_start: boundary.instr_start,
+                    instr_end: boundary.instr_end,
+                    stats: delta,
+                    lambda: lat.private,
+                    shared_latency: m.shared_latency,
                     estimates,
                 });
                 last_snapshot[c] = cum;
@@ -142,12 +160,9 @@ pub fn run_shared(
         }
     }
 
-    SharedRun {
-        techniques: techniques.to_vec(),
-        intervals,
-        cycles: sys.now(),
-        final_stats: (0..n).map(|c| *sys.core_stats(c)).collect(),
-    }
+    let final_stats: Vec<CoreStats> = (0..n).map(|c| *sys.core_stats(c)).collect();
+    sink.record_final(sys.now(), &final_stats);
+    SharedRun { techniques: techniques.to_vec(), intervals, cycles: sys.now(), final_stats }
 }
 
 #[cfg(test)]

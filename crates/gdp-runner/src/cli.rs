@@ -6,6 +6,10 @@
 //! --tiny | --quick | --full   sweep scale (default --quick)
 //! --jobs N                    parallel workers (default: all cores)
 //! --json                      also write results/<name>.json
+//! --list                      print the flattened job plan and exit
+//! --record                    store event traces after simulating
+//! --replay                    reuse cached event traces when present
+//! --trace-dir DIR             trace cache location (default results/traces)
 //! --help | -h                 usage
 //! ```
 //!
@@ -38,6 +42,11 @@ impl ScaleFlag {
     }
 }
 
+/// Default trace-cache directory handed to `gdp-trace` (which always
+/// takes an explicit root); lives here so the runner crate stays
+/// dependency-free.
+pub const DEFAULT_TRACE_DIR: &str = "results/traces";
+
 /// Parsed arguments of a campaign binary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunnerArgs {
@@ -47,6 +56,15 @@ pub struct RunnerArgs {
     pub jobs: Option<usize>,
     /// Write machine-readable results under `results/`.
     pub json: bool,
+    /// Print the flattened job plan (one label per job) and exit 0.
+    pub list: bool,
+    /// Store event traces in the cache after simulating.
+    pub record: bool,
+    /// Replay cached event traces instead of simulating, when present.
+    pub replay: bool,
+    /// Trace-cache directory (`--trace-dir`; default
+    /// [`DEFAULT_TRACE_DIR`]).
+    pub trace_dir: String,
 }
 
 impl RunnerArgs {
@@ -70,6 +88,8 @@ pub enum CliError {
     Unknown(String),
     /// `--jobs` without a value, or with a non-numeric / zero value.
     BadJobs(String),
+    /// `--trace-dir` without a value.
+    MissingTraceDir,
 }
 
 impl std::fmt::Display for CliError {
@@ -78,6 +98,7 @@ impl std::fmt::Display for CliError {
             CliError::Help => f.write_str("help requested"),
             CliError::Unknown(a) => write!(f, "unrecognized argument `{a}`"),
             CliError::BadJobs(v) => write!(f, "--jobs expects a positive integer, got `{v}`"),
+            CliError::MissingTraceDir => f.write_str("--trace-dir expects a directory path"),
         }
     }
 }
@@ -86,14 +107,21 @@ impl std::fmt::Display for CliError {
 pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--tiny|--quick|--full] [--jobs N] [--json]\n\
+         \x20            [--list] [--record] [--replay] [--trace-dir DIR]\n\
          \n\
-         \x20 --tiny     smallest meaningful sweep (CI smoke; minutes)\n\
-         \x20 --quick    reduced workload counts (default)\n\
-         \x20 --full     the paper's 30/15/5 workloads per class (hours)\n\
-         \x20 --jobs N   run N campaign jobs in parallel (default: all cores);\n\
-         \x20            results are identical for every N\n\
-         \x20 --json     also write machine-readable results/{bin}.json\n\
-         \x20 --help     this text"
+         \x20 --tiny          smallest meaningful sweep (CI smoke; minutes)\n\
+         \x20 --quick         reduced workload counts (default)\n\
+         \x20 --full          the paper's 30/15/5 workloads per class (hours)\n\
+         \x20 --jobs N        run N campaign jobs in parallel (default: all cores);\n\
+         \x20                 results are identical for every N\n\
+         \x20 --json          also write machine-readable results/{bin}.json\n\
+         \x20 --list          print the flattened job plan (one label per job,\n\
+         \x20                 the cache-key/debugging view) and exit 0\n\
+         \x20 --record        store event traces in the cache after simulating\n\
+         \x20 --replay        replay cached event traces instead of simulating;\n\
+         \x20                 output is byte-identical to the live run\n\
+         \x20 --trace-dir DIR trace cache location (default {DEFAULT_TRACE_DIR})\n\
+         \x20 --help          this text"
     )
 }
 
@@ -102,7 +130,15 @@ pub fn parse<I>(args: I) -> Result<RunnerArgs, CliError>
 where
     I: IntoIterator<Item = String>,
 {
-    let mut out = RunnerArgs { scale: ScaleFlag::default(), jobs: None, json: false };
+    let mut out = RunnerArgs {
+        scale: ScaleFlag::default(),
+        jobs: None,
+        json: false,
+        list: false,
+        record: false,
+        replay: false,
+        trace_dir: DEFAULT_TRACE_DIR.to_string(),
+    };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -110,14 +146,29 @@ where
             "--quick" => out.scale = ScaleFlag::Quick,
             "--full" => out.scale = ScaleFlag::Full,
             "--json" => out.json = true,
+            "--list" => out.list = true,
+            "--record" => out.record = true,
+            "--replay" => out.replay = true,
             "--help" | "-h" => return Err(CliError::Help),
             "--jobs" => {
                 let v = it.next().ok_or_else(|| CliError::BadJobs("<missing>".into()))?;
                 out.jobs = Some(parse_jobs(&v)?);
             }
+            "--trace-dir" => {
+                // A following flag is not a directory: reject rather
+                // than silently recording into a directory named
+                // `--replay`.
+                let v = it.next().filter(|v| !v.starts_with("--"));
+                out.trace_dir = v.ok_or(CliError::MissingTraceDir)?;
+            }
             s => {
                 if let Some(v) = s.strip_prefix("--jobs=") {
                     out.jobs = Some(parse_jobs(v)?);
+                } else if let Some(v) = s.strip_prefix("--trace-dir=") {
+                    if v.is_empty() {
+                        return Err(CliError::MissingTraceDir);
+                    }
+                    out.trace_dir = v.to_string();
                 } else {
                     return Err(CliError::Unknown(a));
                 }
@@ -204,7 +255,17 @@ mod tests {
         assert_eq!(p(&["-h"]), Err(CliError::Help));
         assert_eq!(p(&["--help"]), Err(CliError::Help));
         let u = usage("fig3");
-        for flag in ["--tiny", "--quick", "--full", "--jobs", "--json"] {
+        for flag in [
+            "--tiny",
+            "--quick",
+            "--full",
+            "--jobs",
+            "--json",
+            "--list",
+            "--record",
+            "--replay",
+            "--trace-dir",
+        ] {
             assert!(u.contains(flag), "usage must mention {flag}");
         }
     }
@@ -215,5 +276,28 @@ mod tests {
         assert!(a.json);
         assert_eq!(a.scale.name(), "tiny");
         assert_eq!(a.jobs(), 2);
+    }
+
+    #[test]
+    fn trace_flags_default_off() {
+        let a = p(&[]).unwrap();
+        assert!(!a.list && !a.record && !a.replay);
+        assert_eq!(a.trace_dir, DEFAULT_TRACE_DIR);
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let a = p(&["--record", "--replay", "--list"]).unwrap();
+        assert!(a.list && a.record && a.replay);
+        assert_eq!(p(&["--trace-dir", "/tmp/t"]).unwrap().trace_dir, "/tmp/t");
+        assert_eq!(p(&["--trace-dir=/tmp/u"]).unwrap().trace_dir, "/tmp/u");
+    }
+
+    #[test]
+    fn trace_dir_requires_a_value() {
+        assert_eq!(p(&["--trace-dir"]), Err(CliError::MissingTraceDir));
+        assert_eq!(p(&["--trace-dir="]), Err(CliError::MissingTraceDir));
+        // A following flag must not be swallowed as the directory.
+        assert_eq!(p(&["--trace-dir", "--replay"]), Err(CliError::MissingTraceDir));
     }
 }

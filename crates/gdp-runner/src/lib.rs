@@ -25,8 +25,8 @@ pub mod pool;
 pub mod progress;
 pub mod report;
 
-pub use cli::{parse_or_exit, usage, CliError, RunnerArgs, ScaleFlag};
+pub use cli::{parse_or_exit, usage, CliError, RunnerArgs, ScaleFlag, DEFAULT_TRACE_DIR};
 pub use json::{Json, JsonError};
 pub use pool::{default_parallelism, Pool};
 pub use progress::Progress;
-pub use report::{summary_json, write_results_in, Campaign, RESULTS_DIR};
+pub use report::{summary_json, write_results_in, CacheCounters, Campaign, RESULTS_DIR};

@@ -5,6 +5,7 @@
 //! after reassembly and is byte-identical for every `--jobs N`.
 
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Thread-safe completed-jobs counter that reports to stderr.
 #[derive(Debug)]
@@ -13,17 +14,30 @@ pub struct Progress {
     total: usize,
     done: Mutex<usize>,
     enabled: bool,
+    started: Instant,
 }
 
 impl Progress {
     /// A reporter for `total` jobs, prefixed `[label]`.
     pub fn new(label: &str, total: usize) -> Progress {
-        Progress { label: label.to_string(), total, done: Mutex::new(0), enabled: true }
+        Progress {
+            label: label.to_string(),
+            total,
+            done: Mutex::new(0),
+            enabled: true,
+            started: Instant::now(),
+        }
     }
 
     /// A reporter that counts but prints nothing (library/test use).
     pub fn silent(total: usize) -> Progress {
-        Progress { label: String::new(), total, done: Mutex::new(0), enabled: false }
+        Progress {
+            label: String::new(),
+            total,
+            done: Mutex::new(0),
+            enabled: false,
+            started: Instant::now(),
+        }
     }
 
     /// Record one finished job described by `item`.
@@ -32,6 +46,20 @@ impl Progress {
         *done += 1;
         if self.enabled {
             eprintln!("[{}] {}/{} done: {item}", self.label, *done, self.total);
+        }
+    }
+
+    /// Emit the final campaign summary to stderr: `[label] done: N jobs
+    /// in X.Ys`. Stdout stays untouched, so campaign output remains
+    /// byte-identical with or without the summary.
+    pub fn campaign_done(&self) {
+        if self.enabled {
+            eprintln!(
+                "[{}] done: {} jobs in {:.1}s",
+                self.label,
+                self.completed(),
+                self.started.elapsed().as_secs_f64()
+            );
         }
     }
 
@@ -63,5 +91,6 @@ mod tests {
         });
         assert_eq!(p.completed(), 8);
         assert_eq!(p.total(), 8);
+        p.campaign_done(); // silent: must not print or panic
     }
 }

@@ -33,6 +33,17 @@ use crate::json::Json;
 /// Directory results are written to (gitignored).
 pub const RESULTS_DIR: &str = "results";
 
+/// Trace-cache counters attached to a campaign's run record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Cache loads that found a usable trace.
+    pub hits: u64,
+    /// Cache loads that found nothing usable.
+    pub misses: u64,
+    /// Traces written.
+    pub stores: u64,
+}
+
 /// An in-flight campaign: identity plus a wall-clock timer.
 #[derive(Debug)]
 pub struct Campaign {
@@ -41,6 +52,7 @@ pub struct Campaign {
     seed: u64,
     jobs: usize,
     started: Instant,
+    cache: Option<CacheCounters>,
 }
 
 impl Campaign {
@@ -52,24 +64,39 @@ impl Campaign {
             seed,
             jobs,
             started: Instant::now(),
+            cache: None,
         }
+    }
+
+    /// Attach trace-cache counters; the run record then carries a
+    /// `cache` object (campaigns without a trace cache omit it).
+    pub fn set_cache(&mut self, counters: CacheCounters) {
+        self.cache = Some(counters);
     }
 
     /// Assemble the result document around deterministic `data`.
     pub fn document(&self, job_count: usize, data: Json) -> Json {
+        let mut run = vec![
+            ("jobs", Json::from(self.jobs)),
+            ("job_count", Json::from(job_count)),
+            ("wall_clock_secs", Json::from(self.started.elapsed().as_secs_f64())),
+        ];
+        if let Some(c) = self.cache {
+            run.push((
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::from(c.hits)),
+                    ("misses", Json::from(c.misses)),
+                    ("stores", Json::from(c.stores)),
+                ]),
+            ));
+        }
         Json::obj(vec![
             ("figure", Json::from(self.figure.as_str())),
             ("scale", Json::from(self.scale.as_str())),
             ("seed", Json::from(self.seed)),
             ("data", data),
-            (
-                "run",
-                Json::obj(vec![
-                    ("jobs", Json::from(self.jobs)),
-                    ("job_count", Json::from(job_count)),
-                    ("wall_clock_secs", Json::from(self.started.elapsed().as_secs_f64())),
-                ]),
-            ),
+            ("run", Json::obj(run)),
         ])
     }
 
@@ -111,6 +138,18 @@ mod tests {
         assert_eq!(run.get("jobs").unwrap().as_f64(), Some(4.0));
         assert_eq!(run.get("job_count").unwrap().as_f64(), Some(9.0));
         assert!(run.get("wall_clock_secs").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(run.get("cache").is_none(), "no cache object without a trace cache");
+    }
+
+    #[test]
+    fn cache_counters_appear_in_the_run_record() {
+        let mut c = Campaign::new("figX", "tiny", 2018, 1);
+        c.set_cache(CacheCounters { hits: 5, misses: 2, stores: 3 });
+        let doc = c.document(7, Json::Null);
+        let cache = doc.get("run").unwrap().get("cache").expect("cache object");
+        assert_eq!(cache.get("hits").unwrap().as_f64(), Some(5.0));
+        assert_eq!(cache.get("misses").unwrap().as_f64(), Some(2.0));
+        assert_eq!(cache.get("stores").unwrap().as_f64(), Some(3.0));
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! the accounting crates consume in order. Events are timestamped, so
 //! consumers can reconstruct exact cycle spans (e.g. ITCA's per-cycle
 //! conditions) without a per-cycle callback.
+//!
+//! This stream is also the system's *recording surface*: it is exactly
+//! what every transparent estimator observes, its emission order is
+//! deterministic (see `System::drain_probes`), and its timestamps are
+//! near-sorted — the properties `gdp-trace` builds on to capture a run
+//! once (delta-encoded) and re-evaluate any technique from it
+//! bit-identically.
 
 use crate::mem::Interference;
 use crate::types::{Addr, CoreId, Cycle, ReqId};

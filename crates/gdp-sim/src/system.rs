@@ -92,6 +92,14 @@ impl System {
     }
 
     /// Take all probe events accumulated since the last drain.
+    ///
+    /// The order is deterministic for a given configuration and workload:
+    /// each cycle the memory system appends its events before the cores
+    /// (in core order), and the simulation itself is single-threaded and
+    /// free of ambient randomness. `gdp-trace` relies on this contract —
+    /// a recorded stream replayed through the same estimators reproduces
+    /// the live estimates bit-for-bit precisely because two identical
+    /// runs drain identical event sequences.
     pub fn drain_probes(&mut self) -> Vec<ProbeEvent> {
         std::mem::take(&mut self.probes)
     }

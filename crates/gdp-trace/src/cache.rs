@@ -1,0 +1,305 @@
+//! The content-addressed campaign cache.
+//!
+//! Traces live under a directory (default `results/traces/`) in files
+//! named `<kind>-<16-hex-key>.gdpt`, where the key is an FNV-1a-64 hash
+//! fed with every input that determines the run: simulator configuration,
+//! experiment parameters, workload spec and the trace format version.
+//! Loads count hits and misses (a corrupt or version-skewed file is a
+//! miss, never an error — the campaign falls back to simulating);
+//! stores write via a temp file + rename so concurrent campaign jobs
+//! never observe half-written traces.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::format::{decode_private, decode_shared, encode_private, encode_shared};
+use crate::model::{PrivateTrace, SharedTrace};
+
+// The campaign-facing default directory lives in `gdp-runner::cli`
+// (`DEFAULT_TRACE_DIR`, "results/traces"); the cache itself always takes
+// an explicit root so library users stay in control.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An FNV-1a-64 content hash under construction. Feed it every value
+/// that determines a run's outcome; the digest names the cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey(u64);
+
+impl CacheKey {
+    /// Start a key for a `domain` (e.g. `"shared"`; keeps kinds disjoint
+    /// even if their field feeds collide).
+    pub fn new(domain: &str) -> CacheKey {
+        let mut k = CacheKey(FNV_OFFSET);
+        k.str(domain);
+        k
+    }
+
+    /// Feed raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feed a string (length-delimited, so `"ab" + "c"` ≠ `"a" + "bc"`).
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes())
+    }
+
+    /// Feed a u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Feed a usize.
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Feed a bool.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u64(u64::from(v))
+    }
+
+    /// Feed an f64's exact bits.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// The 64-bit digest.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+
+    /// The digest as the 16-hex-char file-name stem.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// A snapshot of the cache's hit/miss/store counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Loads that found and decoded a trace.
+    pub hits: u64,
+    /// Loads that found nothing usable (absent, corrupt, or stale).
+    pub misses: u64,
+    /// Traces written.
+    pub stores: u64,
+}
+
+/// The content-addressed trace store. Thread-safe: campaign jobs share
+/// one instance by reference (distinct jobs use distinct keys).
+#[derive(Debug)]
+pub struct TraceCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl TraceCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> TraceCache {
+        TraceCache {
+            dir: dir.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Counter snapshot (for the campaign run record).
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Path of the entry `key` under `kind` (`"shared"`/`"private"`).
+    pub fn path(&self, kind: &str, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{kind}-{}.gdpt", key.hex()))
+    }
+
+    /// Load a shared trace; `None` (a counted miss) when absent, corrupt
+    /// or written by a different format version.
+    pub fn load_shared(&self, key: &CacheKey) -> Option<SharedTrace> {
+        self.load(&self.path("shared", key), decode_shared)
+    }
+
+    /// Load a private trace; `None` (a counted miss) on any failure.
+    pub fn load_private(&self, key: &CacheKey) -> Option<PrivateTrace> {
+        self.load(&self.path("private", key), decode_private)
+    }
+
+    /// Store a shared trace; returns the entry path.
+    pub fn store_shared(&self, key: &CacheKey, t: &SharedTrace) -> io::Result<PathBuf> {
+        self.store(self.path("shared", key), encode_shared(t))
+    }
+
+    /// Store a private trace; returns the entry path.
+    pub fn store_private(&self, key: &CacheKey, t: &PrivateTrace) -> io::Result<PathBuf> {
+        self.store(self.path("private", key), encode_private(t))
+    }
+
+    fn load<T>(
+        &self,
+        path: &Path,
+        decode: impl FnOnce(&[u8]) -> Result<T, crate::codec::TraceError>,
+    ) -> Option<T> {
+        let out = std::fs::read(path).ok().and_then(|bytes| decode(&bytes).ok());
+        match out {
+            Some(t) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(t)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, path: PathBuf, bytes: Vec<u8>) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        // Temp-then-rename: concurrent readers only ever see complete
+        // entries. Keys are content hashes, so writers of the same key
+        // write identical bytes and either rename wins — provided each
+        // writer owns its temp file, so the name carries both the
+        // process id and a process-wide counter (same-key jobs can run
+        // concurrently inside one campaign, e.g. fig7's repeated
+        // baseline variant).
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &path)?;
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TraceCheckpoint;
+    use gdp_sim::stats::CoreStats;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gdp-trace-cache-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fnv_key_is_order_and_length_sensitive() {
+        let mut a = CacheKey::new("k");
+        a.str("ab").str("c");
+        let mut b = CacheKey::new("k");
+        b.str("a").str("bc");
+        assert_ne!(a.digest(), b.digest(), "length delimiting must matter");
+        let mut c = CacheKey::new("k");
+        c.u64(1).u64(2);
+        let mut d = CacheKey::new("k");
+        d.u64(2).u64(1);
+        assert_ne!(c.digest(), d.digest(), "order must matter");
+        assert_eq!(a.hex().len(), 16);
+    }
+
+    #[test]
+    fn domains_separate_identical_feeds() {
+        let mut a = CacheKey::new("shared");
+        a.u64(7);
+        let mut b = CacheKey::new("private");
+        b.u64(7);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn store_then_load_hits() {
+        let cache = TraceCache::new(tmpdir("hit"));
+        let mut key = CacheKey::new("private");
+        key.str("ammp").u64(0);
+        let t = PrivateTrace {
+            bench: "ammp".into(),
+            base: 0,
+            checkpoints: vec![TraceCheckpoint {
+                instrs: 100,
+                cycle: 900,
+                stats: CoreStats { cycles: 900, ..Default::default() },
+                cpl: 4,
+            }],
+            total: CoreStats { cycles: 900, ..Default::default() },
+        };
+        assert!(cache.load_private(&key).is_none(), "cold cache misses");
+        cache.store_private(&key, &t).expect("stores");
+        assert_eq!(cache.load_private(&key), Some(t));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.stores), (1, 1, 1));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entries_are_counted_misses_not_errors() {
+        let cache = TraceCache::new(tmpdir("corrupt"));
+        let mut key = CacheKey::new("shared");
+        key.u64(1);
+        cache.store_shared(&key, &SharedTrace::default()).expect("stores");
+        // Corrupt the file in place.
+        let path = cache.path("shared", &key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.load_shared(&key).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn concurrent_same_key_stores_leave_a_clean_decodable_entry() {
+        // Same-key jobs can run concurrently in one campaign (fig7's
+        // repeated baseline variant): every writer must own its temp
+        // file, the final entry must decode, and no temp files may leak.
+        let cache = TraceCache::new(tmpdir("race"));
+        let mut key = CacheKey::new("shared");
+        key.u64(42);
+        let t = SharedTrace { cores: 2, workload: "w".into(), ..Default::default() };
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| cache.store_shared(&key, &t).expect("stores"));
+            }
+        });
+        assert_eq!(cache.load_shared(&key), Some(t));
+        let leftovers: Vec<_> = std::fs::read_dir(cache.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x != "gdpt"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn kinds_do_not_collide_on_disk() {
+        let cache = TraceCache::new(tmpdir("kinds"));
+        let mut key = CacheKey::new("x");
+        key.u64(9);
+        assert_ne!(cache.path("shared", &key), cache.path("private", &key));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

@@ -1,0 +1,736 @@
+//! The versioned binary trace-file format.
+//!
+//! ```text
+//! file   := magic "GDPTRACE" | version u32le | kind u8 | section*
+//! section:= name-tag u8 | payload-len varint | payload | crc32(payload) u32le
+//! ```
+//!
+//! Shared traces carry sections META, INTERVALS, FINAL; private traces
+//! META, CHECKPOINTS. Integers are LEB128 varints, signed values zigzag,
+//! floats exact little-endian bits, and event timestamps are
+//! delta-encoded against the previous event's visibility cycle (probe
+//! streams are near-sorted, so deltas stay short). The decoder is
+//! strict: unknown tags, truncation, CRC mismatches and trailing bytes
+//! are all typed [`TraceError`]s — a corrupt cache entry can never decode
+//! into a silently-wrong campaign.
+
+use gdp_sim::mem::Interference;
+use gdp_sim::probe::{ProbeEvent, StallCause};
+use gdp_sim::stats::CoreStats;
+use gdp_sim::types::{CoreId, ReqId};
+
+use crate::codec::{crc32, Reader, TraceError, Writer};
+use crate::model::{Boundary, PrivateTrace, SharedTrace, TraceCheckpoint, TraceInterval};
+
+/// Current format version; bump on any layout change (also folded into
+/// cache keys, so stale traces are invalidated rather than misdecoded).
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"GDPTRACE";
+
+/// Header kind byte of a shared-mode trace.
+pub const KIND_SHARED: u8 = 0;
+/// Header kind byte of a private-mode trace.
+pub const KIND_PRIVATE: u8 = 1;
+
+const SEC_META: u8 = 1;
+const SEC_INTERVALS: u8 = 2;
+const SEC_FINAL: u8 = 3;
+const SEC_CHECKPOINTS: u8 = 4;
+
+// ------------------------------------------------------------- encoding
+
+fn write_section(out: &mut Writer, tag: u8, payload: Writer) {
+    let bytes = payload.into_bytes();
+    out.u8(tag);
+    out.varint(bytes.len() as u64);
+    let crc = crc32(&bytes);
+    out.bytes(&bytes);
+    out.u32_le(crc);
+}
+
+fn encode_stats(w: &mut Writer, s: &CoreStats) {
+    w.varint(s.committed_instrs);
+    w.varint(s.commit_cycles);
+    w.varint(s.stall_ind);
+    w.varint(s.stall_pms);
+    w.varint(s.stall_sms);
+    w.varint(s.stall_other);
+    w.varint(s.cycles);
+    w.varint(s.sms_loads);
+    w.varint(s.sms_latency_sum);
+    w.varint(s.sms_pre_llc_latency_sum);
+    w.varint(s.sms_post_llc_latency_sum);
+    w.varint(s.llc_misses);
+    w.varint(s.llc_accesses);
+    w.varint(s.pms_loads);
+    w.varint(s.overlap_cycles);
+    w.varint(s.interference_sum);
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<CoreStats, TraceError> {
+    Ok(CoreStats {
+        committed_instrs: r.varint()?,
+        commit_cycles: r.varint()?,
+        stall_ind: r.varint()?,
+        stall_pms: r.varint()?,
+        stall_sms: r.varint()?,
+        stall_other: r.varint()?,
+        cycles: r.varint()?,
+        sms_loads: r.varint()?,
+        sms_latency_sum: r.varint()?,
+        sms_pre_llc_latency_sum: r.varint()?,
+        sms_post_llc_latency_sum: r.varint()?,
+        llc_misses: r.varint()?,
+        llc_accesses: r.varint()?,
+        pms_loads: r.varint()?,
+        overlap_cycles: r.varint()?,
+        interference_sum: r.varint()?,
+    })
+}
+
+fn encode_interference(w: &mut Writer, i: &Interference) {
+    w.varint(i.ring);
+    w.varint(i.mc_queue);
+    w.zigzag(i.mc_row);
+}
+
+fn decode_interference(r: &mut Reader<'_>) -> Result<Interference, TraceError> {
+    Ok(Interference { ring: r.varint()?, mc_queue: r.varint()?, mc_row: r.zigzag()? })
+}
+
+fn encode_opt_interference(w: &mut Writer, i: &Option<Interference>) {
+    match i {
+        None => w.u8(0),
+        Some(v) => {
+            w.u8(1);
+            encode_interference(w, v);
+        }
+    }
+}
+
+fn decode_opt_interference(r: &mut Reader<'_>) -> Result<Option<Interference>, TraceError> {
+    let at = r.pos();
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(decode_interference(r)?)),
+        tag => Err(TraceError::BadTag { what: "opt-interference", tag, at }),
+    }
+}
+
+fn encode_opt_u64(w: &mut Writer, v: &Option<u64>) {
+    match v {
+        None => w.u8(0),
+        Some(x) => {
+            w.u8(1);
+            w.varint(*x);
+        }
+    }
+}
+
+fn decode_opt_u64(r: &mut Reader<'_>) -> Result<Option<u64>, TraceError> {
+    let at = r.pos();
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.varint()?)),
+        tag => Err(TraceError::BadTag { what: "optional", tag, at }),
+    }
+}
+
+fn encode_opt_bool(w: &mut Writer, v: &Option<bool>) {
+    w.u8(match v {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    });
+}
+
+fn decode_opt_bool(r: &mut Reader<'_>) -> Result<Option<bool>, TraceError> {
+    let at = r.pos();
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(false)),
+        2 => Ok(Some(true)),
+        tag => Err(TraceError::BadTag { what: "opt-bool", tag, at }),
+    }
+}
+
+fn stall_cause_tag(c: StallCause) -> u8 {
+    match c {
+        StallCause::Load => 0,
+        StallCause::StoreBufferFull => 1,
+        StallCause::L1Blocked => 2,
+        StallCause::BranchRedirect => 3,
+        StallCause::MemoryIndependent => 4,
+    }
+}
+
+fn decode_stall_cause(r: &mut Reader<'_>) -> Result<StallCause, TraceError> {
+    let at = r.pos();
+    match r.u8()? {
+        0 => Ok(StallCause::Load),
+        1 => Ok(StallCause::StoreBufferFull),
+        2 => Ok(StallCause::L1Blocked),
+        3 => Ok(StallCause::BranchRedirect),
+        4 => Ok(StallCause::MemoryIndependent),
+        tag => Err(TraceError::BadTag { what: "stall-cause", tag, at }),
+    }
+}
+
+const EV_L1_MISS: u8 = 0;
+const EV_L1_MISS_DONE: u8 = 1;
+const EV_LLC_ACCESS: u8 = 2;
+const EV_STALL: u8 = 3;
+const EV_INTERVAL_END: u8 = 4;
+
+/// Encode one event; `prev` is the previous event's visibility cycle
+/// (the delta base), updated to this event's.
+fn encode_event(w: &mut Writer, ev: &ProbeEvent, prev: &mut u64) {
+    match ev {
+        ProbeEvent::LoadL1Miss { core, req, block, cycle } => {
+            w.u8(EV_L1_MISS);
+            w.u8(core.0);
+            w.varint(req.0);
+            w.varint(*block);
+            w.zigzag(*cycle as i64 - *prev as i64);
+            *prev = *cycle;
+        }
+        ProbeEvent::LoadL1MissDone {
+            core,
+            req,
+            block,
+            cycle,
+            sms,
+            latency,
+            interference,
+            llc_hit,
+            post_llc,
+        } => {
+            w.u8(EV_L1_MISS_DONE);
+            w.u8(core.0);
+            w.varint(req.0);
+            w.varint(*block);
+            w.zigzag(*cycle as i64 - *prev as i64);
+            w.u8(u8::from(*sms));
+            w.varint(*latency);
+            encode_interference(w, interference);
+            encode_opt_bool(w, llc_hit);
+            w.varint(*post_llc);
+            *prev = *cycle;
+        }
+        ProbeEvent::LlcAccess { core, block, cycle, hit, req } => {
+            w.u8(EV_LLC_ACCESS);
+            w.u8(core.0);
+            w.varint(*block);
+            w.zigzag(*cycle as i64 - *prev as i64);
+            w.u8(u8::from(*hit));
+            w.varint(req.0);
+            *prev = *cycle;
+        }
+        ProbeEvent::Stall {
+            core,
+            start,
+            end,
+            cause,
+            blocking_block,
+            blocking_req,
+            blocking_sms,
+            blocking_interference,
+        } => {
+            w.u8(EV_STALL);
+            w.u8(core.0);
+            w.zigzag(*start as i64 - *prev as i64);
+            w.varint(end - start);
+            w.u8(stall_cause_tag(*cause));
+            encode_opt_u64(w, blocking_block);
+            encode_opt_u64(w, &blocking_req.map(|r| r.0));
+            encode_opt_bool(w, blocking_sms);
+            encode_opt_interference(w, blocking_interference);
+            *prev = *end; // stalls become visible when they end
+        }
+        ProbeEvent::IntervalEnd { cycle } => {
+            w.u8(EV_INTERVAL_END);
+            w.zigzag(*cycle as i64 - *prev as i64);
+            *prev = *cycle;
+        }
+    }
+}
+
+fn decode_event(r: &mut Reader<'_>, prev: &mut u64) -> Result<ProbeEvent, TraceError> {
+    let at = r.pos();
+    let tag = r.u8()?;
+    match tag {
+        EV_L1_MISS => {
+            let core = CoreId(r.u8()?);
+            let req = ReqId(r.varint()?);
+            let block = r.varint()?;
+            let cycle = (*prev as i64 + r.zigzag()?) as u64;
+            *prev = cycle;
+            Ok(ProbeEvent::LoadL1Miss { core, req, block, cycle })
+        }
+        EV_L1_MISS_DONE => {
+            let core = CoreId(r.u8()?);
+            let req = ReqId(r.varint()?);
+            let block = r.varint()?;
+            let cycle = (*prev as i64 + r.zigzag()?) as u64;
+            let sms = r.u8()? != 0;
+            let latency = r.varint()?;
+            let interference = decode_interference(r)?;
+            let llc_hit = decode_opt_bool(r)?;
+            let post_llc = r.varint()?;
+            *prev = cycle;
+            Ok(ProbeEvent::LoadL1MissDone {
+                core,
+                req,
+                block,
+                cycle,
+                sms,
+                latency,
+                interference,
+                llc_hit,
+                post_llc,
+            })
+        }
+        EV_LLC_ACCESS => {
+            let core = CoreId(r.u8()?);
+            let block = r.varint()?;
+            let cycle = (*prev as i64 + r.zigzag()?) as u64;
+            let hit = r.u8()? != 0;
+            let req = ReqId(r.varint()?);
+            *prev = cycle;
+            Ok(ProbeEvent::LlcAccess { core, block, cycle, hit, req })
+        }
+        EV_STALL => {
+            let core = CoreId(r.u8()?);
+            let start = (*prev as i64 + r.zigzag()?) as u64;
+            let end = start + r.varint()?;
+            let cause = decode_stall_cause(r)?;
+            let blocking_block = decode_opt_u64(r)?;
+            let blocking_req = decode_opt_u64(r)?.map(ReqId);
+            let blocking_sms = decode_opt_bool(r)?;
+            let blocking_interference = decode_opt_interference(r)?;
+            *prev = end;
+            Ok(ProbeEvent::Stall {
+                core,
+                start,
+                end,
+                cause,
+                blocking_block,
+                blocking_req,
+                blocking_sms,
+                blocking_interference,
+            })
+        }
+        EV_INTERVAL_END => {
+            let cycle = (*prev as i64 + r.zigzag()?) as u64;
+            *prev = cycle;
+            Ok(ProbeEvent::IntervalEnd { cycle })
+        }
+        tag => Err(TraceError::BadTag { what: "event", tag, at }),
+    }
+}
+
+fn encode_boundary(w: &mut Writer, b: &Boundary) {
+    w.varint(b.instr_start);
+    w.varint(b.instr_end);
+    encode_stats(w, &b.stats);
+    w.f64_bits(b.lambda);
+    w.f64_bits(b.shared_latency);
+}
+
+fn decode_boundary(r: &mut Reader<'_>) -> Result<Boundary, TraceError> {
+    Ok(Boundary {
+        instr_start: r.varint()?,
+        instr_end: r.varint()?,
+        stats: decode_stats(r)?,
+        lambda: r.f64_bits()?,
+        shared_latency: r.f64_bits()?,
+    })
+}
+
+/// Encode a shared-mode trace to bytes.
+pub fn encode_shared(t: &SharedTrace) -> Vec<u8> {
+    let mut out = Writer::new();
+    out.bytes(MAGIC);
+    out.u32_le(FORMAT_VERSION);
+    out.u8(KIND_SHARED);
+
+    let mut meta = Writer::new();
+    meta.varint(t.cores as u64);
+    meta.str(&t.workload);
+    write_section(&mut out, SEC_META, meta);
+
+    let mut ivs = Writer::new();
+    ivs.varint(t.intervals.len() as u64);
+    let mut prev = 0u64;
+    for iv in &t.intervals {
+        ivs.varint(iv.events.len() as u64);
+        for ev in &iv.events {
+            encode_event(&mut ivs, ev, &mut prev);
+        }
+        ivs.varint(iv.boundaries.len() as u64);
+        for b in &iv.boundaries {
+            encode_boundary(&mut ivs, b);
+        }
+    }
+    write_section(&mut out, SEC_INTERVALS, ivs);
+
+    let mut fin = Writer::new();
+    fin.varint(t.cycles);
+    fin.varint(t.final_stats.len() as u64);
+    for s in &t.final_stats {
+        encode_stats(&mut fin, s);
+    }
+    write_section(&mut out, SEC_FINAL, fin);
+
+    out.into_bytes()
+}
+
+/// Encode a private-mode trace to bytes.
+pub fn encode_private(t: &PrivateTrace) -> Vec<u8> {
+    let mut out = Writer::new();
+    out.bytes(MAGIC);
+    out.u32_le(FORMAT_VERSION);
+    out.u8(KIND_PRIVATE);
+
+    let mut meta = Writer::new();
+    meta.str(&t.bench);
+    meta.varint(t.base);
+    write_section(&mut out, SEC_META, meta);
+
+    let mut cks = Writer::new();
+    cks.varint(t.checkpoints.len() as u64);
+    for c in &t.checkpoints {
+        cks.varint(c.instrs);
+        cks.varint(c.cycle);
+        encode_stats(&mut cks, &c.stats);
+        cks.varint(c.cpl);
+    }
+    encode_stats(&mut cks, &t.total);
+    write_section(&mut out, SEC_CHECKPOINTS, cks);
+
+    out.into_bytes()
+}
+
+// ------------------------------------------------------------- decoding
+
+fn decode_header(r: &mut Reader<'_>, want_kind: u8) -> Result<(), TraceError> {
+    let magic = r.bytes(8).map_err(|_| TraceError::BadMagic)?;
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = r.u32_le()?;
+    if version != FORMAT_VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    let kind = r.u8()?;
+    if kind != want_kind {
+        return Err(TraceError::WrongKind { want: want_kind, got: kind });
+    }
+    Ok(())
+}
+
+/// Read one section, verify its CRC, and return a reader over its payload.
+fn read_section<'a>(
+    r: &mut Reader<'a>,
+    want_tag: u8,
+    name: &'static str,
+) -> Result<Reader<'a>, TraceError> {
+    let tag = r.u8().map_err(|_| TraceError::BadSection { section: name })?;
+    if tag != want_tag {
+        return Err(TraceError::BadSection { section: name });
+    }
+    let len = r.varint()? as usize;
+    let payload = r.bytes(len)?;
+    let stored = r.u32_le()?;
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(TraceError::Crc { section: name, stored, computed });
+    }
+    Ok(Reader::new(payload))
+}
+
+fn expect_drained(r: &Reader<'_>, section: &'static str) -> Result<(), TraceError> {
+    if r.remaining() != 0 {
+        return Err(TraceError::BadSection { section });
+    }
+    Ok(())
+}
+
+/// Decode a shared-mode trace; strict (every byte accounted for, every
+/// section CRC-verified).
+pub fn decode_shared(bytes: &[u8]) -> Result<SharedTrace, TraceError> {
+    let mut r = Reader::new(bytes);
+    decode_header(&mut r, KIND_SHARED)?;
+
+    let mut meta = read_section(&mut r, SEC_META, "META")?;
+    let cores = meta.varint()? as usize;
+    // CoreId is a u8: a claimed core count past 256 could silently wrap
+    // during replay, so reject it as malformed rather than decode it.
+    if cores > 256 {
+        return Err(TraceError::BadSection { section: "META" });
+    }
+    let workload = meta.str()?;
+    expect_drained(&meta, "META")?;
+
+    let mut ivs = read_section(&mut r, SEC_INTERVALS, "INTERVALS")?;
+    let n_intervals = ivs.varint()? as usize;
+    let mut intervals = Vec::with_capacity(n_intervals.min(1 << 20));
+    let mut prev = 0u64;
+    for _ in 0..n_intervals {
+        let n_events = ivs.varint()? as usize;
+        let mut events = Vec::with_capacity(n_events.min(1 << 22));
+        for _ in 0..n_events {
+            events.push(decode_event(&mut ivs, &mut prev)?);
+        }
+        let n_bounds = ivs.varint()? as usize;
+        // At most one boundary per core: more would hand replay an
+        // out-of-range core index.
+        if n_bounds > cores {
+            return Err(TraceError::BadSection { section: "INTERVALS" });
+        }
+        let mut boundaries = Vec::with_capacity(n_bounds.min(1 << 10));
+        for _ in 0..n_bounds {
+            boundaries.push(decode_boundary(&mut ivs)?);
+        }
+        intervals.push(TraceInterval { events, boundaries });
+    }
+    expect_drained(&ivs, "INTERVALS")?;
+
+    let mut fin = read_section(&mut r, SEC_FINAL, "FINAL")?;
+    let cycles = fin.varint()?;
+    let n_stats = fin.varint()? as usize;
+    let mut final_stats = Vec::with_capacity(n_stats.min(1 << 10));
+    for _ in 0..n_stats {
+        final_stats.push(decode_stats(&mut fin)?);
+    }
+    expect_drained(&fin, "FINAL")?;
+
+    if r.remaining() != 0 {
+        return Err(TraceError::TrailingBytes { len: r.remaining() });
+    }
+    Ok(SharedTrace { cores, workload, cycles, final_stats, intervals })
+}
+
+/// Decode a private-mode trace; strict.
+pub fn decode_private(bytes: &[u8]) -> Result<PrivateTrace, TraceError> {
+    let mut r = Reader::new(bytes);
+    decode_header(&mut r, KIND_PRIVATE)?;
+
+    let mut meta = read_section(&mut r, SEC_META, "META")?;
+    let bench = meta.str()?;
+    let base = meta.varint()?;
+    expect_drained(&meta, "META")?;
+
+    let mut cks = read_section(&mut r, SEC_CHECKPOINTS, "CHECKPOINTS")?;
+    let n = cks.varint()? as usize;
+    let mut checkpoints = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        checkpoints.push(TraceCheckpoint {
+            instrs: cks.varint()?,
+            cycle: cks.varint()?,
+            stats: decode_stats(&mut cks)?,
+            cpl: cks.varint()?,
+        });
+    }
+    let total = decode_stats(&mut cks)?;
+    expect_drained(&cks, "CHECKPOINTS")?;
+
+    if r.remaining() != 0 {
+        return Err(TraceError::TrailingBytes { len: r.remaining() });
+    }
+    Ok(PrivateTrace { bench, base, checkpoints, total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats(seed: u64) -> CoreStats {
+        CoreStats {
+            committed_instrs: seed,
+            commit_cycles: seed + 1,
+            stall_ind: seed % 7,
+            stall_pms: seed % 5,
+            stall_sms: seed * 3,
+            stall_other: seed % 2,
+            cycles: seed * 5,
+            sms_loads: seed % 11,
+            sms_latency_sum: seed * 7,
+            sms_pre_llc_latency_sum: seed,
+            sms_post_llc_latency_sum: seed / 2,
+            llc_misses: seed % 4,
+            llc_accesses: seed % 9,
+            pms_loads: seed % 13,
+            overlap_cycles: seed % 17,
+            interference_sum: seed % 19,
+        }
+    }
+
+    fn sample_shared() -> SharedTrace {
+        let events = vec![
+            ProbeEvent::LoadL1Miss { core: CoreId(0), req: ReqId(9), block: 0x1240, cycle: 10 },
+            ProbeEvent::LlcAccess {
+                core: CoreId(1),
+                block: 0x80,
+                cycle: 14,
+                hit: true,
+                req: ReqId(10),
+            },
+            ProbeEvent::LoadL1MissDone {
+                core: CoreId(0),
+                req: ReqId(9),
+                block: 0x1240,
+                cycle: 150,
+                sms: true,
+                latency: 140,
+                interference: Interference { ring: 3, mc_queue: 9, mc_row: -4 },
+                llc_hit: Some(false),
+                post_llc: 80,
+            },
+            ProbeEvent::Stall {
+                core: CoreId(0),
+                start: 50,
+                end: 155,
+                cause: StallCause::Load,
+                blocking_block: Some(0x1240),
+                blocking_req: Some(ReqId(9)),
+                blocking_sms: Some(true),
+                blocking_interference: Some(Interference { ring: 1, mc_queue: 0, mc_row: 2 }),
+            },
+            ProbeEvent::IntervalEnd { cycle: 200 },
+        ];
+        let b = |i: u64| Boundary {
+            instr_start: i * 100,
+            instr_end: i * 100 + 100,
+            stats: sample_stats(i + 3),
+            lambda: 140.0 + i as f64 / 3.0,
+            shared_latency: 181.5 - i as f64,
+        };
+        SharedTrace {
+            cores: 2,
+            workload: "2c-H-00".to_string(),
+            cycles: 12_345,
+            final_stats: vec![sample_stats(100), sample_stats(200)],
+            intervals: vec![
+                TraceInterval { events, boundaries: vec![b(0), b(1)] },
+                TraceInterval { events: vec![], boundaries: vec![b(2), b(3)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn shared_trace_round_trips_exactly() {
+        let t = sample_shared();
+        let bytes = encode_shared(&t);
+        let back = decode_shared(&bytes).expect("decodes");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn private_trace_round_trips_exactly() {
+        let t = PrivateTrace {
+            bench: "ammp".to_string(),
+            base: 1 << 36,
+            checkpoints: (0..5)
+                .map(|i| TraceCheckpoint {
+                    instrs: i * 2000,
+                    cycle: i * 9000 + 7,
+                    stats: sample_stats(i + 40),
+                    cpl: i * 3,
+                })
+                .collect(),
+            total: sample_stats(77),
+        };
+        let bytes = encode_private(&t);
+        assert_eq!(decode_private(&bytes).expect("decodes"), t);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let t = sample_shared();
+        let mut bytes = encode_shared(&t);
+        // Flip a byte inside the INTERVALS payload (well past the header).
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        match decode_shared(&bytes) {
+            Err(TraceError::Crc { .. })
+            | Err(TraceError::BadTag { .. })
+            | Err(TraceError::Truncated { .. })
+            | Err(TraceError::BadSection { .. }) => {}
+            other => panic!("corruption must be detected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc_catches_bitflips_that_still_parse() {
+        // Flip a low bit in a varint payload byte: structure often still
+        // parses, so only the CRC catches it.
+        let t = sample_shared();
+        let clean = encode_shared(&t);
+        let mut caught = 0;
+        for pos in 20..clean.len().saturating_sub(8) {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x01;
+            if decode_shared(&bytes).is_err() {
+                caught += 1;
+            }
+        }
+        assert_eq!(caught, clean.len().saturating_sub(8) - 20, "every bitflip must be detected");
+    }
+
+    #[test]
+    fn header_errors_are_typed() {
+        assert_eq!(decode_shared(b"NOTTRACE"), Err(TraceError::BadMagic));
+        let mut bytes = encode_shared(&sample_shared());
+        bytes[8] = 0xFE; // version low byte
+        assert!(matches!(decode_shared(&bytes), Err(TraceError::UnsupportedVersion(_))));
+        let priv_bytes = encode_private(&PrivateTrace::default());
+        assert_eq!(
+            decode_shared(&priv_bytes),
+            Err(TraceError::WrongKind { want: KIND_SHARED, got: KIND_PRIVATE })
+        );
+    }
+
+    #[test]
+    fn truncated_files_are_rejected() {
+        let bytes = encode_shared(&sample_shared());
+        for cut in [0, 5, 12, 13, 20, bytes.len() - 1] {
+            assert!(decode_shared(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_shared(&sample_shared());
+        bytes.push(0);
+        assert_eq!(decode_shared(&bytes), Err(TraceError::TrailingBytes { len: 1 }));
+    }
+
+    #[test]
+    fn core_count_and_boundary_overflows_are_rejected() {
+        // A CRC-valid trace claiming > 256 cores (CoreId is a u8) or
+        // more boundaries than cores must not decode: replay would wrap
+        // core indices and produce silently wrong estimates.
+        let mut t = sample_shared();
+        t.cores = 300;
+        assert_eq!(
+            decode_shared(&encode_shared(&t)),
+            Err(TraceError::BadSection { section: "META" })
+        );
+        let mut t = sample_shared();
+        t.cores = 1; // fewer cores than the 2 boundaries per interval
+        assert_eq!(
+            decode_shared(&encode_shared(&t)),
+            Err(TraceError::BadSection { section: "INTERVALS" })
+        );
+    }
+
+    #[test]
+    fn empty_traces_round_trip() {
+        let t = SharedTrace { cores: 0, ..Default::default() };
+        assert_eq!(decode_shared(&encode_shared(&t)).unwrap(), t);
+        let p = PrivateTrace::default();
+        assert_eq!(decode_private(&encode_private(&p)).unwrap(), p);
+    }
+}

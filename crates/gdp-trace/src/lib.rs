@@ -1,0 +1,45 @@
+//! # gdp-trace — event-trace capture & replay with a content-addressed
+//! campaign cache: simulate once, estimate many
+//!
+//! Every transparent accounting technique (GDP, GDP-O, PTCA, ITCA)
+//! consumes the same estimator-facing stream: probe events between
+//! interval boundaries plus, at each boundary, the per-core
+//! [`IntervalMeasurement`](gdp_core::model::IntervalMeasurement) inputs
+//! (counter delta, DIEF λ̂, measured shared latency). The paper argues
+//! this dataflow structure is invariant under the technique attached —
+//! which also makes it a perfect *recording surface*: capture the stream
+//! once per (configuration × workload) and any technique, including ones
+//! that do not exist yet, can be re-evaluated from the trace at memory
+//! speed, bit-identically to the live run.
+//!
+//! Layers:
+//!
+//! * [`model`] — the trace data model and the [`TraceSink`](model::TraceSink)
+//!   capture hook the experiment drivers call into.
+//! * [`codec`] — varint/zigzag primitives, CRC32 and the typed
+//!   [`TraceError`](codec::TraceError) decoder errors (no serde; the same
+//!   hand-rolled discipline as `gdp-runner::json`).
+//! * [`format`] — the versioned, sectioned binary file format with
+//!   per-section CRCs and a strict decoder.
+//! * [`replay`] — re-evaluates any [`PrivateModeEstimator`] from a trace,
+//!   producing estimates bit-identical to the live run.
+//! * [`cache`] — the content-addressed trace store under
+//!   `results/traces/`, keyed by an FNV-1a hash of (simulator config,
+//!   workload spec, scale) so a warm campaign never re-simulates.
+//!
+//! [`PrivateModeEstimator`]: gdp_core::model::PrivateModeEstimator
+
+pub mod cache;
+pub mod codec;
+pub mod format;
+pub mod model;
+pub mod replay;
+
+pub use cache::{CacheKey, CacheStatsSnapshot, TraceCache};
+pub use codec::TraceError;
+pub use format::{decode_private, decode_shared, encode_private, encode_shared, FORMAT_VERSION};
+pub use model::{
+    Boundary, NullSink, PrivateTrace, Recorder, SharedTrace, TraceCheckpoint, TraceInterval,
+    TraceSink,
+};
+pub use replay::replay_estimates;

@@ -1,0 +1,185 @@
+//! Replay: re-evaluate accounting techniques from a recorded trace.
+//!
+//! The engine drives estimators through the exact same interface calls —
+//! in the exact same order — as the live shared-mode run, via the shared
+//! driving helpers extracted into `gdp_core::model` ([`observe_all`],
+//! [`estimate_all`]). Because every estimator is a pure function of its
+//! observed stream and the boundary measurements, replayed estimates are
+//! **bit-identical** to the live ones, at memory speed instead of
+//! simulation speed.
+
+use gdp_core::model::{estimate_all, observe_all, PrivateEstimate, PrivateModeEstimator};
+use gdp_sim::types::CoreId;
+
+use crate::model::SharedTrace;
+
+/// Re-evaluate `estimators` over `trace`.
+///
+/// Returns `rows[interval][core]` = one [`PrivateEstimate`] per estimator
+/// (in estimator order) — the same shape as the live run's per-interval
+/// estimate vectors.
+///
+/// # Panics
+/// Panics if a boundary row has more entries than the trace's core count
+/// claims (a malformed trace; the strict decoder never produces one).
+pub fn replay_estimates(
+    trace: &SharedTrace,
+    estimators: &mut [Box<dyn PrivateModeEstimator>],
+) -> Vec<Vec<Vec<PrivateEstimate>>> {
+    let mut rows = Vec::with_capacity(trace.intervals.len());
+    for iv in &trace.intervals {
+        observe_all(estimators, &iv.events);
+        let mut row = Vec::with_capacity(iv.boundaries.len());
+        for (c, b) in iv.boundaries.iter().enumerate() {
+            assert!(c < trace.cores, "boundary for core {c} in a {}-core trace", trace.cores);
+            row.push(estimate_all(estimators, CoreId(c as u8), &b.measurement()));
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Boundary, TraceInterval};
+    use gdp_core::{GdpEstimator, GdpVariant};
+    use gdp_sim::mem::Interference;
+    use gdp_sim::probe::{ProbeEvent, StallCause};
+    use gdp_sim::stats::CoreStats;
+    use gdp_sim::types::ReqId;
+
+    /// The Figure 1a worked example, replayed from a trace: GDP must
+    /// reproduce CPI 2.47 exactly as the live estimator test does.
+    #[test]
+    fn replaying_figure1_reproduces_the_paper_example() {
+        let events = vec![
+            ProbeEvent::LoadL1Miss { core: CoreId(0), req: ReqId(0xa1), block: 0xa1, cycle: 10 },
+            ProbeEvent::LoadL1Miss { core: CoreId(0), req: ReqId(0xa2), block: 0xa2, cycle: 12 },
+            ProbeEvent::LoadL1Miss { core: CoreId(0), req: ReqId(0xa3), block: 0xa3, cycle: 14 },
+            done(0xa1, 150),
+            stall(50, 155, 0xa1),
+            done(0xa2, 182),
+            stall(175, 185, 0xa2),
+            ProbeEvent::LoadL1Miss { core: CoreId(0), req: ReqId(0xa4), block: 0xa4, cycle: 190 },
+            ProbeEvent::LoadL1Miss { core: CoreId(0), req: ReqId(0xa5), block: 0xa5, cycle: 191 },
+            done(0xa3, 192),
+            done(0xa4, 340),
+            stall(200, 350, 0xa4),
+            done(0xa5, 356),
+            stall(352, 358, 0xa5),
+        ];
+        let stats = CoreStats {
+            committed_instrs: 190,
+            commit_cycles: 190,
+            cycles: 495,
+            stall_sms: 305,
+            sms_loads: 5,
+            ..Default::default()
+        };
+        let trace = SharedTrace {
+            cores: 1,
+            workload: "fig1".into(),
+            cycles: 495,
+            final_stats: vec![stats],
+            intervals: vec![TraceInterval {
+                events,
+                boundaries: vec![Boundary {
+                    instr_start: 0,
+                    instr_end: 190,
+                    stats,
+                    lambda: 140.0,
+                    shared_latency: 180.0,
+                }],
+            }],
+        };
+        let mut est: Vec<Box<dyn PrivateModeEstimator>> =
+            vec![Box::new(GdpEstimator::new(GdpVariant::Gdp, 1, 32))];
+        let rows = replay_estimates(&trace, &mut est);
+        assert_eq!(rows.len(), 1);
+        let e = rows[0][0][0];
+        assert_eq!(e.cpl, 2);
+        assert!((e.cpi - 2.47).abs() < 0.01, "GDP CPI {}", e.cpi);
+    }
+
+    #[test]
+    fn replay_twice_is_bit_identical() {
+        let trace = tiny_trace();
+        let run = |t: &SharedTrace| {
+            let mut est: Vec<Box<dyn PrivateModeEstimator>> = vec![
+                Box::new(GdpEstimator::new(GdpVariant::Gdp, 1, 8)),
+                Box::new(GdpEstimator::new(GdpVariant::GdpO, 1, 8)),
+            ];
+            replay_estimates(t, &mut est)
+        };
+        let a = run(&trace);
+        let b = run(&trace);
+        for (ra, rb) in a.iter().flatten().flatten().zip(b.iter().flatten().flatten()) {
+            assert_eq!(ra.cpi.to_bits(), rb.cpi.to_bits());
+            assert_eq!(ra.sigma_sms.to_bits(), rb.sigma_sms.to_bits());
+        }
+    }
+
+    fn tiny_trace() -> SharedTrace {
+        let stats = CoreStats {
+            committed_instrs: 50,
+            commit_cycles: 60,
+            cycles: 200,
+            stall_sms: 100,
+            sms_loads: 1,
+            ..Default::default()
+        };
+        SharedTrace {
+            cores: 1,
+            workload: "t".into(),
+            cycles: 200,
+            final_stats: vec![stats],
+            intervals: vec![TraceInterval {
+                events: vec![
+                    ProbeEvent::LoadL1Miss {
+                        core: CoreId(0),
+                        req: ReqId(1),
+                        block: 0x40,
+                        cycle: 5,
+                    },
+                    done(0x40, 105),
+                    stall(20, 110, 0x40),
+                ],
+                boundaries: vec![Boundary {
+                    instr_start: 0,
+                    instr_end: 50,
+                    stats,
+                    lambda: 90.0,
+                    shared_latency: 100.0,
+                }],
+            }],
+        }
+    }
+
+    fn done(block: u64, cycle: u64) -> ProbeEvent {
+        ProbeEvent::LoadL1MissDone {
+            core: CoreId(0),
+            req: ReqId(block),
+            block,
+            cycle,
+            sms: true,
+            latency: 100,
+            interference: Interference::default(),
+            llc_hit: Some(true),
+            post_llc: 0,
+        }
+    }
+
+    fn stall(start: u64, end: u64, block: u64) -> ProbeEvent {
+        ProbeEvent::Stall {
+            core: CoreId(0),
+            start,
+            end,
+            cause: StallCause::Load,
+            blocking_block: Some(block),
+            blocking_req: None,
+            blocking_sms: Some(true),
+            blocking_interference: None,
+        }
+    }
+}

@@ -13,6 +13,8 @@
 //!   evaluation.
 //! * [`runner`] — parallel, deterministic campaign execution (job pool,
 //!   shared CLI, machine-readable JSON results).
+//! * [`trace`] — event-trace capture & replay with a content-addressed
+//!   campaign cache (simulate once, estimate many).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -24,4 +26,5 @@ pub use gdp_metrics as metrics;
 pub use gdp_partition as partition;
 pub use gdp_runner as runner;
 pub use gdp_sim as sim;
+pub use gdp_trace as trace;
 pub use gdp_workloads as workloads;

@@ -148,6 +148,81 @@ proptest! {
         prop_assert_eq!(s.n, values.len());
     }
 
+    /// Trace-codec round trip: arbitrary event streams (all five event
+    /// kinds, arbitrary cores/addresses/timestamps/option fields) encode
+    /// and decode to identity, including exact f64 boundary bits.
+    #[test]
+    fn trace_codec_round_trips_arbitrary_event_streams(
+        raw in proptest::collection::vec((0u64..5, 0u64..(1 << 40), 0u64..10_000), 0..300),
+        lambda in 0.0f64..1e6,
+        cores in 1usize..8,
+    ) {
+        use gdp::sim::mem::Interference;
+        use gdp::trace::{decode_shared, encode_shared, Boundary, SharedTrace, TraceInterval};
+
+        let mut cycle = 0u64;
+        let events: Vec<ProbeEvent> = raw
+            .iter()
+            .map(|&(kind, addr, dt)| {
+                cycle += dt;
+                let core = CoreId((addr % cores as u64) as u8);
+                let block = addr * 64;
+                let req = ReqId(addr ^ dt);
+                match kind {
+                    0 => ProbeEvent::LoadL1Miss { core, req, block, cycle },
+                    1 => ProbeEvent::LoadL1MissDone {
+                        core, req, block, cycle,
+                        sms: addr % 2 == 0,
+                        latency: dt * 3,
+                        interference: Interference {
+                            ring: addr % 97,
+                            mc_queue: dt % 53,
+                            mc_row: (addr % 41) as i64 - 20,
+                        },
+                        llc_hit: [None, Some(false), Some(true)][(addr % 3) as usize],
+                        post_llc: dt % 400,
+                    },
+                    2 => ProbeEvent::LlcAccess { core, block, cycle, hit: dt % 2 == 0, req },
+                    3 => ProbeEvent::Stall {
+                        core,
+                        start: cycle,
+                        end: cycle + dt % 500,
+                        cause: [
+                            StallCause::Load,
+                            StallCause::StoreBufferFull,
+                            StallCause::L1Blocked,
+                            StallCause::BranchRedirect,
+                            StallCause::MemoryIndependent,
+                        ][(addr % 5) as usize],
+                        blocking_block: (addr % 2 == 0).then_some(block),
+                        blocking_req: (addr % 3 == 0).then_some(req),
+                        blocking_sms: [None, Some(false), Some(true)][(dt % 3) as usize],
+                        blocking_interference: (addr % 5 == 0).then_some(Interference {
+                            ring: 1, mc_queue: 2, mc_row: -3,
+                        }),
+                    },
+                    _ => ProbeEvent::IntervalEnd { cycle },
+                }
+            })
+            .collect();
+        let boundary = Boundary {
+            instr_start: 0,
+            instr_end: events.len() as u64,
+            stats: Default::default(),
+            lambda,
+            shared_latency: lambda / 3.0,
+        };
+        let trace = SharedTrace {
+            cores,
+            workload: format!("prop-{cores}c"),
+            cycles: cycle + 1,
+            final_stats: vec![Default::default(); cores],
+            intervals: vec![TraceInterval { events, boundaries: vec![boundary; cores] }],
+        };
+        let decoded = decode_shared(&encode_shared(&trace)).expect("round trip decodes");
+        prop_assert_eq!(decoded, trace);
+    }
+
     /// Contiguous way masks are disjoint and exactly cover the allocated
     /// ways.
     #[test]
