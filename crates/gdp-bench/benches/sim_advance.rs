@@ -1,0 +1,87 @@
+//! Engine benchmark: the event-driven cycle-skipping engine
+//! (`System::advance`) against the step-by-1 reference engine
+//! (`System::step`) on campaign-representative workloads.
+//!
+//! Three scenarios span the campaign's cost profile:
+//!
+//! * `private_membound` — a memory-bound benchmark alone on the CMP (the
+//!   per-core ground-truth runs of Figs. 3–5): long DRAM stalls, the
+//!   engine's best case.
+//! * `shared_2c_h` — a 2-core high-interference workload: both cores
+//!   stall together often.
+//! * `shared_8c_h` — an 8-core high-interference workload: dense memory
+//!   events bound the skip windows; the quiet-core fast path carries the
+//!   win.
+//!
+//! Each benchmark simulates a fixed cycle budget from cold, so the
+//! reported time *is* the engine cost for that budget; `BENCH_sim.json`
+//! at the repo root records the baseline numbers for the perf
+//! trajectory.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use gdp_bench::SWEEP_SEED;
+use gdp_sim::core::InstrStream;
+use gdp_sim::{SimConfig, System};
+use gdp_workloads::{by_name, generate_workloads, LlcClass, Workload};
+
+fn workload(cores: usize) -> Workload {
+    generate_workloads(cores, LlcClass::H, 1, SWEEP_SEED).remove(0)
+}
+
+/// One benchmark pair: the scenario under both engines.
+fn engine_pair(
+    c: &mut Criterion,
+    name: &str,
+    cores: usize,
+    mk_streams: impl Fn() -> Vec<InstrStream>,
+    cycles: u64,
+) {
+    let mk = || {
+        let cfg = SimConfig::scaled(cores);
+        System::new(cfg, mk_streams())
+    };
+    c.bench_function(&format!("engine/{name}/step"), |b| {
+        b.iter_batched(
+            mk,
+            |mut sys| {
+                for _ in 0..cycles {
+                    sys.step();
+                }
+                sys
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function(&format!("engine/{name}/advance"), |b| {
+        b.iter_batched(
+            mk,
+            |mut sys| {
+                sys.run_cycles(cycles); // event-driven, bit-identical
+                sys
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    // ammp is the suite's pointer chaser: serialized DRAM misses, the
+    // exact profile of a Fig. 3/5 private ground-truth run.
+    let chaser = by_name("ammp").expect("suite benchmark");
+    engine_pair(c, "private_membound", 2, move || vec![chaser.stream(0)], 150_000);
+    let w2 = workload(2);
+    engine_pair(c, "shared_2c_h", 2, move || w2.streams(), 60_000);
+    let w8 = workload(8);
+    engine_pair(c, "shared_8c_h", 8, move || w8.streams(), 60_000);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engines
+}
+criterion_main!(benches);

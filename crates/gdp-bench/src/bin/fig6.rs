@@ -14,7 +14,13 @@ fn main() {
     // study (all five LLC managers plus the private reference runs).
     // Policy studies measure throughput under invasive repartitioning,
     // not the estimator-facing stream, so the trace cache does not apply
-    // here (`--record`/`--replay` are accepted and ignored).
+    // here — say so instead of silently ignoring the flags.
+    if args.record || args.replay {
+        eprintln!(
+            "[fig6] note: invasive policy studies bypass the trace cache; \
+             --record/--replay are ignored"
+        );
+    }
     let cells = all_cells();
     let prep: Vec<(ExperimentConfig, Vec<Workload>)> = cells
         .iter()

@@ -1,0 +1,41 @@
+//! fig6's trace-cache flags: the invasive policy studies cannot use the
+//! trace cache, and the binary must say so on stderr instead of silently
+//! accepting-and-ignoring `--record`/`--replay`.
+
+use std::process::Command;
+
+fn fig6(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_fig6")).args(args).output().expect("fig6 binary must run")
+}
+
+#[test]
+fn record_replay_flags_warn_that_the_cache_is_bypassed() {
+    // `--list` exits after printing the job plan, keeping the test fast;
+    // the warning must already have been emitted by then.
+    for flags in [&["--tiny", "--list", "--record"][..], &["--tiny", "--list", "--replay"][..]] {
+        let out = fig6(flags);
+        assert!(out.status.success(), "fig6 {flags:?} must exit 0");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("bypass the trace cache"),
+            "fig6 {flags:?} must warn that --record/--replay are ignored; stderr: {stderr}"
+        );
+        assert!(
+            stderr.contains("--record/--replay are ignored"),
+            "warning must name the ignored flags; stderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn plain_invocations_do_not_warn() {
+    let out = fig6(&["--tiny", "--list"]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("bypass the trace cache"),
+        "no cache flags, no warning; stderr: {stderr}"
+    );
+    // The job plan itself goes to stdout.
+    assert!(!out.stdout.is_empty(), "--list must print the job plan");
+}

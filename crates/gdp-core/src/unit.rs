@@ -9,10 +9,10 @@
 //! accumulated from the stall-span complement — exactly the value the
 //! paper's per-request overlap counters would hold.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use gdp_sim::probe::{ProbeEvent, StallCause};
-use gdp_sim::types::{Addr, Cycle};
+use gdp_sim::types::{Addr, Cycle, FxHashMap};
 
 #[derive(Debug, Clone)]
 struct PrbEntry {
@@ -40,7 +40,7 @@ struct Pcb {
 pub struct GdpUnit {
     capacity: usize,
     entries: VecDeque<PrbEntry>,
-    by_addr: HashMap<Addr, u64>,
+    by_addr: FxHashMap<Addr, u64>,
     pcb: Pcb,
     next_uid: u64,
     // ---- GDP-O overlap measurement (per interval) ----
@@ -63,7 +63,7 @@ impl GdpUnit {
         GdpUnit {
             capacity,
             entries: VecDeque::with_capacity(capacity.min(1024)),
-            by_addr: HashMap::new(),
+            by_addr: FxHashMap::default(),
             pcb: Pcb::default(),
             next_uid: 0,
             stall_spans: Vec::new(),

@@ -9,9 +9,7 @@
 //! keeps only a subset of sets, cutting storage from megabytes to
 //! kilobytes; counts are scaled back up by the sampling factor.
 
-use std::collections::HashMap;
-
-use gdp_sim::types::{Addr, BLOCK_BYTES};
+use gdp_sim::types::{Addr, FxHashMap, BLOCK_BYTES};
 
 /// Outcome of an ATD access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +30,7 @@ pub struct Atd {
     sample_interval: u64,
     total_sets: u64,
     /// Sampled sets: set index → tags ordered MRU-first.
-    sets: HashMap<u64, Vec<u64>>,
+    sets: FxHashMap<u64, Vec<u64>>,
     /// Stack-distance histogram: `hits_at[r]` = hits at LRU position `r`.
     hits_at: Vec<u64>,
     /// Misses observed (sampled sets only, unscaled).
@@ -54,7 +52,7 @@ impl Atd {
             ways,
             sample_interval: interval,
             total_sets: total_sets as u64,
-            sets: HashMap::with_capacity(sampled_sets),
+            sets: FxHashMap::with_capacity_and_hasher(sampled_sets, Default::default()),
             hits_at: vec![0; ways],
             misses: 0,
             accesses: 0,

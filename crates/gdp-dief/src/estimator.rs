@@ -9,11 +9,9 @@
 //! average interference, clamped from below by the contention-free LLC
 //! hit latency (a hardware sanity clamp).
 
-use std::collections::HashMap;
-
 use crate::atd::{Atd, AtdOutcome};
 use gdp_sim::probe::ProbeEvent;
-use gdp_sim::types::{CoreId, ReqId};
+use gdp_sim::types::{CoreId, FxHashMap, ReqId};
 use gdp_sim::SimConfig;
 
 /// Per-interval latency estimate for one core.
@@ -32,7 +30,7 @@ pub struct LatencyEstimate {
 #[derive(Debug, Default, Clone)]
 struct CoreState {
     /// Requests flagged as interference misses by the ATD.
-    intf_miss: HashMap<ReqId, ()>,
+    intf_miss: FxHashMap<ReqId, ()>,
     /// Σ shared latency over the interval.
     lat_sum: u64,
     /// Σ interference over the interval.
@@ -42,7 +40,7 @@ struct CoreState {
     /// Per-request total interference of recently completed requests
     /// (consumed by PTCA) and whether the ATD flagged them as
     /// interference misses (consumed by ITCA); cleared every interval.
-    completed_intf: HashMap<ReqId, (u64, bool)>,
+    completed_intf: FxHashMap<ReqId, (u64, bool)>,
 }
 
 /// The DIEF estimator for all cores of a CMP.

@@ -9,6 +9,9 @@
 //!   provided as input to the private mode experiments").
 //! * [`accuracy`] — per-benchmark RMS error evaluation of IPC, SMS-stall,
 //!   CPL, overlap and latency estimates (Figs. 3–5).
+//! * [`interval`] — accounting-interval bookkeeping shared by the run
+//!   loops: the engine's advance limit and exact, lossless boundary
+//!   emission under multi-cycle clock jumps.
 //! * [`policy_run`] — the LLC-partitioning case study: LRU, UCP, ASM, MCP
 //!   and MCP-O under way-partitioning with STP scoring (Fig. 6).
 //! * [`trace`] — record/replay glue over `gdp-trace`: capture the
@@ -18,6 +21,7 @@
 
 pub mod accuracy;
 pub mod config;
+pub mod interval;
 pub mod policy_run;
 pub mod private;
 pub mod shared;
@@ -28,6 +32,7 @@ pub use accuracy::{
     transparent_subset, BenchAccuracy, Technique, WorkloadAccuracy, WorkloadEval,
 };
 pub use config::ExperimentConfig;
+pub use interval::IntervalSchedule;
 pub use policy_run::{run_policy_study, PolicyKind, PolicyOutcome};
 pub use private::{run_private, PrivateCheckpoint, PrivateRun};
 pub use shared::{run_shared, run_shared_with_sink, CoreInterval, SharedRun};

@@ -19,6 +19,7 @@ use gdp_sim::System;
 use gdp_workloads::Workload;
 
 use crate::config::ExperimentConfig;
+use crate::interval::IntervalSchedule;
 use crate::private::run_private;
 
 /// The LLC managers of Fig. 6.
@@ -131,7 +132,7 @@ fn run_with_policy(
 
     let cap = xcfg.cycle_cap();
     let mut last: Vec<CoreStats> = (0..n).map(|c| *sys.core_stats(c)).collect();
-    let mut next_interval = xcfg.interval_cycles;
+    let mut schedule = IntervalSchedule::new(xcfg.interval_cycles);
     // Cycle at which each core reached the instruction sample: shared CPI
     // is measured over the same instruction window as the private
     // reference (both from cold start), keeping STP terms ≤ 1.
@@ -144,15 +145,21 @@ fn run_with_policy(
                 sys.mem().mc().set_priority_core(Some(pc));
             }
         }
-        sys.step();
+        let mut limit = cap.min(schedule.next_boundary());
+        if let Some(epoch) = asm_epoch {
+            limit = limit.min((sys.now() / epoch + 1) * epoch);
+        }
+        sys.advance(limit);
+        // Commits only happen on real (ticked) cycles, so a core reaching
+        // its sample target is observed at exactly the same cycle a
+        // step-by-1 loop would record.
         for c in 0..n {
             if cycle_at_target[c].is_none() && sys.committed(c) >= xcfg.sample_instrs {
                 cycle_at_target[c] = Some(sys.now());
             }
         }
 
-        if sys.now() >= next_interval {
-            next_interval += xcfg.interval_cycles;
+        while schedule.pop_crossed(sys.now()).is_some() {
             sys.finalize();
             let events = sys.drain_probes();
             for ev in &events {

@@ -12,6 +12,7 @@ use gdp_workloads::Workload;
 
 use crate::accuracy::Technique;
 use crate::config::ExperimentConfig;
+use crate::interval::IntervalSchedule;
 
 /// One core's record for one accounting interval.
 #[derive(Debug, Clone)]
@@ -108,7 +109,7 @@ pub fn run_shared_with_sink(
     let cap = xcfg.cycle_cap();
     let mut intervals: Vec<Vec<CoreInterval>> = Vec::new();
     let mut last_snapshot: Vec<CoreStats> = (0..n).map(|c| *sys.core_stats(c)).collect();
-    let mut next_interval = xcfg.interval_cycles;
+    let mut schedule = IntervalSchedule::new(xcfg.interval_cycles);
 
     while sys.now() < cap && (0..n).any(|c| sys.committed(c) < xcfg.sample_instrs) {
         if let Some(epoch) = asm_schedule {
@@ -117,10 +118,18 @@ pub fn run_shared_with_sink(
                 sys.mem().mc().set_priority_core(Some(pc));
             }
         }
-        sys.step();
+        // The engine may skip many dead cycles per call; clamp it to every
+        // cycle-indexed obligation so boundaries are observed exactly.
+        let mut limit = cap.min(schedule.next_boundary());
+        if let Some(epoch) = asm_schedule {
+            limit = limit.min((sys.now() / epoch + 1) * epoch);
+        }
+        sys.advance(limit);
 
-        if sys.now() >= next_interval {
-            next_interval += xcfg.interval_cycles;
+        // Emit every boundary the advance reached (with the clamp above
+        // that is at most one, but a missed boundary would corrupt the
+        // interval record stream, so the loop is load-bearing).
+        while schedule.pop_crossed(sys.now()).is_some() {
             sys.finalize(); // close open stall runs at the boundary
             let events = sys.drain_probes();
             for ev in &events {

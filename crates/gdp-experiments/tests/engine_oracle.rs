@@ -1,0 +1,105 @@
+//! The quiescence oracle: drive the **step-by-1 reference engine** over
+//! real campaign workloads and verify, cycle by cycle, that the
+//! event-driven engine's activity predictions are sound — no core
+//! statistics change and no probe event is emitted strictly inside a
+//! predicted-quiet window.
+//!
+//! This is the contract `System::advance` skips on. The campaign-level
+//! byte-compares (CI's step-vs-advance fig3 diff) verify end-to-end
+//! equality; this test localizes a violation to the exact cycle and core
+//! that broke it, which is what actually finds the bugs (both engine
+//! defects caught during development — the stale-cause stall run and the
+//! stale `l1_blocked` flag — were pinpointed by exactly this oracle).
+
+use gdp_sim::core::CoreActivity;
+use gdp_sim::types::CoreId;
+use gdp_sim::System;
+use gdp_workloads::{generate_workloads, LlcClass};
+
+use gdp_experiments::ExperimentConfig;
+
+/// Step `sys` for `horizon` cycles, asserting every quiescence
+/// prediction against what the reference engine actually does.
+fn validate(mut sys: System, cores: usize, horizon: u64) {
+    // Ticks strictly before `quiet_until` must change nothing beyond the
+    // per-core cycle counters (and the bulk-replayed retry counters).
+    let mut quiet_until: u64 = 0;
+    let mut snap: Vec<_> = (0..cores).map(|c| *sys.core_stats(c)).collect();
+    for t in 0..horizon {
+        sys.step();
+        let emitted = sys.drain_probes();
+        let inside_quiet = t < quiet_until;
+        if inside_quiet {
+            assert!(
+                emitted.is_empty(),
+                "probe emitted inside predicted-quiet window (tick {t}, until {quiet_until}): \
+                 {:?}",
+                emitted.first()
+            );
+            for c in 0..cores {
+                let mut expect = snap[c];
+                expect.cycles += 1;
+                assert_eq!(
+                    *sys.core_stats(c),
+                    expect,
+                    "core {c} changed inside predicted-quiet window (tick {t}, until \
+                     {quiet_until})"
+                );
+            }
+        }
+        snap = (0..cores).map(|c| *sys.core_stats(c)).collect();
+
+        // Recompute the prediction exactly as `System::advance` does.
+        let (acts, mem_next) = sys.quiescence_diag();
+        let mut bound = mem_next;
+        let mut all_quiet = true;
+        for (ci, a) in acts.iter().enumerate() {
+            match a {
+                CoreActivity::Now => all_quiet = false,
+                CoreActivity::Quiescent { next, l1_retry } => {
+                    if let Some(n) = next {
+                        bound = Some(bound.map_or(*n, |b| b.min(*n)));
+                    }
+                    if let Some(block) = l1_retry {
+                        if !sys.mem_ref().l1_probe_stays_blocked(CoreId(ci as u8), *block) {
+                            all_quiet = false; // stale flag: the probe would succeed
+                        }
+                    }
+                }
+            }
+        }
+        quiet_until = if all_quiet {
+            match bound {
+                Some(b) if b > sys.now() => b,
+                Some(_) => sys.now(),
+                None => u64::MAX,
+            }
+        } else {
+            sys.now()
+        };
+    }
+}
+
+#[test]
+fn predictions_hold_on_a_2core_h_workload() {
+    let x = ExperimentConfig::tiny(2);
+    let w = &generate_workloads(2, LlcClass::H, 2, 2018)[0];
+    validate(System::new(x.sim.clone(), w.streams()), 2, 60_000);
+}
+
+#[test]
+fn predictions_hold_on_an_8core_h_workload() {
+    // The wide-CMP case that caught the stale `l1_blocked` flag: dense
+    // events, store-buffer drains starving memory ports, deep MSHR
+    // pressure.
+    let x = ExperimentConfig::tiny(8);
+    let w = &generate_workloads(8, LlcClass::H, 2, 2018)[1];
+    validate(System::new(x.sim.clone(), w.streams()), 8, 40_000);
+}
+
+#[test]
+fn predictions_hold_on_a_private_run() {
+    let x = ExperimentConfig::tiny(2);
+    let w = &generate_workloads(2, LlcClass::H, 2, 2018)[0];
+    validate(System::new(x.sim.clone(), vec![w.benchmarks[0].stream(0)]), 1, 60_000);
+}

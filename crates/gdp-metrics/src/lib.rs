@@ -15,15 +15,18 @@ pub fn abs_error(estimate: f64, actual: f64) -> f64 {
 
 /// Relative error `E_rel = (estimate − actual) / actual`.
 ///
-/// Returns 0 when `actual` is 0 and the estimate matches, and the signed
-/// estimate magnitude otherwise (a pragmatic guard; the paper's
-/// denominators are never exactly zero at 100M-instruction scale).
+/// A zero `actual` (including `-0.0`) never divides: the result is the
+/// defined sentinel `0` when the estimate matches and the signed estimate
+/// value otherwise — finite whenever the estimate is finite, so a
+/// zero-denominator interval cannot poison [`rms`]/[`Summary`] with
+/// inf/NaN (a pragmatic guard; the paper's denominators are never exactly
+/// zero at 100M-instruction scale).
 pub fn rel_error(estimate: f64, actual: f64) -> f64 {
     if actual == 0.0 {
         if estimate == 0.0 {
             0.0
         } else {
-            estimate.signum() * estimate.abs()
+            estimate
         }
     } else {
         (estimate - actual) / actual
@@ -31,7 +34,16 @@ pub fn rel_error(estimate: f64, actual: f64) -> f64 {
 }
 
 /// Root-mean-squared aggregation of a series of errors (paper Eq. 8).
+///
+/// Debug builds assert every error is finite: one inf/NaN silently turns
+/// the whole aggregate into inf/NaN, which then reads as a plausible
+/// "large error" after formatting — exactly the failure mode the
+/// [`rel_error`] sentinel exists to prevent.
 pub fn rms(errors: &[f64]) -> f64 {
+    debug_assert!(
+        errors.iter().all(|e| e.is_finite()),
+        "non-finite error poisons the RMS aggregate: {errors:?}"
+    );
     if errors.is_empty() {
         return 0.0;
     }
@@ -179,6 +191,29 @@ mod tests {
         assert_eq!(abs_error(1.0, 2.0), -1.0);
         assert!((rel_error(3.0, 2.0) - 0.5).abs() < 1e-12);
         assert_eq!(rel_error(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_actual_yields_finite_sentinel() {
+        // estimate == actual == 0: perfect, error 0.
+        assert_eq!(rel_error(0.0, 0.0), 0.0);
+        assert_eq!(rel_error(0.0, -0.0), 0.0);
+        // Nonzero estimate against a zero actual: the signed estimate,
+        // finite, sign preserved — never inf/NaN from the division.
+        assert_eq!(rel_error(2.5, 0.0), 2.5);
+        assert_eq!(rel_error(-1.5, 0.0), -1.5);
+        assert_eq!(rel_error(3.0, -0.0), 3.0);
+        // The sentinel feeds rms/Summary without poisoning them.
+        let errs = [rel_error(2.0, 0.0), rel_error(0.0, 0.0)];
+        assert!(rms(&errs).is_finite());
+        assert!(Summary::of(&errs).max.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite error")]
+    #[cfg(debug_assertions)]
+    fn rms_rejects_non_finite_errors_in_debug() {
+        let _ = rms(&[1.0, f64::INFINITY]);
     }
 
     #[test]

@@ -10,4 +10,4 @@ pub mod instr;
 pub mod pipeline;
 
 pub use instr::{Instr, InstrKind, InstrStream};
-pub use pipeline::Core;
+pub use pipeline::{Core, CoreActivity};

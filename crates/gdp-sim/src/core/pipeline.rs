@@ -21,7 +21,7 @@
 //! are known — this is the "CPU resumed" trigger of GDP's Algorithm 3.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::config::CoreConfig;
 use crate::core::instr::{InstrKind, InstrStream};
@@ -29,7 +29,7 @@ use crate::mem::hierarchy::{AccessOutcome, CompletedAccess, MemorySystem};
 use crate::mem::request::Interference;
 use crate::probe::{ProbeEvent, StallCause};
 use crate::stats::CoreStats;
-use crate::types::{block_addr, Addr, CoreId, Cycle, ReqId};
+use crate::types::{block_addr, Addr, CoreId, Cycle, FxHashMap, ReqId};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EState {
@@ -78,6 +78,33 @@ struct StallRun {
     cause: StallCause,
 }
 
+/// A core's activity report for the cycle-skipping engine (see
+/// [`Core::next_activity`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreActivity {
+    /// The core must tick this cycle: it could commit, issue, dispatch,
+    /// or open a stall run.
+    Now,
+    /// The core is quiescent.
+    Quiescent {
+        /// Earliest self-scheduled wake-up — an execution completion or
+        /// the front-end redirect timer. `None`: only a memory completion
+        /// can wake the core.
+        next: Option<Cycle>,
+        /// `Some(block)`: the core's issue stage re-attempts one
+        /// L1-blocked load of `block` every cycle. The `l1_blocked` flag
+        /// alone can be stale (the last tick's issue stage may not have
+        /// reached the load, e.g. when the store-buffer drain consumed
+        /// every memory port), so the engine must confirm against live
+        /// memory state (`MemorySystem::l1_probe_stays_blocked`) before
+        /// skipping; a confirmed-blocked probe stays blocked while the
+        /// memory system is quiescent and is pure except for three
+        /// per-cycle counters, replayed in bulk via
+        /// `MemorySystem::replay_blocked_l1_probes`.
+        l1_retry: Option<crate::types::Addr>,
+    },
+}
+
 /// Per-cycle functional-unit budget.
 #[derive(Debug, Default)]
 struct FuBudget {
@@ -101,17 +128,22 @@ pub struct Core {
     lsq_used: usize,
     ready: BinaryHeap<Reverse<u64>>,
     exec_done: BinaryHeap<Reverse<(Cycle, u64)>>,
-    dependents: HashMap<u64, Vec<u64>>,
+    dependents: FxHashMap<u64, Vec<u64>>,
     store_buffer: VecDeque<SbEntry>,
     /// Blocks with uncommitted/undrained stores (store→load forwarding).
-    store_blocks: HashMap<Addr, u32>,
+    store_blocks: FxHashMap<Addr, u32>,
     /// Mispredicted branch blocking the front end, if any.
     fetch_blocked_by: Option<u64>,
     /// Front end resumes at this cycle after a redirect.
     redirect_until: Option<Cycle>,
-    req_map: HashMap<ReqId, u64>,
+    req_map: FxHashMap<ReqId, u64>,
     run: Option<StallRun>,
     stats: CoreStats,
+    /// Ticks with `now < quiet_until` take the O(1) quiescent fast path
+    /// (see [`Core::set_quiet`]); 0 when no quiescence is cached.
+    quiet_until: Cycle,
+    /// Cached confirmed L1-retry block for fast-path ticks.
+    quiet_l1_retry: Option<Addr>,
 }
 
 impl Core {
@@ -128,14 +160,16 @@ impl Core {
             lsq_used: 0,
             ready: BinaryHeap::new(),
             exec_done: BinaryHeap::new(),
-            dependents: HashMap::new(),
+            dependents: FxHashMap::default(),
             store_buffer: VecDeque::with_capacity(cfg.store_buffer_entries),
-            store_blocks: HashMap::new(),
+            store_blocks: FxHashMap::default(),
             fetch_blocked_by: None,
             redirect_until: None,
-            req_map: HashMap::new(),
+            req_map: FxHashMap::default(),
             run: None,
             stats: CoreStats::default(),
+            quiet_until: 0,
+            quiet_l1_retry: None,
         }
     }
 
@@ -173,8 +207,43 @@ impl Core {
         seq >= self.head_seq && ((seq - self.head_seq) as usize) < self.rob.len()
     }
 
+    /// Cache a verified quiescence window: ticks strictly before `until`
+    /// take an O(1) fast path (cycle counter, plus the confirmed
+    /// L1-retry probe replay when `l1_retry` is set) instead of running
+    /// the pipeline stages. Only `System::advance` calls this, after
+    /// [`Core::next_activity`] proved quiescence and (for `l1_retry`)
+    /// the memory system confirmed the probe blocked.
+    ///
+    /// The cache is sound because every external influence on the
+    /// conditions behind [`Core::next_activity`] arrives through
+    /// [`record_mem_completion`](Core::record_mem_completion) (which
+    /// invalidates it) or [`finalize`](Core::finalize) (likewise); the
+    /// core's self-scheduled wake-ups bound `until` itself.
+    pub(crate) fn set_quiet(&mut self, until: Cycle, l1_retry: Option<Addr>) {
+        self.quiet_until = until;
+        self.quiet_l1_retry = l1_retry;
+    }
+
+    /// Cached quiescence horizon (0 when none).
+    pub(crate) fn quiet_until(&self) -> Cycle {
+        self.quiet_until
+    }
+
+    /// Cached confirmed L1-retry block, if any.
+    pub(crate) fn quiet_l1_retry(&self) -> Option<Addr> {
+        self.quiet_l1_retry
+    }
+
+    fn clear_quiet(&mut self) {
+        self.quiet_until = 0;
+        self.quiet_l1_retry = None;
+    }
+
     /// Route a completed memory access back into the pipeline.
     pub fn record_mem_completion(&mut self, done: &CompletedAccess) {
+        // Any completion can wake the pipeline or change L1/MSHR state:
+        // drop the cached quiescence window.
+        self.clear_quiet();
         // Store-buffer drain completion?
         if let Some(pos) = self.store_buffer.iter().position(|e| e.req == Some(done.req)) {
             self.store_buffer.remove(pos);
@@ -212,6 +281,17 @@ impl Core {
 
     /// Advance the core one cycle.
     pub fn tick(&mut self, now: Cycle, mem: &mut MemorySystem, probes: &mut Vec<ProbeEvent>) {
+        if now < self.quiet_until {
+            // Verified-quiescent fast path: bit-identical to the full
+            // tick below on a quiescent cycle — only the cycle counter
+            // moves, plus the confirmed-blocked L1 probe's counters.
+            self.stats.cycles += 1;
+            if self.quiet_l1_retry.is_some() {
+                mem.replay_blocked_l1_probes(self.id, 1);
+            }
+            return;
+        }
+        self.clear_quiet();
         self.stats.cycles += 1;
         self.finish_executions(now);
         self.commit(now, mem, probes);
@@ -219,8 +299,133 @@ impl Core {
         self.dispatch(now);
     }
 
+    /// The core's activity report — the quiescence contract of
+    /// [`System::advance`].
+    ///
+    /// * [`CoreActivity::Now`] — the core is not quiescent: ticking it
+    ///   could commit, issue, dispatch, or open a stall run, so no cycle
+    ///   may be skipped.
+    /// * [`CoreActivity::Quiescent`] — ticking the core is a pure no-op
+    ///   (modulo counters accounted in bulk) until its `next` wake-up, or
+    ///   until a memory completion if `next` is `None`:
+    ///   `finish_executions` finds nothing due, `commit` extends the
+    ///   already-open stall run without touching it (the cause
+    ///   classification is a pure function of state that cannot change
+    ///   while quiescent), `issue` either does nothing or repeats one
+    ///   guaranteed-blocked L1 probe (`l1_retry`), and `dispatch` is
+    ///   gated shut.
+    ///
+    /// The conditions are deliberately conservative: a `Now` answer in a
+    /// cycle that turns out to be a no-op merely costs a real tick, while
+    /// a missed activity would silently diverge from the step-by-1
+    /// reference.
+    ///
+    /// [`System::advance`]: crate::System::advance
+    pub fn next_activity(&self, _now: Cycle) -> CoreActivity {
+        // A closed stall run means the previous cycle committed: the run
+        // a zero-commit cycle would open must start on that exact cycle.
+        let Some(run) = self.run else {
+            return CoreActivity::Now;
+        };
+        // The open run's cause was classified from *pre-issue* state (the
+        // commit stage runs first in a tick); issue or dispatch later the
+        // same tick can change the head's state — e.g. a Ready head load
+        // issuing to WaitMem turns a MemoryIndependent stall into a Load
+        // stall. The next real tick then closes this run and opens one
+        // with the new cause, so quiescence additionally requires that
+        // the recorded cause matches what the next tick would classify.
+        let sb_full = matches!(
+            self.rob.front(),
+            Some(h) if h.kind == InstrKind::Store && h.state == EState::Done
+        ) && self.store_buffer.len() >= self.cfg.store_buffer_entries;
+        if self.classify_stall(sb_full) != run.cause {
+            return CoreActivity::Now;
+        }
+        // The issue stage processes ready entries oldest-first and stops
+        // dead on an L1-blocked load (it defers the load and `break`s),
+        // leaving every younger entry untouched. If the oldest live ready
+        // entry is a load already marked `l1_blocked` — with no committed
+        // store it could forward from — the whole stage reduces to one
+        // guaranteed-blocked probe per cycle while the memory system is
+        // quiescent: MSHR occupancy and cache contents only change on
+        // memory events. Anything else in the ready queue means real
+        // issue work next cycle.
+        let l1_retry = if self.ready.is_empty() {
+            None
+        } else {
+            let oldest_live =
+                self.ready.iter().map(|&Reverse(s)| s).filter(|&s| self.in_rob(s)).min();
+            match oldest_live {
+                Some(seq) => {
+                    let e = self.entry(seq);
+                    let retry = e.kind == InstrKind::Load
+                        && e.l1_blocked
+                        && !self.store_blocks.contains_key(&e.block);
+                    if !retry {
+                        return CoreActivity::Now;
+                    }
+                    Some(e.block)
+                }
+                // Only stale entries: they pop with no side effects at
+                // the next real tick, whenever that is.
+                None => None,
+            }
+        };
+        // Store-buffer entries not yet accepted by the L1 retry every
+        // cycle (and could succeed, mutating request state).
+        if self.store_buffer.iter().any(|e| e.req.is_none()) {
+            return CoreActivity::Now;
+        }
+        // A Done head commits next cycle — unless it is a store stuck
+        // behind a full store buffer, which only a drain completion (a
+        // memory event) can unstick.
+        if let Some(h) = self.rob.front() {
+            let stuck_store = h.kind == InstrKind::Store
+                && self.store_buffer.len() >= self.cfg.store_buffer_entries;
+            if h.state == EState::Done && !stuck_store {
+                return CoreActivity::Now;
+            }
+        }
+        if self.dispatch_can_progress() {
+            return CoreActivity::Now;
+        }
+        // Quiescent: the only self-scheduled wake-ups are execution
+        // completions and the redirect timer (both strictly future —
+        // anything due was drained by the tick that just ran).
+        let mut next = self.exec_done.peek().map(|&Reverse((t, _))| t);
+        if let Some(r) = self.redirect_until {
+            next = Some(next.map_or(r, |n| n.min(r)));
+        }
+        CoreActivity::Quiescent { next, l1_retry }
+    }
+
+    /// Whether `dispatch` would make progress this cycle (the front end
+    /// is unblocked and no structural limit stops the next instruction).
+    fn dispatch_can_progress(&self) -> bool {
+        if self.fetch_blocked_by.is_some() {
+            // Wake-up comes from `redirect_until` or the branch's
+            // execution completion, both bounded by the caller.
+            return false;
+        }
+        if self.rob.len() >= self.cfg.rob_entries || self.iq_used >= self.cfg.iq_entries {
+            return false;
+        }
+        !(self.stream.peek().kind.is_mem() && self.lsq_used >= self.cfg.lsq_entries)
+    }
+
+    /// Account `n` bulk-skipped quiescent cycles. The open stall run
+    /// spans them (its duration is measured start-to-end at close), so
+    /// only the cycle counter needs to advance.
+    pub(crate) fn add_idle_cycles(&mut self, n: u64) {
+        debug_assert!(self.run.is_some() || n == 0, "idle cycles require an open stall run");
+        self.stats.add_idle_cycles(n);
+    }
+
     /// Close any open stall run (end of run / end of simulation).
     pub fn finalize(&mut self, now: Cycle, probes: &mut Vec<ProbeEvent>) {
+        // Closing the run invalidates the quiescence conditions (the
+        // next zero-commit cycle must reopen a run on that exact cycle).
+        self.clear_quiet();
         self.close_run(now, None, probes);
     }
 

@@ -1,11 +1,14 @@
 //! # gdp-sim — cycle-level chip-multiprocessor simulator substrate
 //!
 //! This crate implements the simulation substrate used by the GDP
-//! reproduction: a cycle-stepped model of a chip multiprocessor (CMP) with
+//! reproduction: a cycle-accurate model of a chip multiprocessor (CMP) with
 //! out-of-order cores, two levels of private caches, a shared banked
 //! last-level cache (LLC) with way-partitioning support, a ring
 //! interconnect, and a DDR2/DDR4 memory controller with FR-FCFS scheduling,
-//! banks and row buffers.
+//! banks and row buffers. Time is advanced by an event-driven,
+//! quiescence-aware engine ([`System::advance`]) that skips dead cycles in
+//! O(1); the fixed-increment [`System::step`] engine is retained as the
+//! bit-exact reference oracle.
 //!
 //! The architecture mirrors Table I of the paper (Jahre & Eeckhout,
 //! HPCA 2018). It executes *synthetic instruction streams* (see the

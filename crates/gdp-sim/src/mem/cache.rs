@@ -144,6 +144,18 @@ impl Cache {
         AccessResult::Miss
     }
 
+    /// Replay `n` probes that are known to miss, in bulk: each counts one
+    /// access and one miss and advances the LRU clock by one, exactly as
+    /// `n` calls of [`access`](Cache::access) on an absent block would —
+    /// a missing probe touches no line state. Used by the cycle-skipping
+    /// engine to account an L1-blocked load's per-cycle retry probes
+    /// without executing them.
+    pub(crate) fn replay_miss_probes(&mut self, n: u64) {
+        self.accesses += n;
+        self.misses += n;
+        self.tick += n;
+    }
+
     /// Probe without updating LRU or statistics (used by tests and probes).
     pub fn peek(&self, block: Addr) -> bool {
         let tag = block / crate::types::BLOCK_BYTES;

@@ -97,6 +97,17 @@ struct Channel {
     /// Per-core shadow of the row each core last touched per bank: the row
     /// state the core would see running alone (open-page private mode).
     shadow_rows: Vec<Vec<Option<u64>>>,
+    /// Ticks strictly before this cycle cannot issue (every queued
+    /// entry's bank is busy): a scan-skipping hint, recomputed after a
+    /// tick that issues nothing and reset on every enqueue. Skipped
+    /// ticks are pure no-ops — the hysteresis flag is a fixed point of
+    /// unchanged queues and bus reservations are pruned lazily before
+    /// use — so the hint never changes behavior, only cost.
+    idle_until: Cycle,
+    /// Bumped whenever the queue contents change (enqueue or issue):
+    /// lets callers cache queue-dependent decisions and revalidate in
+    /// O(1).
+    version: u64,
 }
 
 /// Per-core controller statistics.
@@ -134,6 +145,8 @@ impl MemoryController {
             draining_writes: false,
             per_core_queued: vec![0; cores],
             shadow_rows: vec![vec![None; cores]; cfg.banks],
+            idle_until: 0,
+            version: 0,
         };
         MemoryController {
             cfg: cfg.clone(),
@@ -183,6 +196,8 @@ impl MemoryController {
             intf_bus: 0,
         });
         chan.per_core_queued[core.idx()] += 1;
+        chan.idle_until = 0;
+        chan.version += 1;
         true
     }
 
@@ -195,12 +210,28 @@ impl MemoryController {
         }
         chan.writes.push(QueuedWrite { core, bank, row, arrived: now });
         chan.per_core_queued[core.idx()] += 1;
+        chan.idle_until = 0;
+        chan.version += 1;
         true
     }
 
     /// Number of queued reads across channels.
     pub fn queued_reads(&self) -> usize {
         self.channels.iter().map(|c| c.reads.len()).sum()
+    }
+
+    /// Whether the read queue of the channel serving `block` is full
+    /// (an `enqueue_read` would be rejected).
+    pub fn read_queue_full(&self, block: Addr) -> bool {
+        let (ch, _, _) = self.map(block);
+        self.channels[ch].reads.len() >= self.cfg.read_queue
+    }
+
+    /// Whether the write queue of the channel serving `block` is full
+    /// (an `enqueue_write` would be rejected).
+    pub fn write_queue_full(&self, block: Addr) -> bool {
+        let (ch, _, _) = self.map(block);
+        self.channels[ch].writes.len() >= self.cfg.write_queue
     }
 
     /// Queue pressure on the channel serving `block`: `(other, total)`
@@ -216,9 +247,46 @@ impl MemoryController {
         (total - chan.per_core_queued[core.idx()], total)
     }
 
+    /// Sum of the per-channel queue-state versions: changes whenever any
+    /// channel's queue contents change (enqueue or issue).
+    pub fn queues_version(&self) -> u64 {
+        self.channels.iter().map(|c| c.version).sum()
+    }
+
     /// Number of queued writes across channels.
     pub fn queued_writes(&self) -> usize {
         self.channels.iter().map(|c| c.writes.len()).sum()
+    }
+
+    /// Earliest future cycle at which [`tick`](Self::tick) could issue a
+    /// request, or `None` when all queues are empty.
+    ///
+    /// Between `now` and the returned cycle every tick is a pure no-op
+    /// modulo lazily-equivalent bookkeeping: the write-drain hysteresis
+    /// flag is a fixed point of unchanged queues, and bus reservations
+    /// are pruned front-first by `end` before each issue decision, so
+    /// skipping the intermediate ticks leaves the issue-time state
+    /// bit-identical. This is the memory-controller leg of the
+    /// cycle-skipping engine's activity bound.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        for chan in &self.channels {
+            // The hysteresis flag as the next tick will compute it (with
+            // unchanged queues one update already reaches the fixed
+            // point, so this matches every intermediate tick).
+            let draining = drain_decision(&self.cfg, chan);
+            let earliest = if draining && !chan.writes.is_empty() {
+                // While draining, only writes issue on this channel.
+                chan.writes.iter().map(|w| chan.banks[w.bank].ready_at).min()
+            } else {
+                chan.reads.iter().map(|r| chan.banks[r.bank].ready_at).min()
+            };
+            if let Some(c) = earliest {
+                let c = c.max(now);
+                next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+            }
+        }
+        next
     }
 
     /// Advance one cycle: each channel may issue one request. Completed
@@ -227,16 +295,15 @@ impl MemoryController {
         let cfg = self.cfg.clone();
         let priority = self.priority_core;
         for chan in &mut self.channels {
+            // Known-idle stretch: every queued entry's bank is busy until
+            // at least `idle_until` and nothing was enqueued since it was
+            // computed, so the whole tick would be a no-op.
+            if now < chan.idle_until {
+                continue;
+            }
             // Write-drain hysteresis: start draining above the threshold or
             // when there is no read work; stop when the queue empties.
-            if chan.writes.len() >= cfg.write_drain_threshold
-                || (chan.reads.is_empty() && !chan.writes.is_empty())
-            {
-                chan.draining_writes = true;
-            }
-            if chan.writes.is_empty() {
-                chan.draining_writes = false;
-            }
+            chan.draining_writes = drain_decision(&cfg, chan);
 
             // Drop bus reservations whose bursts have drained (kept here,
             // not on the read path, so write-only stretches stay bounded).
@@ -248,11 +315,21 @@ impl MemoryController {
                 if let Some(idx) = pick_write(chan, now) {
                     let w = chan.writes.swap_remove(idx);
                     chan.per_core_queued[w.core.idx()] -= 1;
+                    chan.version += 1;
                     let (latency, row_hit) = access_latency(&cfg, &chan.banks[w.bank], w.row);
                     let (finish, _) = service(&cfg, chan, w.bank, w.row, w.core, now, latency);
                     let _ = row_hit;
                     charge_queue_interference(&cfg, chan, w.core, w.bank, finish - now);
                     self.writes_serviced += 1;
+                } else {
+                    // All write banks busy: idle until the earliest frees.
+                    chan.idle_until = chan
+                        .writes
+                        .iter()
+                        .map(|w| chan.banks[w.bank].ready_at)
+                        .min()
+                        .unwrap_or(now)
+                        .max(now + 1);
                 }
                 continue;
             }
@@ -260,6 +337,7 @@ impl MemoryController {
             if let Some(idx) = pick_read(chan, now, priority) {
                 let r = chan.reads.swap_remove(idx);
                 chan.per_core_queued[r.core.idx()] -= 1;
+                chan.version += 1;
                 let bank = &chan.banks[r.bank];
                 let (latency, row_hit) = access_latency(&cfg, bank, r.row);
                 // Private-mode shadow row state for this core.
@@ -316,8 +394,37 @@ impl MemoryController {
                     intf_row: latency as i64 - private_latency as i64,
                     queue_delay,
                 });
+            } else if !chan.reads.is_empty() {
+                // All read banks busy: idle until the earliest frees.
+                chan.idle_until = chan
+                    .reads
+                    .iter()
+                    .map(|r| chan.banks[r.bank].ready_at)
+                    .min()
+                    .unwrap_or(now)
+                    .max(now + 1);
             }
         }
+    }
+}
+
+/// The write-drain hysteresis decision: the value `draining_writes`
+/// takes on the next tick given the channel's current queues. Shared by
+/// [`MemoryController::tick`] (which commits it) and
+/// [`MemoryController::next_activity`] (which must predict it
+/// identically — a divergence here silently breaks the cycle-skipping
+/// engine's bit-exactness). With unchanged queues one update reaches the
+/// fixed point: start draining at the threshold or when only writes are
+/// queued; stop when the write queue empties; otherwise hold.
+fn drain_decision(cfg: &DramConfig, chan: &Channel) -> bool {
+    // The empty-queue stop condition wins over everything (including a
+    // zero drain threshold, where `len >= threshold` holds vacuously).
+    if chan.writes.is_empty() {
+        false
+    } else if chan.writes.len() >= cfg.write_drain_threshold || chan.reads.is_empty() {
+        true
+    } else {
+        chan.draining_writes
     }
 }
 
@@ -627,6 +734,18 @@ mod tests {
         let _ = run_until_complete(&mut m, 0, 500);
         assert_eq!(m.writes_serviced, 2);
         assert_eq!(m.queued_writes(), 0);
+    }
+
+    #[test]
+    fn zero_drain_threshold_with_empty_write_queue_still_issues_reads() {
+        // threshold == 0 makes `len >= threshold` vacuously true; the
+        // empty-write-queue stop condition must still win or the channel
+        // would sit in drain mode forever and never issue a read.
+        let cfg = DramConfig { write_drain_threshold: 0, ..DramConfig::ddr2_800(1) };
+        let mut m = MemoryController::new(&cfg, 1);
+        assert!(m.enqueue_read(ReqId(1), CoreId(0), 0x0, 0));
+        let done = run_until_complete(&mut m, 0, 400);
+        assert_eq!(done.len(), 1, "reads must issue when no writes are queued");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! interference channel DIEF and the baselines must observe.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use crate::config::SimConfig;
 use crate::mem::cache::{AccessResult, Cache};
@@ -29,7 +29,7 @@ use crate::mem::request::{Interference, MemRequest};
 use crate::mem::ring::{Ring, RingKind};
 use crate::probe::ProbeEvent;
 use crate::stats::MemStats;
-use crate::types::{AccessKind, Addr, CoreId, Cycle, ReqId, BLOCK_BYTES};
+use crate::types::{AccessKind, Addr, CoreId, Cycle, FxHashMap, ReqId, BLOCK_BYTES};
 
 /// Outcome of a core-side access attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,7 +127,7 @@ pub struct MemorySystem {
     llc_mshr: Vec<MshrFile>,
     ring: Ring,
     mc: MemoryController,
-    inflight: HashMap<ReqId, MemRequest>,
+    inflight: FxHashMap<ReqId, MemRequest>,
     events: BinaryHeap<Reverse<(Cycle, u64, Ev)>>,
     retries: Vec<Retry>,
     completions: Vec<CompletedAccess>,
@@ -136,8 +136,30 @@ pub struct MemorySystem {
     mc_buf: Vec<McCompletion>,
     /// Per-core count of outstanding L1 *load* misses (GDP-O overlap).
     load_misses_out: Vec<u32>,
+    /// Version-guarded cache of a stably-blocked retry round (see
+    /// `tick`): while nothing a pending retry depends on has changed,
+    /// each tick applies the round's counter effects directly instead of
+    /// re-attempting every retry.
+    retry_cache: Option<RetryCache>,
     /// Memory-system statistics.
     pub stats: MemStats,
+}
+
+/// Precomputed per-cycle effects of one fully-blocked retry round,
+/// guarded by the versions of every structure the outcomes depend on:
+/// the LLC bank MSHR files (merge/full checks) and the DRAM channel
+/// queues (full checks and rival queue shares).
+#[derive(Debug)]
+struct RetryCache {
+    /// Sum of LLC-bank MSHR file versions at classification time.
+    llc_mshr_version: u64,
+    /// Memory-controller queue version at classification time.
+    mc_queues_version: u64,
+    /// Retries covered (must equal `retries.len()` to stay valid).
+    count: usize,
+    /// Per-cycle `enqueue_wait_fp` charges of reads blocked on a full
+    /// read queue.
+    fp_charges: Vec<(ReqId, u64)>,
 }
 
 impl MemorySystem {
@@ -162,7 +184,7 @@ impl MemorySystem {
             llc_mshr: (0..cfg.llc_banks).map(|_| MshrFile::new(cfg.llc.mshrs)).collect(),
             ring: Ring::new(&cfg.ring, cfg.cores, cfg.llc_banks),
             mc: MemoryController::new(&cfg.dram, cfg.cores),
-            inflight: HashMap::new(),
+            inflight: FxHashMap::default(),
             events: BinaryHeap::new(),
             retries: Vec::new(),
             completions: Vec::new(),
@@ -170,6 +192,7 @@ impl MemorySystem {
             next_evseq: 0,
             mc_buf: Vec::new(),
             load_misses_out: vec![0; cfg.cores],
+            retry_cache: None,
             stats: MemStats::default(),
         }
     }
@@ -281,10 +304,30 @@ impl MemorySystem {
 
     /// Advance the memory system one cycle.
     pub fn tick(&mut self, now: Cycle, probes: &mut Vec<ProbeEvent>) {
-        // 1. Retries from previous cycles (backpressured steps).
-        let retries = std::mem::take(&mut self.retries);
-        for r in retries {
-            self.attempt(r, now, probes);
+        // 1. Retries from previous cycles (backpressured steps). A
+        // valid cache proves every retry would fail exactly as it did
+        // when classified — apply the round's counter effects directly.
+        let cache_valid = self.retry_cache.as_ref().is_some_and(|c| {
+            c.count == self.retries.len()
+                && c.llc_mshr_version == self.llc_mshr_versions()
+                && c.mc_queues_version == self.mc.queues_version()
+        });
+        if cache_valid {
+            let c = self.retry_cache.take().expect("checked");
+            self.stats.backpressure_events += c.count as u64;
+            for &(req, share) in &c.fp_charges {
+                if let Some(rq) = self.inflight.get_mut(&req) {
+                    rq.enqueue_wait_fp += share;
+                }
+            }
+            self.retry_cache = Some(c);
+        } else {
+            self.retry_cache = None;
+            let retries = std::mem::take(&mut self.retries);
+            for r in retries {
+                self.attempt(r, now, probes);
+            }
+            self.maybe_cache_blocked_retries();
         }
         // 2. Due events.
         while let Some(Reverse((cycle, _, _))) = self.events.peek() {
@@ -309,6 +352,162 @@ impl MemorySystem {
             self.push_ev(done.finish, Ev::McDone(done.req));
         }
         self.mc_buf = buf;
+    }
+
+    /// Earliest future cycle at which the memory system can change state:
+    /// the next due pipeline event, any pending backpressured retry
+    /// (re-attempted every cycle, so `Some(now)`), or the memory
+    /// controller's next possible issue. `None` when nothing is pending —
+    /// the memory-system leg of [`System::advance`]'s activity bound.
+    ///
+    /// Must be called between ticks: every event at or before the last
+    /// ticked cycle has already been drained, so the heap minimum is
+    /// strictly future (it is still clamped to `now` defensively).
+    ///
+    /// [`System::advance`]: crate::System::advance
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.retries_stably_blocked() {
+            return Some(now);
+        }
+        let mut next = self.events.peek().map(|Reverse((c, _, _))| (*c).max(now));
+        if let Some(m) = self.mc.next_activity(now) {
+            next = Some(next.map_or(m, |n| n.min(m)));
+        }
+        next
+    }
+
+    /// Sum of LLC-bank MSHR file versions (retry-cache guard).
+    fn llc_mshr_versions(&self) -> u64 {
+        self.llc_mshr.iter().map(|m| m.version()).sum()
+    }
+
+    /// The per-cycle `enqueue_wait_fp` charge of a read waiting to enter
+    /// a full DRAM read queue: the rival cores' share of the queue
+    /// occupancy, in 16.16 fixed point (0 when the queue is empty). One
+    /// place computes it for the live retry path, the retry-round cache
+    /// and the bulk replay — the three must charge identical per-cycle
+    /// amounts or the engines diverge.
+    fn rival_queue_share(&self, core: CoreId, block: Addr) -> u64 {
+        let (other, total) = self.mc.queue_pressure(block, core);
+        (other << 16).checked_div(total).unwrap_or(0)
+    }
+
+    /// After a retry round in which every retry failed, classify the
+    /// survivors; if all are stably blocked, cache the round's per-cycle
+    /// effects keyed on the structures they depend on.
+    fn maybe_cache_blocked_retries(&mut self) {
+        if self.retries.is_empty() || !self.retries_stably_blocked() {
+            return;
+        }
+        let mut fp_charges = Vec::new();
+        for r in &self.retries {
+            if let Retry::LlcMiss(req) = *r {
+                let rq = &self.inflight[&req];
+                let (core, block) = (rq.core, rq.block);
+                let bank = self.bank_of(block);
+                let local = self.bank_local(block);
+                if !self.llc_mshr[bank].contains(local) && !self.llc_mshr[bank].is_full() {
+                    let share = self.rival_queue_share(core, block);
+                    if share > 0 {
+                        fp_charges.push((req, share));
+                    }
+                }
+            }
+        }
+        self.retry_cache = Some(RetryCache {
+            llc_mshr_version: self.llc_mshr_versions(),
+            mc_queues_version: self.mc.queues_version(),
+            count: self.retries.len(),
+            fp_charges,
+        });
+    }
+
+    /// Whether every pending retry is *stably* blocked: guaranteed to
+    /// fail identically each cycle until the next event or
+    /// memory-controller issue (both already bound the skip window). A
+    /// stably blocked retry's only per-cycle effect is a backpressure
+    /// count (plus, for reads waiting to enter a full DRAM read queue,
+    /// the rival queue-share interference charge) — replayed in bulk by
+    /// [`replay_blocked_retries`](Self::replay_blocked_retries).
+    ///
+    /// Ring-injection retries are conservatively treated as active: ring
+    /// lanes drain with time alone, so a full lane can accept a packet a
+    /// few cycles later without any event firing.
+    fn retries_stably_blocked(&self) -> bool {
+        self.retries.iter().all(|r| match *r {
+            Retry::LlcMiss(req) => {
+                let block = self.inflight[&req].block;
+                let bank = self.bank_of(block);
+                let local = self.bank_local(block);
+                if self.llc_mshr[bank].contains(local) {
+                    false // would merge: real state change
+                } else if self.llc_mshr[bank].is_full() {
+                    true // frees only on McDone (an event)
+                } else {
+                    // Would attempt the read-queue enqueue.
+                    self.mc.read_queue_full(block)
+                }
+            }
+            // Frees only when the controller drains writes (bounded by
+            // the controller's next-activity estimate).
+            Retry::WbMc { block, .. } => self.mc.write_queue_full(block),
+            Retry::RingReq(_) | Retry::RingResp(_) | Retry::WbRing { .. } => false,
+        })
+    }
+
+    /// Replay `n` skipped cycles of the pending stably-blocked retries
+    /// (see [`retries_stably_blocked`](Self::retries_stably_blocked)):
+    /// each retry fails `n` more times, counting `n` backpressure events,
+    /// and a read blocked on a full read queue accrues `n` more rival
+    /// queue-share charges — the exact per-cycle effects of the step-by-1
+    /// engine, whose inputs cannot change inside the window.
+    pub fn replay_blocked_retries(&mut self, n: u64) {
+        if n == 0 || self.retries.is_empty() {
+            return;
+        }
+        self.stats.backpressure_events += n * self.retries.len() as u64;
+        let retries = std::mem::take(&mut self.retries);
+        for r in &retries {
+            if let Retry::LlcMiss(req) = *r {
+                let (core, block) = self.req_core_block(req);
+                let bank = self.bank_of(block);
+                let local = self.bank_local(block);
+                if !self.llc_mshr[bank].contains(local) && !self.llc_mshr[bank].is_full() {
+                    // Blocked on the full read queue: per-cycle rival
+                    // queue-share charge, constant over the window.
+                    let share = self.rival_queue_share(core, block);
+                    if let Some(rq) = self.inflight.get_mut(&req) {
+                        rq.enqueue_wait_fp += n * share;
+                    }
+                }
+            }
+        }
+        self.retries = retries;
+    }
+
+    /// Whether a load probe of `block` by `core` would take the blocked
+    /// path of [`access`](Self::access) right now: L1 miss with a full
+    /// MSHR file and no mergeable entry. Pure (tag peek only). The
+    /// cycle-skipping engine uses this to confirm a core's reported
+    /// L1-retry loop against *live* memory state — the core's own
+    /// `l1_blocked` flag can be stale when its issue stage was starved of
+    /// memory ports on the last tick.
+    pub fn l1_probe_stays_blocked(&self, core: CoreId, block: Addr) -> bool {
+        let c = core.idx();
+        !self.l1d[c].peek(block) && self.l1_mshr[c].is_full() && !self.l1_mshr[c].contains(block)
+    }
+
+    /// Replay `n` cycles of `core`'s guaranteed-blocked L1 load probe in
+    /// bulk — the retry loop behind [`AccessOutcome::Blocked`]. Each
+    /// probed cycle counts one L1 access, one L1 miss (advancing that
+    /// cache's LRU clock) and one backpressure event, exactly as `n`
+    /// per-cycle [`access`](Self::access) attempts would, and changes
+    /// nothing else: a blocked attempt allocates no request id, no MSHR
+    /// and no events. Only valid while the memory system is quiescent
+    /// (nothing that could unblock the probe fires in the window).
+    pub fn replay_blocked_l1_probes(&mut self, core: CoreId, n: u64) {
+        self.l1d[core.idx()].replay_miss_probes(n);
+        self.stats.backpressure_events += n;
     }
 
     /// True when no requests, events or retries are outstanding.
@@ -508,11 +707,9 @@ impl MemorySystem {
                     // The read queue is full: this wait is interference in
                     // proportion to the rival cores' share of the queue
                     // (running alone, only the core's own traffic blocks it).
-                    let (other, total) = self.mc.queue_pressure(block, core);
+                    let share = self.rival_queue_share(core, block);
                     if let Some(rq) = self.inflight.get_mut(&req) {
-                        if let Some(share) = (other << 16).checked_div(total) {
-                            rq.enqueue_wait_fp += share;
-                        }
+                        rq.enqueue_wait_fp += share;
                     }
                     self.retries.push(Retry::LlcMiss(req));
                     return;

@@ -6,9 +6,7 @@
 //! accept it, the paper classifies the resulting cycles as `S_Other`
 //! ("L1 data cache blocked because of too many in-flight requests").
 
-use std::collections::HashMap;
-
-use crate::types::{Addr, ReqId};
+use crate::types::{Addr, FxHashMap, ReqId};
 
 /// Outcome of attempting to allocate an MSHR for a miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,13 +29,27 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<Addr, Entry>,
+    entries: FxHashMap<Addr, Entry>,
+    /// Bumped on every allocate/release: lets callers cache decisions
+    /// that depend on this file's state (e.g. "this retry is blocked")
+    /// and revalidate in O(1).
+    version: u64,
 }
 
 impl MshrFile {
     /// Create a file with `capacity` registers.
     pub fn new(capacity: usize) -> Self {
-        MshrFile { capacity, entries: HashMap::with_capacity(capacity) }
+        MshrFile {
+            capacity,
+            entries: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            version: 0,
+        }
+    }
+
+    /// State version: changes whenever an entry is allocated, merged into
+    /// or released.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of active entries.
@@ -59,12 +71,14 @@ impl MshrFile {
     pub fn allocate(&mut self, block: Addr, req: ReqId) -> MshrAlloc {
         if let Some(e) = self.entries.get_mut(&block) {
             e.merged.push(req);
+            self.version += 1;
             return MshrAlloc::Merged;
         }
         if self.entries.len() >= self.capacity {
             return MshrAlloc::Full;
         }
         self.entries.insert(block, Entry { primary: req, merged: Vec::new() });
+        self.version += 1;
         MshrAlloc::Primary
     }
 
@@ -81,7 +95,11 @@ impl MshrFile {
     /// Release the MSHR for `block`, returning `(primary, merged)` requests
     /// that are now satisfied. Returns `None` if no entry exists.
     pub fn release(&mut self, block: Addr) -> Option<(ReqId, Vec<ReqId>)> {
-        self.entries.remove(&block).map(|e| (e.primary, e.merged))
+        let out = self.entries.remove(&block).map(|e| (e.primary, e.merged));
+        if out.is_some() {
+            self.version += 1;
+        }
+        out
     }
 
     /// Iterate over the blocks with outstanding misses.

@@ -14,6 +14,12 @@
 //! near-sorted — the properties `gdp-trace` builds on to capture a run
 //! once (delta-encoded) and re-evaluate any technique from it
 //! bit-identically.
+//!
+//! Dead cycles emit no events: a quiescent component by definition
+//! changes no state and raises no probes. The event-driven engine
+//! (`System::advance`) relies on exactly this — skipping a dead stretch
+//! cannot alter the stream, which is why traces recorded under either
+//! engine are byte-identical.
 
 use crate::mem::Interference;
 use crate::types::{Addr, CoreId, Cycle, ReqId};

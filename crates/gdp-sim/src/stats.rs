@@ -58,6 +58,17 @@ impl CoreStats {
         self.stall_ind + self.stall_pms + self.stall_sms + self.stall_other
     }
 
+    /// Account `n` cycles skipped in bulk by the event-driven engine.
+    ///
+    /// Skipped cycles are by construction zero-commit cycles inside an
+    /// open stall run, so only the total advances here; the stall buckets
+    /// absorb the same cycles when the run closes (its duration is
+    /// measured start-to-end), keeping the taxonomy invariant
+    /// `commit_cycles + stalls() == cycles` intact at every run boundary.
+    pub fn add_idle_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
     /// Cycles per committed instruction; `f64::INFINITY` before the first
     /// commit.
     pub fn cpi(&self) -> f64 {

@@ -1,5 +1,18 @@
 //! The top-level simulated system: N cores plus the shared memory
-//! hierarchy, advanced one cycle at a time.
+//! hierarchy.
+//!
+//! Two advancement engines share one state machine:
+//!
+//! * [`System::step`] — the fixed-increment reference engine: every
+//!   component ticks every cycle. Simple, obviously correct, and kept as
+//!   the oracle the event-driven engine is validated against.
+//! * [`System::advance`] — the event-driven, quiescence-aware engine:
+//!   after one mandatory step, each component reports its next-activity
+//!   cycle and `now` jumps straight to the minimum, crossing dead
+//!   stretches (every core stalled on a memory access whose completion
+//!   cycle is already scheduled) in O(1) while accruing their cycle
+//!   counts in bulk. Statistics, probe events and completion timing are
+//!   **bit-identical** between the two engines; only wall-clock differs.
 //!
 //! * **Shared mode** — one benchmark per core, all cores active.
 //! * **Private mode** — a single benchmark on core 0 with every other core
@@ -8,7 +21,7 @@
 //!   multi-core configuration.
 
 use crate::config::SimConfig;
-use crate::core::pipeline::Core;
+use crate::core::pipeline::{Core, CoreActivity};
 use crate::core::InstrStream;
 use crate::mem::MemorySystem;
 use crate::probe::ProbeEvent;
@@ -23,6 +36,12 @@ pub struct System {
     mem: MemorySystem,
     now: Cycle,
     probes: Vec<ProbeEvent>,
+    /// Dead cycles crossed in bulk by [`System::advance`].
+    skipped: u64,
+    /// `GDP_SIM_ENGINE=step` forces [`System::advance`] to run the
+    /// step-by-1 reference engine — the end-to-end A/B hook CI uses to
+    /// byte-diff campaign output between the engines.
+    force_step: bool,
 }
 
 impl System {
@@ -45,7 +64,8 @@ impl System {
             .map(|(i, s)| Core::new(CoreId(i as u8), &cfg.core, s))
             .collect();
         let mem = MemorySystem::new(&cfg);
-        System { cfg, cores, mem, now: 0, probes: Vec::new() }
+        let force_step = std::env::var_os("GDP_SIM_ENGINE").is_some_and(|v| v == "step");
+        System { cfg, cores, mem, now: 0, probes: Vec::new(), skipped: 0, force_step }
     }
 
     /// The configuration this system was built with.
@@ -117,10 +137,138 @@ impl System {
         self.now += 1;
     }
 
-    /// Run for `n` cycles.
-    pub fn run_cycles(&mut self, n: u64) {
-        for _ in 0..n {
+    /// Advance at least one cycle, then jump directly to the next cycle
+    /// at which any component can change state, never passing `limit`.
+    ///
+    /// This is the event-driven engine: after the mandatory [`step`],
+    /// every component reports the earliest future cycle it could act
+    /// ([`Core::next_activity`], `MemorySystem::next_activity`), and
+    /// `now` moves straight to the minimum. The skipped cycles are dead
+    /// by construction — no commits, no issues, no probe events, no
+    /// memory-controller decisions — so bulk-accounting them onto each
+    /// core's cycle counter leaves statistics, probe streams and
+    /// completion timing **bit-identical** to calling [`step`] in a
+    /// loop, at O(1) cost per dead stretch.
+    ///
+    /// `limit` exists for callers with cycle-indexed obligations
+    /// (accounting-interval boundaries, ASM epoch rotations, cycle
+    /// caps): `advance` never moves `now` beyond it, so those callers
+    /// observe the exact boundary cycle just as a step-by-1 loop would.
+    ///
+    /// [`step`]: System::step
+    /// [`Core::next_activity`]: crate::core::pipeline::Core::next_activity
+    pub fn advance(&mut self, limit: Cycle) {
+        // The mandatory step always moves the clock one cycle, so a limit
+        // at or below `now` cannot be honored — callers must pass a
+        // strictly future bound (the run loops re-derive theirs after
+        // every advance for exactly this reason).
+        debug_assert!(limit > self.now, "advance limit {limit} is not past cycle {}", self.now);
+        if self.force_step {
             self.step();
+            return;
+        }
+        self.step();
+        if self.now >= limit {
+            return;
+        }
+        // Refresh each core's cached quiescence window. A cached window
+        // makes the core's subsequent ticks O(1) (see `Core::tick`) even
+        // when the system as a whole cannot skip — the common case on
+        // wide CMPs where the memory controller arbitrates every cycle
+        // while most cores sit in long stalls.
+        let mut all_quiet = true;
+        let mut bound: Option<Cycle> = None;
+        for i in 0..self.cores.len() {
+            if self.now >= self.cores[i].quiet_until() {
+                match self.cores[i].next_activity(self.now) {
+                    CoreActivity::Now => {
+                        all_quiet = false;
+                        continue;
+                    }
+                    CoreActivity::Quiescent { next, l1_retry } => {
+                        let retry = match l1_retry {
+                            // The core's l1_blocked flag may be stale;
+                            // only a probe confirmed blocked against live
+                            // MSHR/tag state is guaranteed pure.
+                            Some(block) => {
+                                if !self.mem.l1_probe_stays_blocked(CoreId(i as u8), block) {
+                                    all_quiet = false;
+                                    continue; // it would succeed: real work
+                                }
+                                Some(block)
+                            }
+                            None => None,
+                        };
+                        let until = next.unwrap_or(Cycle::MAX);
+                        if until <= self.now {
+                            all_quiet = false;
+                            continue;
+                        }
+                        self.cores[i].set_quiet(until, retry);
+                    }
+                }
+            }
+            let until = self.cores[i].quiet_until();
+            if until != Cycle::MAX {
+                bound = Some(bound.map_or(until, |b| b.min(until)));
+            }
+        }
+        if !all_quiet {
+            return;
+        }
+        // Every core is verified quiescent: jump the clock to the next
+        // cycle anything can happen (bounded by `limit`), accounting the
+        // dead cycles in bulk.
+        match self.mem.next_activity(self.now) {
+            Some(t) if t <= self.now => return, // memory is active: no jump
+            Some(t) => bound = Some(bound.map_or(t, |b| b.min(t))),
+            None => {}
+        }
+        let target = match bound {
+            Some(t) => t.min(limit),
+            // Nothing self-schedules at all: the system is dead until
+            // `limit` (a step-by-1 engine would spin to the same state).
+            None => limit,
+        };
+        if target > self.now {
+            let skipped = target - self.now;
+            for core in &mut self.cores {
+                core.add_idle_cycles(skipped);
+                if core.quiet_l1_retry().is_some() {
+                    self.mem.replay_blocked_l1_probes(core.id(), skipped);
+                }
+            }
+            // Stably-blocked memory retries re-fail once per skipped
+            // cycle; replay their counter effects in bulk.
+            self.mem.replay_blocked_retries(skipped);
+            self.skipped += skipped;
+            self.now = target;
+        }
+    }
+
+    /// Dead cycles crossed in bulk by [`System::advance`] so far — the
+    /// cycles a step-by-1 engine would have burned real work on.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The engine's activity predictions at the current cycle: per-core
+    /// [`CoreActivity`] reports plus the memory system's next-activity
+    /// bound. Exposed for the quiescence oracle test, which replays these
+    /// predictions against the step-by-1 reference engine cycle by cycle.
+    pub fn quiescence_diag(&self) -> (Vec<CoreActivity>, Option<Cycle>) {
+        (
+            self.cores.iter().map(|c| c.next_activity(self.now)).collect(),
+            self.mem.next_activity(self.now),
+        )
+    }
+
+    /// Run for `n` cycles (event-driven; bit-identical to `n` calls of
+    /// [`step`](System::step)).
+    pub fn run_cycles(&mut self, n: u64) {
+        let deadline = self.now + n;
+        while self.now < deadline {
+            self.advance(deadline);
         }
     }
 
@@ -129,7 +277,7 @@ impl System {
     pub fn run_until_committed(&mut self, target: u64, max_cycles: u64) -> Cycle {
         let deadline = self.now + max_cycles;
         while self.now < deadline && self.cores.iter().any(|c| c.committed() < target) {
-            self.step();
+            self.advance(deadline);
         }
         self.now
     }
@@ -139,7 +287,7 @@ impl System {
     pub fn run_core_until_committed(&mut self, idx: usize, target: u64, max_cycles: u64) -> Cycle {
         let deadline = self.now + max_cycles;
         while self.now < deadline && self.cores[idx].committed() < target {
-            self.step();
+            self.advance(deadline);
         }
         self.now
     }
@@ -236,6 +384,59 @@ mod tests {
         for e in &events {
             assert!(e.cycle() <= 5_000 + 10_000, "event beyond horizon");
         }
+    }
+
+    /// Drive a system with the step-by-1 reference engine for `n` cycles.
+    fn run_stepped(sys: &mut System, n: u64) {
+        for _ in 0..n {
+            sys.step();
+        }
+    }
+
+    #[test]
+    fn event_engine_is_bit_identical_to_stepped_engine() {
+        let mk = || {
+            let cfg = SimConfig::scaled(2);
+            System::new(
+                cfg,
+                vec![
+                    InstrStream::cyclic(streaming_program(0, 4096)),
+                    InstrStream::cyclic(streaming_program(0x4000_0000, 64)),
+                ],
+            )
+        };
+        let horizon = 30_000;
+        let mut a = mk();
+        run_stepped(&mut a, horizon);
+        let mut b = mk();
+        b.run_cycles(horizon); // event-driven
+        a.finalize();
+        b.finalize();
+        assert_eq!(a.now(), b.now());
+        for c in 0..2 {
+            assert_eq!(a.core_stats(c), b.core_stats(c), "core {c} stats diverged");
+        }
+        assert_eq!(a.mem_ref().stats, b.mem_ref().stats);
+        assert_eq!(a.drain_probes(), b.drain_probes(), "probe streams diverged");
+        assert!(b.skipped_cycles() > 0, "memory-bound run must skip dead cycles");
+        assert_eq!(a.skipped_cycles(), 0, "step() never skips");
+    }
+
+    #[test]
+    fn advance_never_passes_its_limit() {
+        let cfg = SimConfig::scaled(2);
+        let mut sys = System::new(cfg, vec![InstrStream::cyclic(streaming_program(0, 8192))]);
+        let mut boundaries = 0;
+        while sys.now() < 40_000 {
+            let limit = (sys.now() / 5_000 + 1) * 5_000;
+            sys.advance(limit);
+            assert!(sys.now() <= limit, "advance overshot {limit} to {}", sys.now());
+            if sys.now() == limit {
+                boundaries += 1;
+            }
+        }
+        assert_eq!(boundaries, 8, "every 5K boundary must be observed exactly");
+        assert!(sys.skipped_cycles() > 0);
     }
 
     #[test]

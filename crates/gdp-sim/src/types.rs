@@ -45,6 +45,68 @@ impl fmt::Display for ReqId {
 /// Cache block (line) size used throughout the CMP, in bytes.
 pub const BLOCK_BYTES: u64 = 64;
 
+/// A fast, deterministic hasher for the simulator's hot maps (in-flight
+/// requests, MSHR files, dependency wake lists).
+///
+/// The default `RandomState`/SipHash pairing costs tens of nanoseconds per
+/// probe — measurable when backpressured retries probe MSHR files every
+/// cycle. The simulator's keys are small integers under its own control
+/// (addresses, request ids, sequence numbers), so a multiply-fold hash
+/// (the FxHash construction) is sufficient and ~5× cheaper. Determinism
+/// is a feature, not a risk: nothing in the simulator depends on map
+/// iteration order (runs were already byte-identical across processes
+/// under the randomly-seeded default hasher).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher(u64);
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the simulator's deterministic fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
 /// Convert a byte address to its cache-block address.
 #[inline]
 pub fn block_addr(addr: Addr) -> Addr {

@@ -5,9 +5,11 @@
 //! fed with every input that determines the run: simulator configuration,
 //! experiment parameters, workload spec and the trace format version.
 //! Loads count hits and misses (a corrupt or version-skewed file is a
-//! miss, never an error — the campaign falls back to simulating);
-//! stores write via a temp file + rename so concurrent campaign jobs
-//! never observe half-written traces.
+//! miss, never an error — the campaign falls back to simulating, and the
+//! bad entry is quarantined so later runs do not re-fail on the same
+//! bytes); stores write via a temp file that is fsynced before the
+//! rename, so concurrent campaign jobs never observe half-written traces
+//! and a crash never publishes a truncated entry.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -160,13 +162,45 @@ impl TraceCache {
         path: &Path,
         decode: impl FnOnce(&[u8]) -> Result<T, crate::codec::TraceError>,
     ) -> Option<T> {
-        let out = std::fs::read(path).ok().and_then(|bytes| decode(&bytes).ok());
-        match out {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => Some(b),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => {
+                // Permission problems, I/O failures etc. are worth a
+                // diagnostic: silently treating them as misses hides a
+                // misconfigured cache from the operator.
+                eprintln!("gdp-trace: cannot read cache entry {}: {e}", path.display());
+                None
+            }
+        };
+        let corrupt_len = bytes.as_ref().map(|b| b.len() as u64);
+        match bytes.and_then(|b| decode(&b).ok()) {
             Some(t) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(t)
             }
             None => {
+                if let Some(len) = corrupt_len {
+                    // Corrupt or version-skewed bytes: quarantine the
+                    // entry so the next run re-simulates and re-stores a
+                    // good one instead of re-reading and re-failing on
+                    // the same bytes forever. A concurrent writer may
+                    // have just renamed a fresh entry over the path; the
+                    // size guard (and NotFound tolerance) keeps the
+                    // common replacement race from deleting it — a
+                    // same-size race merely costs one extra re-simulate.
+                    let replaced = std::fs::metadata(path).map(|m| m.len() != len).unwrap_or(true);
+                    if !replaced {
+                        if let Err(e) = std::fs::remove_file(path) {
+                            if e.kind() != io::ErrorKind::NotFound {
+                                eprintln!(
+                                    "gdp-trace: cannot quarantine corrupt cache entry {}: {e}",
+                                    path.display()
+                                );
+                            }
+                        }
+                    }
+                }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -174,6 +208,7 @@ impl TraceCache {
     }
 
     fn store(&self, path: PathBuf, bytes: Vec<u8>) -> io::Result<PathBuf> {
+        use std::io::Write as _;
         std::fs::create_dir_all(&self.dir)?;
         // Temp-then-rename: concurrent readers only ever see complete
         // entries. Keys are content hashes, so writers of the same key
@@ -185,8 +220,20 @@ impl TraceCache {
         static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
         let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
         let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, &path)?;
+        let publish = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            // Durability: without the fsync, a crash after the rename
+            // can leave a *published* entry with truncated content on
+            // filesystems that journal metadata before data.
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, &path)
+        })();
+        if let Err(e) = publish {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
         self.stores.fetch_add(1, Ordering::Relaxed);
         Ok(path)
     }
@@ -254,7 +301,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entries_are_counted_misses_not_errors() {
+    fn corrupt_entries_are_counted_misses_and_quarantined() {
         let cache = TraceCache::new(tmpdir("corrupt"));
         let mut key = CacheKey::new("shared");
         key.u64(1);
@@ -267,6 +314,15 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         assert!(cache.load_shared(&key).is_none());
         assert_eq!(cache.stats().misses, 1);
+        // The corrupt entry must be quarantined (deleted), so the next
+        // load is a plain absent-entry miss instead of a re-decode of
+        // the same bad bytes.
+        assert!(!path.exists(), "corrupt entry must be deleted");
+        assert!(cache.load_shared(&key).is_none());
+        assert_eq!(cache.stats().misses, 2);
+        // And a re-store heals the entry for good.
+        cache.store_shared(&key, &SharedTrace::default()).expect("stores");
+        assert!(cache.load_shared(&key).is_some());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

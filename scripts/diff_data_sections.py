@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Byte-compare the deterministic `data` sections of two results files.
+
+The campaign results pretty-printer has a fixed layout, so the raw text
+between the `"data":` key and the trailing `"run":` key is exactly the
+deterministic portion of `results/<figure>.json`. Both CI byte-compare
+jobs (trace replay vs live, step engine vs event engine) share this one
+parser so the slicing rule cannot drift between them.
+
+Usage: diff_data_sections.py A.json B.json [label]
+Exits non-zero when the sections differ.
+"""
+
+import sys
+
+
+def data_section(path: str) -> str:
+    text = open(path).read()
+    start = text.index('"data":')
+    end = text.rindex('"run":')
+    return text[start:end]
+
+
+def main() -> int:
+    a, b = sys.argv[1], sys.argv[2]
+    label = sys.argv[3] if len(sys.argv) > 3 else f"{a} vs {b}"
+    sa, sb = data_section(a), data_section(b)
+    if sa != sb:
+        print(f"data sections differ: {label}", file=sys.stderr)
+        return 1
+    print(f"data sections byte-identical ({len(sa)} bytes): {label}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
