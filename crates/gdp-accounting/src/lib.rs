@@ -23,7 +23,9 @@
 pub mod asm;
 pub mod itca;
 pub mod ptca;
+pub mod technique;
 
 pub use asm::Asm;
 pub use itca::Itca;
 pub use ptca::Ptca;
+pub use technique::{ASM_TECHNIQUE, ITCA_TECHNIQUE, PTCA_TECHNIQUE};

@@ -13,21 +13,22 @@ use gdp_runner::{Json, Progress};
 
 fn main() {
     let args = BenchArgs::parse("fig3");
+    let techniques = args.techniques_or(&Technique::ALL);
     let cells = all_cells();
     if args.list {
-        args.print_plan(&sweep_job_labels(&cells, args.scale, &Technique::ALL));
+        args.print_plan(&sweep_job_labels(&cells, args.scale, &techniques));
         return;
     }
     banner("Figure 3: average private-mode prediction accuracy", args.scale);
 
-    let job_count = sweep_job_count(&cells, args.scale, &Technique::ALL);
+    let job_count = sweep_job_count(&cells, args.scale, &techniques);
     let mut campaign = args.campaign();
     let progress = Progress::new(args.bin, job_count);
     let traces = args.traces();
     let sweep = accuracy_sweep_traced(
         &cells,
         args.scale,
-        &Technique::ALL,
+        &techniques,
         &args.pool(),
         &progress,
         traces.as_ref(),
@@ -35,7 +36,7 @@ fn main() {
 
     let header = {
         let mut h = format!("{:8}", "cell");
-        for t in Technique::ALL {
+        for t in &techniques {
             h += &format!(" {:>12}", t.name());
         }
         h
@@ -49,7 +50,7 @@ fn main() {
         let label = cell.label();
         let mut ipc_row = format!("{label:8}");
         let mut stall_row = format!("{label:8}");
-        for t in 0..Technique::ALL.len() {
+        for t in 0..techniques.len() {
             ipc_row += &format!(" {:>12.4}", agg.ipc_rms[t]);
             stall_row += &format!(" {:>12.0}", agg.stall_rms[t]);
         }

@@ -10,23 +10,24 @@ use gdp_runner::{Json, Progress};
 
 fn main() {
     let args = BenchArgs::parse("fig4");
+    let techniques = args.techniques_or(&Technique::ALL);
     // One flattened campaign over all nine cells; regrouped by CMP size
     // below (classes are combined per the figure).
     let cells = all_cells();
     if args.list {
-        args.print_plan(&sweep_job_labels(&cells, args.scale, &Technique::ALL));
+        args.print_plan(&sweep_job_labels(&cells, args.scale, &techniques));
         return;
     }
     banner("Figure 4: sorted SMS-stall RMS error distributions", args.scale);
 
-    let job_count = sweep_job_count(&cells, args.scale, &Technique::ALL);
+    let job_count = sweep_job_count(&cells, args.scale, &techniques);
     let mut campaign = args.campaign();
     let progress = Progress::new(args.bin, job_count);
     let traces = args.traces();
     let sweep = accuracy_sweep_traced(
         &cells,
         args.scale,
-        &Technique::ALL,
+        &techniques,
         &args.pool(),
         &progress,
         traces.as_ref(),
@@ -34,14 +35,14 @@ fn main() {
 
     let mut data_sizes = Vec::new();
     for cores in [2usize, 4, 8] {
-        let mut per_tech: Vec<Vec<f64>> = vec![Vec::new(); Technique::ALL.len()];
+        let mut per_tech: Vec<Vec<f64>> = vec![Vec::new(); techniques.len()];
         for (cell, results) in cells.iter().zip(&sweep) {
             if cell.cores != cores {
                 continue;
             }
             for r in results {
                 for b in &r.benches {
-                    for t in 0..Technique::ALL.len() {
+                    for t in 0..techniques.len() {
                         if !b.stall_err[t].is_empty() {
                             per_tech[t].push(b.stall_err[t].rms_abs());
                         }
@@ -56,12 +57,12 @@ fn main() {
         println!("\n--- {cores}-core CMP: sorted per-benchmark stall RMS errors (cycles) ---");
         let n = per_tech[0].len();
         print!("{:>6}", "rank");
-        for t in Technique::ALL {
+        for t in &techniques {
             print!(" {:>12}", t.name());
         }
         println!();
         // Print deciles rather than every point (the full series is long).
-        let mut decile_rows: Vec<Vec<f64>> = vec![Vec::new(); Technique::ALL.len()];
+        let mut decile_rows: Vec<Vec<f64>> = vec![Vec::new(); techniques.len()];
         for decile in 0..=10 {
             let idx = if n == 0 { 0 } else { ((n - 1) * decile) / 10 };
             print!("{:>5}%", decile * 10);
@@ -81,7 +82,7 @@ fn main() {
             (
                 "stall_rms_deciles",
                 Json::Obj(
-                    Technique::ALL
+                    techniques
                         .iter()
                         .zip(&decile_rows)
                         .map(|(t, row)| {

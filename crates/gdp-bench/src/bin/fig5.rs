@@ -19,21 +19,33 @@ fn print_summary(label: &str, s: &Summary) {
 
 fn main() {
     let args = BenchArgs::parse("fig5");
+    let techniques = args.techniques_or(&Technique::ALL);
+    // The whole figure is GDP/GDP-O component errors: a selection with
+    // neither still runs (IPC/stall errors are computed) but every
+    // CPL/overlap section would be empty — say so instead of printing
+    // NaN tables that look like a broken run.
+    if !techniques.contains(&Technique::GDP) && !techniques.contains(&Technique::GDP_O) {
+        eprintln!(
+            "[fig5] warning: selection {:?} contains neither gdp nor gdp-o; \
+             the CPL/overlap component sections will be empty",
+            techniques.iter().map(|t| t.id()).collect::<Vec<_>>()
+        );
+    }
     let cells = all_cells();
     if args.list {
-        args.print_plan(&sweep_job_labels(&cells, args.scale, &Technique::ALL));
+        args.print_plan(&sweep_job_labels(&cells, args.scale, &techniques));
         return;
     }
     banner("Figure 5: GDP/GDP-O component error distributions", args.scale);
 
-    let job_count = sweep_job_count(&cells, args.scale, &Technique::ALL);
+    let job_count = sweep_job_count(&cells, args.scale, &techniques);
     let mut campaign = args.campaign();
     let progress = Progress::new(args.bin, job_count);
     let traces = args.traces();
     let sweep = accuracy_sweep_traced(
         &cells,
         args.scale,
-        &Technique::ALL,
+        &techniques,
         &args.pool(),
         &progress,
         traces.as_ref(),

@@ -3,15 +3,22 @@
 //! relative to LRU for every 8-core H-workload.
 
 use gdp_bench::{all_cells, banner, class_workloads, BenchArgs};
-use gdp_experiments::{run_policy_study, ExperimentConfig, PolicyKind};
+use gdp_experiments::{run_policy_study, ExperimentConfig, PolicyKind, Technique};
 use gdp_metrics::mean;
 use gdp_runner::{Json, Progress};
 use gdp_workloads::{LlcClass, Workload};
 
 fn main() {
     let args = BenchArgs::parse("fig6");
+    // The technique selection picks which registered transparent
+    // techniques feed MCP's partitioning lookahead: the default
+    // (gdp,gdp-o) yields the paper's MCP and MCP-O columns next to the
+    // fixed LRU/UCP/ASM managers.
+    let feeders = PolicyKind::mcp_feeders(&args.techniques_or(&[Technique::GDP, Technique::GDP_O]));
+    let mut policies = vec![PolicyKind::Lru, PolicyKind::Ucp, PolicyKind::AsmPart];
+    policies.extend(feeders);
     // Flatten to one job per (cell, workload): each runs the full policy
-    // study (all five LLC managers plus the private reference runs).
+    // study (the LLC managers plus the private reference runs).
     // Policy studies measure throughput under invasive repartitioning,
     // not the estimator-facing stream, so the trace cache does not apply
     // here — say so instead of silently ignoring the flags.
@@ -50,8 +57,9 @@ fn main() {
         .iter()
         .map(|(w, xcfg, label)| {
             let progress = &progress;
+            let policies = &policies;
             move || {
-                let out = run_policy_study(w, xcfg, &PolicyKind::ALL);
+                let out = run_policy_study(w, xcfg, policies);
                 progress.finish_item(label);
                 out
             }
@@ -62,14 +70,14 @@ fn main() {
     // ---- (a) average STP per (cores, class) ----
     println!("\n(a) average STP");
     print!("{:8}", "cell");
-    for p in PolicyKind::ALL {
+    for p in &policies {
         print!(" {:>8}", p.name());
     }
     println!();
     let mut eight_core_h: Vec<(String, Vec<f64>)> = Vec::new();
     let mut data_cells = Vec::new();
     for (cell, (_, workloads)) in cells.iter().zip(&prep) {
-        let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); PolicyKind::ALL.len()];
+        let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
         for w in workloads {
             let out = outcomes.next().expect("one outcome per workload");
             for (i, o) in out.iter().enumerate() {
@@ -89,10 +97,10 @@ fn main() {
             (
                 "avg_stp",
                 Json::Obj(
-                    PolicyKind::ALL
+                    policies
                         .iter()
                         .zip(&per_policy)
-                        .map(|(p, v)| (p.name().to_string(), Json::from(mean(v))))
+                        .map(|(p, v)| (p.name(), Json::from(mean(v))))
                         .collect(),
                 ),
             ),
@@ -102,7 +110,7 @@ fn main() {
     // ---- (b) 8-core H workloads relative to LRU ----
     println!("\n(b) 8-core H workloads: STP relative to LRU");
     print!("{:12}", "workload");
-    for p in PolicyKind::ALL {
+    for p in &policies {
         print!(" {:>8}", p.name());
     }
     println!();
@@ -119,10 +127,10 @@ fn main() {
             (
                 "stp_vs_lru",
                 Json::Obj(
-                    PolicyKind::ALL
+                    policies
                         .iter()
                         .zip(stps)
-                        .map(|(p, s)| (p.name().to_string(), Json::from(s / lru)))
+                        .map(|(p, s)| (p.name(), Json::from(s / lru)))
                         .collect(),
                 ),
             ),

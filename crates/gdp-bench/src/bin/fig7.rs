@@ -1,7 +1,11 @@
-//! Figure 7: GDP-O sensitivity analysis on the 4-core CMP — average
-//! absolute RMS error of IPC estimates while varying (a) LLC size,
-//! (b) LLC associativity, (c) DDR2 channel count, (d) DRAM interface,
-//! (e) PRB entries, and (f) mixed H/M/L workloads.
+//! Figure 7: sensitivity analysis on the 4-core CMP — average absolute
+//! RMS error of IPC estimates while varying (a) LLC size, (b) LLC
+//! associativity, (c) DDR2 channel count, (d) DRAM interface, (e) PRB
+//! entries, and (f) mixed H/M/L workloads.
+//!
+//! The paper studies GDP-O (the default selection); `--techniques`
+//! re-runs the same sweeps for any registered technique subset — each
+//! selected technique gets its own table block and JSON column.
 
 use gdp_bench::{banner, class_workloads, BenchArgs, Scale, SWEEP_SEED};
 use gdp_experiments::{evaluate_workload_traced, CampaignTraces, ExperimentConfig, Technique};
@@ -72,22 +76,40 @@ fn classes() -> [LlcClass; 3] {
     [LlcClass::H, LlcClass::M, LlcClass::L]
 }
 
-/// GDP-O per-benchmark absolute RMS IPC errors of one workload (routed
-/// through the trace cache when one is active — every *distinct*
-/// configuration keys its own traces, so replays stay exact; the
-/// identical baseline variants of the five sweeps share keys).
-fn gdpo_errors(w: &Workload, xcfg: &ExperimentConfig, traces: Option<&CampaignTraces>) -> Vec<f64> {
-    let i = Technique::ALL.iter().position(|t| *t == Technique::GdpO).unwrap();
-    evaluate_workload_traced(w, xcfg, &[Technique::GdpO], traces)
-        .benches
+/// JSON key for a technique's per-variant IPC-RMS object (stable across
+/// the legacy single-technique layout: `gdp-o` → `gdpo_ipc_rms`).
+fn ipc_rms_key(t: Technique) -> String {
+    format!("{}_ipc_rms", t.id().replace('-', ""))
+}
+
+/// Per-benchmark absolute RMS IPC errors of one workload, one vector per
+/// selected technique (routed through the trace cache when one is active
+/// — every *distinct* configuration keys its own traces, so replays stay
+/// exact; the identical baseline variants of the five sweeps share keys).
+fn tech_errors(
+    w: &Workload,
+    xcfg: &ExperimentConfig,
+    techniques: &[Technique],
+    traces: Option<&CampaignTraces>,
+) -> Vec<Vec<f64>> {
+    let r = evaluate_workload_traced(w, xcfg, techniques, traces);
+    techniques
         .iter()
-        .filter(|b| !b.ipc_err[i].is_empty())
-        .map(|b| b.ipc_err[i].rms_abs())
+        .map(|t| {
+            let i = r.tech_index(*t).expect("evaluated technique");
+            r.benches
+                .iter()
+                .filter(|b| !b.ipc_err[i].is_empty())
+                .map(|b| b.ipc_err[i].rms_abs())
+                .collect()
+        })
         .collect()
 }
 
 fn main() {
     let args = BenchArgs::parse("fig7");
+    let techniques = args.techniques_or(&[Technique::GDP_O]);
+    let tech_names: Vec<&str> = techniques.iter().map(|t| t.name()).collect();
     let sweeps = sweeps();
     let per_class: Vec<(LlcClass, Vec<Workload>)> =
         classes().iter().map(|&c| (c, class_workloads(4, c, args.scale))).collect();
@@ -141,7 +163,10 @@ fn main() {
         args.print_plan(&labels);
         return;
     }
-    banner("Figure 7: GDP-O sensitivity analysis (4-core)", args.scale);
+    banner(
+        &format!("Figure 7: {} sensitivity analysis (4-core)", tech_names.join("/")),
+        args.scale,
+    );
 
     let job_count = plan.len();
     let mut campaign = args.campaign();
@@ -153,8 +178,9 @@ fn main() {
         .map(|(w, xcfg, label)| {
             let progress = &progress;
             let traces = &traces;
+            let techniques = &techniques;
             move || {
-                let e = gdpo_errors(w, xcfg, traces.as_ref());
+                let e = tech_errors(w, xcfg, techniques, traces.as_ref());
                 progress.finish_item(label);
                 e
             }
@@ -163,49 +189,65 @@ fn main() {
     let mut results = args.pool().run(jobs).into_iter();
 
     // ---- reassemble in job order ----
+    let nt = techniques.len();
     let mut data_sweeps = Vec::new();
     for sweep in &sweeps {
-        // errors[variant][class] = mean over the class's per-bench errors.
-        let mut table: Vec<Vec<f64>> = Vec::new();
+        // tables[tech][variant][class] = mean over the class's errors.
+        let mut tables: Vec<Vec<Vec<f64>>> = vec![Vec::new(); nt];
         for _ in &sweep.variants {
-            let mut per_class_means = Vec::new();
+            let mut per_class_errs: Vec<Vec<Vec<f64>>> = vec![Vec::new(); nt];
             for (_, workloads) in &per_class {
-                let mut errs = Vec::new();
+                let mut errs: Vec<Vec<f64>> = vec![Vec::new(); nt];
                 for _ in workloads {
-                    errs.extend(results.next().expect("one result per workload"));
+                    let per_tech = results.next().expect("one result per workload");
+                    for (t, e) in per_tech.into_iter().enumerate() {
+                        errs[t].extend(e);
+                    }
                 }
-                per_class_means.push(mean(&errs));
+                for t in 0..nt {
+                    per_class_errs[t].push(std::mem::take(&mut errs[t]));
+                }
             }
-            table.push(per_class_means);
+            for t in 0..nt {
+                tables[t].push(per_class_errs[t].iter().map(|e| mean(e)).collect());
+            }
         }
 
         println!("\n{}", sweep.title);
-        print!("{:8}", "class");
-        for (label, _) in &sweep.variants {
-            print!(" {:>10}", label);
-        }
-        println!();
-        let mut data_rows = Vec::new();
-        for (ci, (class, _)) in per_class.iter().enumerate() {
-            print!("4c-{class:6}");
-            for row in &table {
-                print!(" {:>10.4}", row[ci]);
+        for (t, table) in tables.iter().enumerate() {
+            if nt > 1 {
+                println!("[{}]", tech_names[t]);
+            }
+            print!("{:8}", "class");
+            for (label, _) in &sweep.variants {
+                print!(" {:>10}", label);
             }
             println!();
-            data_rows.push(Json::obj(vec![
-                ("class", Json::from(format!("{class}"))),
-                (
-                    "gdpo_ipc_rms",
+            for (ci, (class, _)) in per_class.iter().enumerate() {
+                print!("4c-{class:6}");
+                for row in table {
+                    print!(" {:>10.4}", row[ci]);
+                }
+                println!();
+            }
+        }
+        let mut data_rows = Vec::new();
+        for (ci, (class, _)) in per_class.iter().enumerate() {
+            let mut fields = vec![("class".to_string(), Json::from(format!("{class}")))];
+            for (t, table) in tables.iter().enumerate() {
+                fields.push((
+                    ipc_rms_key(techniques[t]),
                     Json::Obj(
                         sweep
                             .variants
                             .iter()
-                            .zip(&table)
+                            .zip(table)
                             .map(|((label, _), row)| (label.to_string(), Json::from(row[ci])))
                             .collect(),
                     ),
-                ),
-            ]));
+                ));
+            }
+            data_rows.push(Json::Obj(fields));
         }
         data_sweeps.push(Json::obj(vec![
             ("title", Json::from(sweep.title)),
@@ -214,18 +256,28 @@ fn main() {
     }
 
     // (f) Mixed workloads.
-    println!("\n(f) mixed workloads (GDP-O avg abs RMS IPC error)");
     let mut data_mixes = Vec::new();
-    for (pat, workloads) in &mixes {
-        let mut errs = Vec::new();
+    let mut mix_errs: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); nt]; mixes.len()];
+    for (mi, (_, workloads)) in mixes.iter().enumerate() {
         for _ in workloads {
-            errs.extend(results.next().expect("one result per mixed workload"));
+            let per_tech = results.next().expect("one result per mixed workload");
+            for (t, e) in per_tech.into_iter().enumerate() {
+                mix_errs[mi][t].extend(e);
+            }
         }
-        println!("4c-{:6} {:>10.4}", pat.name(), mean(&errs));
-        data_mixes.push(Json::obj(vec![
-            ("pattern", Json::from(pat.name())),
-            ("gdpo_ipc_rms", Json::from(mean(&errs))),
-        ]));
+    }
+    for t in 0..nt {
+        println!("\n(f) mixed workloads ({} avg abs RMS IPC error)", tech_names[t]);
+        for (mi, (pat, _)) in mixes.iter().enumerate() {
+            println!("4c-{:6} {:>10.4}", pat.name(), mean(&mix_errs[mi][t]));
+        }
+    }
+    for (mi, (pat, _)) in mixes.iter().enumerate() {
+        let mut fields = vec![("pattern".to_string(), Json::from(pat.name()))];
+        for t in 0..nt {
+            fields.push((ipc_rms_key(techniques[t]), Json::from(mean(&mix_errs[mi][t]))));
+        }
+        data_mixes.push(Json::Obj(fields));
     }
 
     println!(

@@ -6,6 +6,9 @@
 //! * GDP-O reduces stall-cycle RMS error vs GDP by 13.5% / 10.8%;
 //! * MCP improves average STP by 11.9% / 20.8% over ASM partitioning;
 //! * ASM's invasive accounting slowed individual processes by up to 57%.
+//!
+//! Each headline line needs specific techniques: under a `--techniques`
+//! subset, lines whose techniques were not evaluated are skipped.
 
 use gdp_bench::{
     accuracy_sweep_traced, banner, class_workloads, sweep_job_count, sweep_job_labels, BenchArgs,
@@ -16,12 +19,9 @@ use gdp_metrics::mean;
 use gdp_runner::{Json, Progress};
 use gdp_workloads::{LlcClass, Workload};
 
-fn tech_idx(t: Technique) -> usize {
-    Technique::ALL.iter().position(|x| *x == t).unwrap()
-}
-
 fn main() {
     let args = BenchArgs::parse("headline");
+    let techniques = args.techniques_or(&Technique::ALL);
     let cells: Vec<SweepCell> = [4usize, 8]
         .iter()
         .flat_map(|&cores| {
@@ -45,7 +45,7 @@ fn main() {
         })
         .collect();
     if args.list {
-        let mut labels = sweep_job_labels(&cells, args.scale, &Technique::ALL);
+        let mut labels = sweep_job_labels(&cells, args.scale, &techniques);
         labels.extend(stp_plan.iter().map(|(_, _, l)| l.clone()));
         args.print_plan(&labels);
         return;
@@ -53,21 +53,15 @@ fn main() {
     banner("Headline numbers (paper §I / §VII)", args.scale);
 
     let stp_jobs: usize = prep.iter().map(|(_, ws)| ws.len()).sum();
-    let job_count = sweep_job_count(&cells, args.scale, &Technique::ALL) + stp_jobs;
+    let job_count = sweep_job_count(&cells, args.scale, &techniques) + stp_jobs;
     let mut campaign = args.campaign();
     let progress = Progress::new(args.bin, job_count);
     let pool = args.pool();
     let traces = args.traces();
 
     // Phase 1: the accuracy campaign over both CMP sizes.
-    let sweep = accuracy_sweep_traced(
-        &cells,
-        args.scale,
-        &Technique::ALL,
-        &pool,
-        &progress,
-        traces.as_ref(),
-    );
+    let sweep =
+        accuracy_sweep_traced(&cells, args.scale, &techniques, &pool, &progress, traces.as_ref());
 
     // Phase 2: the MCP-vs-ASM STP study, one job per workload.
     let policy_jobs: Vec<_> = stp_plan
@@ -75,13 +69,22 @@ fn main() {
         .map(|(w, xcfg, label)| {
             let progress = &progress;
             move || {
-                let out = run_policy_study(w, xcfg, &[PolicyKind::AsmPart, PolicyKind::Mcp]);
+                let out = run_policy_study(
+                    w,
+                    xcfg,
+                    &[PolicyKind::AsmPart, PolicyKind::Mcp(Technique::GDP)],
+                );
                 progress.finish_item(label);
                 out
             }
         })
         .collect();
     let mut policy_outcomes = pool.run(policy_jobs).into_iter();
+
+    // Indices of the headline techniques in the evaluated set, when
+    // selected.
+    let idx = |t: Technique| techniques.iter().position(|x| *x == t);
+    let (gi, goi, ai) = (idx(Technique::GDP), idx(Technique::GDP_O), idx(Technique::ASM));
 
     let mut data_sizes = Vec::new();
     for cores in [4usize, 8] {
@@ -97,17 +100,20 @@ fn main() {
             }
             for r in results {
                 for b in &r.benches {
-                    let g = tech_idx(Technique::Gdp);
-                    let go = tech_idx(Technique::GdpO);
-                    let a = tech_idx(Technique::Asm);
-                    if !b.ipc_err[g].is_empty() {
-                        rel_ipc_gdp.push(b.ipc_err[g].rms_rel().abs() * 100.0);
-                        ipc_gdp.push(b.ipc_err[g].rms_abs());
-                        stall_gdp.push(b.stall_err[g].rms_abs());
-                        stall_gdpo.push(b.stall_err[go].rms_abs());
+                    if let Some(g) = gi {
+                        if !b.ipc_err[g].is_empty() {
+                            rel_ipc_gdp.push(b.ipc_err[g].rms_rel().abs() * 100.0);
+                            ipc_gdp.push(b.ipc_err[g].rms_abs());
+                            stall_gdp.push(b.stall_err[g].rms_abs());
+                            if let Some(go) = goi {
+                                stall_gdpo.push(b.stall_err[go].rms_abs());
+                            }
+                        }
                     }
-                    if !b.ipc_err[a].is_empty() {
-                        ipc_asm.push(b.ipc_err[a].rms_abs());
+                    if let Some(a) = ai {
+                        if !b.ipc_err[a].is_empty() {
+                            ipc_asm.push(b.ipc_err[a].rms_abs());
+                        }
                     }
                 }
                 for s in &r.invasive_slowdown {
@@ -116,27 +122,40 @@ fn main() {
             }
         }
         println!("\n--- {cores}-core CMP ---");
-        println!(
-            "GDP mean relative IPC estimation error: {:.1}%   (paper: {}%)",
-            mean(&rel_ipc_gdp),
-            if cores == 4 { "3.4" } else { "9.8" }
-        );
-        let ratio = mean(&ipc_asm) / mean(&ipc_gdp).max(1e-12);
-        println!(
-            "ASM/GDP IPC RMS error ratio: {:.1}x   (paper: {} better for GDP)",
-            ratio,
-            if cores == 4 { "7.4x" } else { "7.7e12x" }
-        );
-        let gdpo_gain = 100.0 * (1.0 - mean(&stall_gdpo) / mean(&stall_gdp).max(1e-12));
-        println!(
-            "GDP-O stall RMS improvement over GDP: {:.1}%   (paper: {}%)",
-            gdpo_gain,
-            if cores == 4 { "13.5" } else { "10.8" }
-        );
-        println!(
-            "Worst per-process slowdown from ASM's invasive accounting: {:.0}%   (paper: up to 57%)",
-            (worst_slowdown - 1.0) * 100.0
-        );
+        let mut fields = vec![("cores", Json::from(cores))];
+        if gi.is_some() {
+            println!(
+                "GDP mean relative IPC estimation error: {:.1}%   (paper: {}%)",
+                mean(&rel_ipc_gdp),
+                if cores == 4 { "3.4" } else { "9.8" }
+            );
+            fields.push(("gdp_mean_rel_ipc_err_pct", Json::from(mean(&rel_ipc_gdp))));
+        }
+        if gi.is_some() && ai.is_some() {
+            let ratio = mean(&ipc_asm) / mean(&ipc_gdp).max(1e-12);
+            println!(
+                "ASM/GDP IPC RMS error ratio: {:.1}x   (paper: {} better for GDP)",
+                ratio,
+                if cores == 4 { "7.4x" } else { "7.7e12x" }
+            );
+            fields.push(("asm_over_gdp_ipc_rms_ratio", Json::from(ratio)));
+        }
+        if gi.is_some() && goi.is_some() {
+            let gdpo_gain = 100.0 * (1.0 - mean(&stall_gdpo) / mean(&stall_gdp).max(1e-12));
+            println!(
+                "GDP-O stall RMS improvement over GDP: {:.1}%   (paper: {}%)",
+                gdpo_gain,
+                if cores == 4 { "13.5" } else { "10.8" }
+            );
+            fields.push(("gdpo_stall_rms_gain_pct", Json::from(gdpo_gain)));
+        }
+        if ai.is_some() {
+            println!(
+                "Worst per-process slowdown from ASM's invasive accounting: {:.0}%   (paper: up to 57%)",
+                (worst_slowdown - 1.0) * 100.0
+            );
+            fields.push(("worst_asm_slowdown_pct", Json::from((worst_slowdown - 1.0) * 100.0)));
+        }
 
         // MCP vs ASM partitioning STP (outcomes arrive in cell order;
         // this CMP size owns the next three cells' workloads).
@@ -158,15 +177,9 @@ fn main() {
             mcp_gain,
             if cores == 4 { "+11.9" } else { "+20.8" }
         );
+        fields.push(("mcp_vs_asm_stp_gain_pct", Json::from(mcp_gain)));
 
-        data_sizes.push(Json::obj(vec![
-            ("cores", Json::from(cores)),
-            ("gdp_mean_rel_ipc_err_pct", Json::from(mean(&rel_ipc_gdp))),
-            ("asm_over_gdp_ipc_rms_ratio", Json::from(ratio)),
-            ("gdpo_stall_rms_gain_pct", Json::from(gdpo_gain)),
-            ("worst_asm_slowdown_pct", Json::from((worst_slowdown - 1.0) * 100.0)),
-            ("mcp_vs_asm_stp_gain_pct", Json::from(mcp_gain)),
-        ]));
+        data_sizes.push(Json::obj(fields));
     }
 
     let data = Json::obj(vec![("cmp_sizes", Json::Arr(data_sizes))]);

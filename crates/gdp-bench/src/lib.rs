@@ -81,9 +81,10 @@ impl Scale {
 }
 
 /// Parsed command line of a figure binary (shared `gdp-runner` surface:
-/// `--tiny/--quick/--full`, `--jobs N`, `--json`, `--list`, and the
-/// trace-cache flags `--record`/`--replay`/`--trace-dir DIR`; unknown
-/// flags exit non-zero with usage).
+/// `--tiny/--quick/--full`, `--jobs N`, `--json`, `--list`, the
+/// trace-cache flags `--record`/`--replay`/`--trace-dir DIR`, and the
+/// registry-backed `--techniques a,b,c` selection; unknown flags and
+/// unknown technique ids exit non-zero with usage / the valid-id list).
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Binary name (used for progress labels and the results file).
@@ -102,12 +103,23 @@ pub struct BenchArgs {
     pub replay: bool,
     /// Trace-cache directory.
     pub trace_dir: String,
+    /// `--techniques`: validated registry selection, canonical order;
+    /// `None` means the binary's default set.
+    pub techniques: Option<Vec<Technique>>,
 }
 
 impl BenchArgs {
     /// Parse [`std::env::args`]; prints usage and exits on bad input.
+    /// An unknown technique id exits 2 listing every registered id.
     pub fn parse(bin: &'static str) -> BenchArgs {
         let a = cli::parse_or_exit(bin);
+        let techniques = a.techniques.as_deref().map(|list| match Technique::parse_list(list) {
+            Ok(set) => set,
+            Err(e) => {
+                eprintln!("{bin}: {e}");
+                std::process::exit(2);
+            }
+        });
         BenchArgs {
             bin,
             scale: a.scale.into(),
@@ -117,7 +129,13 @@ impl BenchArgs {
             record: a.record,
             replay: a.replay,
             trace_dir: a.trace_dir,
+            techniques,
         }
+    }
+
+    /// The technique selection, falling back to the binary's default set.
+    pub fn techniques_or(&self, default: &[Technique]) -> Vec<Technique> {
+        self.techniques.clone().unwrap_or_else(|| default.to_vec())
     }
 
     /// The job pool for this invocation.
@@ -239,9 +257,9 @@ pub fn cell_workload_count(class: LlcClass, scale: Scale) -> usize {
 
 /// Total number of jobs [`accuracy_sweep`] will submit for `cells`:
 /// per workload, one transparent shared run, one invasive shared run if
-/// ASM is evaluated, and one private run per core.
+/// any invasive technique is evaluated, and one private run per core.
 pub fn sweep_job_count(cells: &[SweepCell], scale: Scale, techniques: &[Technique]) -> usize {
-    let shared_per_workload = if techniques.contains(&Technique::Asm) { 2 } else { 1 };
+    let shared_per_workload = if techniques.iter().any(Technique::is_invasive) { 2 } else { 1 };
     cells
         .iter()
         .map(|c| cell_workload_count(c.class, scale) * (shared_per_workload + c.cores))
@@ -270,9 +288,21 @@ pub fn accuracy_sweep(
 
 /// Label of one shared-mode job — the single source for both the
 /// `--list` plan and execution progress, so the two can never drift.
-fn shared_job_label(cell: &SweepCell, workload: &str, asm: bool) -> String {
-    let suffix = if asm { " (ASM)" } else { "" };
-    format!("{}/{workload} shared{suffix}", cell.label())
+/// `invasive` carries the invasive sub-set's display names, e.g.
+/// `" (ASM)"`, or an empty string for the transparent run.
+fn shared_job_label(cell: &SweepCell, workload: &str, invasive: &str) -> String {
+    format!("{}/{workload} shared{invasive}", cell.label())
+}
+
+/// Display suffix naming an invasive technique sub-set (empty when the
+/// sub-set is empty).
+fn invasive_suffix(invasive: &[Technique]) -> String {
+    if invasive.is_empty() {
+        String::new()
+    } else {
+        let names: Vec<&str> = invasive.iter().map(|t| t.name()).collect();
+        format!(" ({})", names.join("+"))
+    }
 }
 
 /// Label of one private ground-truth job.
@@ -288,15 +318,18 @@ pub fn sweep_job_labels(
     scale: Scale,
     techniques: &[Technique],
 ) -> Vec<String> {
-    let with_asm = techniques.contains(&Technique::Asm);
+    let techniques = Technique::canonical(techniques);
+    let invasive: Vec<Technique> =
+        techniques.iter().copied().filter(Technique::is_invasive).collect();
+    let suffix = invasive_suffix(&invasive);
     let mut labels = Vec::new();
     let prep: Vec<Vec<Workload>> =
         cells.iter().map(|c| class_workloads(c.cores, c.class, scale)).collect();
     for (cell, workloads) in cells.iter().zip(&prep) {
         for w in workloads {
-            labels.push(shared_job_label(cell, &w.name, false));
-            if with_asm {
-                labels.push(shared_job_label(cell, &w.name, true));
+            labels.push(shared_job_label(cell, &w.name, ""));
+            if !invasive.is_empty() {
+                labels.push(shared_job_label(cell, &w.name, &suffix));
             }
         }
     }
@@ -326,8 +359,11 @@ pub fn accuracy_sweep_traced(
         .iter()
         .map(|c| (scale.xcfg(c.cores), class_workloads(c.cores, c.class, scale)))
         .collect();
-    let with_asm = techniques.contains(&Technique::Asm);
-    let transparent = transparent_subset(techniques);
+    let techniques = Technique::canonical(techniques);
+    let invasive: Vec<Technique> =
+        techniques.iter().copied().filter(Technique::is_invasive).collect();
+    let suffix = invasive_suffix(&invasive);
+    let transparent = transparent_subset(&techniques);
     let run_shared_job = move |w: &Workload, xcfg: &ExperimentConfig, ts: &[Technique]| match traces
     {
         None => gdp_experiments::run_shared(w, xcfg, ts),
@@ -339,17 +375,18 @@ pub fn accuracy_sweep_traced(
     let mut shared_jobs: Vec<SharedJob<'_>> = Vec::new();
     for (cell, (xcfg, workloads)) in cells.iter().zip(&prep) {
         for w in workloads {
-            let label = shared_job_label(cell, &w.name, false);
+            let label = shared_job_label(cell, &w.name, "");
             let transparent = &transparent;
             shared_jobs.push(Box::new(move || {
                 let r = run_shared_job(w, xcfg, transparent);
                 progress.finish_item(&label);
                 r
             }));
-            if with_asm {
-                let label = shared_job_label(cell, &w.name, true);
+            if !invasive.is_empty() {
+                let label = shared_job_label(cell, &w.name, &suffix);
+                let invasive = &invasive;
                 shared_jobs.push(Box::new(move || {
-                    let r = run_shared_job(w, xcfg, &[Technique::Asm]);
+                    let r = run_shared_job(w, xcfg, invasive);
                     progress.finish_item(&label);
                     r
                 }));
@@ -363,10 +400,10 @@ pub fn accuracy_sweep_traced(
     for (xcfg, workloads) in &prep {
         for w in workloads {
             let t_run = shared_results.next().expect("one transparent run per workload");
-            let a_run = if with_asm {
-                Some(shared_results.next().expect("one invasive run per workload"))
-            } else {
+            let a_run = if invasive.is_empty() {
                 None
+            } else {
+                Some(shared_results.next().expect("one invasive run per workload"))
             };
             evals.push(WorkloadEval::from_runs(w, xcfg, t_run, a_run));
         }
@@ -404,8 +441,11 @@ pub fn accuracy_sweep_traced(
 /// Aggregated accuracy numbers for one (core count, class) cell.
 #[derive(Debug, Clone)]
 pub struct CellAccuracy {
+    /// The canonical technique set the per-technique vectors are
+    /// indexed by.
+    pub techniques: Vec<Technique>,
     /// Mean per-benchmark absolute RMS error of IPC estimates, per
-    /// technique in [`Technique::ALL`] order.
+    /// technique in [`CellAccuracy::techniques`] order.
     pub ipc_rms: Vec<f64>,
     /// Mean per-benchmark absolute RMS error of SMS-stall estimates.
     pub stall_rms: Vec<f64>,
@@ -436,9 +476,13 @@ pub fn accuracy_cell(cores: usize, class: LlcClass, scale: Scale) -> CellAccurac
     aggregate(&sweep[0])
 }
 
-/// Aggregate a set of workload evaluations into a cell.
+/// Aggregate a set of workload evaluations into a cell. All evaluations
+/// must share one technique set (the index space of the output vectors).
 pub fn aggregate(results: &[WorkloadAccuracy]) -> CellAccuracy {
-    let nt = Technique::ALL.len();
+    let techniques: Vec<Technique> =
+        results.first().map(|r| r.techniques.clone()).unwrap_or_default();
+    debug_assert!(results.iter().all(|r| r.techniques == techniques));
+    let nt = techniques.len();
     let mut ipc: Vec<Vec<f64>> = vec![Vec::new(); nt];
     let mut stall: Vec<Vec<f64>> = vec![Vec::new(); nt];
     let mut cpl = Vec::new();
@@ -468,6 +512,7 @@ pub fn aggregate(results: &[WorkloadAccuracy]) -> CellAccuracy {
         }
     }
     CellAccuracy {
+        techniques,
         ipc_rms: ipc.iter().map(|v| mean(v)).collect(),
         stall_rms: stall.iter().map(|v| mean(v)).collect(),
         stall_rms_all: stall,
@@ -478,10 +523,11 @@ pub fn aggregate(results: &[WorkloadAccuracy]) -> CellAccuracy {
     }
 }
 
-/// Per-technique values as an ordered JSON object keyed by display name.
-pub fn technique_json(values: &[f64]) -> Json {
+/// Per-technique values as an ordered JSON object keyed by the
+/// registry display labels of `techniques`.
+pub fn technique_json(techniques: &[Technique], values: &[f64]) -> Json {
     Json::Obj(
-        Technique::ALL
+        techniques
             .iter()
             .zip(values)
             .map(|(t, v)| (t.name().to_string(), Json::from(*v)))
@@ -490,12 +536,12 @@ pub fn technique_json(values: &[f64]) -> Json {
 }
 
 /// One cell's aggregated accuracy as JSON (shared by fig3/fig5 and the
-/// determinism suite).
+/// determinism suite), labelled from the cell's technique set.
 pub fn cell_accuracy_json(label: &str, cell: &CellAccuracy) -> Json {
     Json::obj(vec![
         ("cell", Json::from(label)),
-        ("ipc_rms", technique_json(&cell.ipc_rms)),
-        ("stall_rms", technique_json(&cell.stall_rms)),
+        ("ipc_rms", technique_json(&cell.techniques, &cell.ipc_rms)),
+        ("stall_rms", technique_json(&cell.techniques, &cell.stall_rms)),
         ("cpl_rel_pct", summary_json(&Summary::of(&cell.cpl_rel))),
         ("overlap_rel_pct", summary_json(&Summary::of(&cell.overlap_rel))),
         ("lambda_rel_pct", summary_json(&Summary::of(&cell.lambda_rel))),
@@ -546,13 +592,13 @@ mod tests {
     #[test]
     fn job_labels_match_the_job_count_and_name_every_phase() {
         let cells = all_cells();
-        for techniques in [&Technique::ALL[..], &[Technique::Gdp][..]] {
+        for techniques in [&Technique::ALL[..], &[Technique::GDP][..]] {
             let labels = sweep_job_labels(&cells, Scale::Tiny, techniques);
             assert_eq!(labels.len(), sweep_job_count(&cells, Scale::Tiny, techniques));
             assert!(labels.iter().any(|l| l.ends_with("shared")));
             assert!(labels.iter().any(|l| l.contains("private core")));
             let has_asm = labels.iter().any(|l| l.contains("(ASM)"));
-            assert_eq!(has_asm, techniques.contains(&Technique::Asm));
+            assert_eq!(has_asm, techniques.contains(&Technique::ASM));
         }
     }
 
@@ -570,7 +616,7 @@ mod tests {
         );
         // Without ASM, one shared job per workload.
         assert_eq!(
-            sweep_job_count(&cells, Scale::Tiny, &[Technique::Gdp]),
+            sweep_job_count(&cells, Scale::Tiny, &[Technique::GDP]),
             2 * (1 + 2) + 1 * (1 + 4)
         );
         assert_eq!(all_cells().len(), 9);

@@ -23,7 +23,7 @@ fn fig3_tiny_cell_replays_bit_identically_for_all_transparent_techniques() {
     let _ = std::fs::remove_dir_all(&dir);
 
     let cells = [SweepCell { cores: 2, class: LlcClass::H }];
-    let transparent = [Technique::Itca, Technique::Ptca, Technique::Gdp, Technique::GdpO];
+    let transparent = [Technique::ITCA, Technique::PTCA, Technique::GDP, Technique::GDP_O];
     let pool = Pool::new(2);
     let jobs = sweep_job_count(&cells, Scale::Tiny, &transparent);
 
@@ -71,8 +71,8 @@ fn fig3_tiny_cell_replays_bit_identically_for_all_transparent_techniques() {
     // whose scored errors agree to the bit.
     for (cb, wb) in cold[0].iter().zip(&warm[0]) {
         for (a, b) in cb.benches.iter().zip(&wb.benches) {
-            for t in [Technique::Itca, Technique::Ptca, Technique::Gdp, Technique::GdpO] {
-                let i = Technique::ALL.iter().position(|x| *x == t).unwrap();
+            for t in [Technique::ITCA, Technique::PTCA, Technique::GDP, Technique::GDP_O] {
+                let i = cold[0][0].tech_index(t).unwrap();
                 assert!(!a.ipc_err[i].is_empty(), "{t} must produce errors");
                 assert_eq!(
                     a.ipc_err[i].rms_abs().to_bits(),

@@ -24,15 +24,20 @@ pub enum GdpVariant {
     GdpO,
 }
 
-/// Detailed per-interval outputs (useful for the Fig. 5 component study).
+/// Raw per-interval unit harvest: the dataflow quantities only (the
+/// Fig. 5 component study's inputs).
+///
+/// Deliberately *not* a [`PrivateEstimate`]: the stall estimate σ̂_SMS
+/// additionally needs DIEF's λ̂, which only arrives with the boundary
+/// measurement, so a harvest carrying a `sigma_sms` field could only ever
+/// hold a placeholder zero that looks like a real estimate (the bug this
+/// type split fixes).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GdpEstimate {
+pub struct GdpHarvest {
     /// Critical path length harvested for the interval.
     pub cpl: u64,
     /// Average overlap O (0 for plain GDP).
     pub overlap: f64,
-    /// σ̂_SMS.
-    pub sigma_sms: f64,
 }
 
 /// Multi-core GDP/GDP-O estimator.
@@ -60,7 +65,7 @@ impl GdpEstimator {
     }
 
     /// Harvest the interval's CPL and overlap for `core`.
-    pub fn harvest(&mut self, core: CoreId, now: u64) -> GdpEstimate {
+    pub fn harvest(&mut self, core: CoreId, now: u64) -> GdpHarvest {
         let unit = &mut self.units[core.idx()];
         let cpl = unit.take_cpl(now);
         let overlap = match self.variant {
@@ -71,7 +76,7 @@ impl GdpEstimator {
             }
             GdpVariant::GdpO => unit.take_average_overlap(now),
         };
-        GdpEstimate { cpl, overlap, sigma_sms: 0.0 }
+        GdpHarvest { cpl, overlap }
     }
 }
 

@@ -35,10 +35,16 @@
 
 pub mod estimator;
 pub mod model;
+pub mod technique;
 pub mod unit;
 
-pub use estimator::{GdpEstimate, GdpEstimator, GdpVariant};
+pub use estimator::{GdpEstimator, GdpHarvest, GdpVariant};
 pub use model::{
-    private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate, PrivateModeEstimator,
+    observe_subscribed, private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate,
+    PrivateModeEstimator,
+};
+pub use technique::{
+    TechniqueCaps, TechniqueConfig, TechniqueDesc, TechniqueRegistry, UnknownTechnique,
+    GDP_O_TECHNIQUE, GDP_TECHNIQUE,
 };
 pub use unit::GdpUnit;

@@ -76,14 +76,39 @@ pub trait PrivateModeEstimator {
 /// Feed one interval's probe-event batch to every estimator, in event
 /// order (events outer, estimators inner).
 ///
-/// This is *the* observation loop: the live shared-mode run and the
-/// trace-replay engine both call it, so an estimator sees byte-for-byte
-/// the same call sequence either way — the property that makes replayed
-/// estimates bit-identical to live ones.
+/// This is *the* observation loop shape: the live session and the
+/// replay session drive it through [`observe_subscribed`], and the
+/// lower-level `gdp-trace` replay engine calls it directly, so an
+/// estimator sees byte-for-byte the same call sequence every way — the
+/// property that makes replayed estimates bit-identical to live ones.
+/// Any change to the event/estimator iteration order must be made in
+/// lockstep across those loops.
 pub fn observe_all(estimators: &mut [Box<dyn PrivateModeEstimator>], events: &[ProbeEvent]) {
     for ev in events {
         for e in estimators.iter_mut() {
             e.observe(ev);
+        }
+    }
+}
+
+/// [`observe_all`] honoring each technique's `needs_probe_stream`
+/// capability: estimators whose `subscribed` slot is `false` are skipped
+/// entirely, so the flag cannot silently lie — a technique declaring it
+/// does not consume the stream never receives one. Estimators are
+/// independent state machines, so skipping a non-subscriber is
+/// bit-neutral for every other estimator; the live session and the
+/// replay session share this one loop.
+pub fn observe_subscribed(
+    estimators: &mut [Box<dyn PrivateModeEstimator>],
+    subscribed: &[bool],
+    events: &[ProbeEvent],
+) {
+    debug_assert_eq!(estimators.len(), subscribed.len());
+    for ev in events {
+        for (e, sub) in estimators.iter_mut().zip(subscribed) {
+            if *sub {
+                e.observe(ev);
+            }
         }
     }
 }

@@ -29,6 +29,8 @@
 
 pub mod atd;
 pub mod estimator;
+pub mod technique;
 
 pub use atd::{Atd, AtdOutcome};
 pub use estimator::{Dief, LatencyEstimate};
+pub use technique::{DiefOnly, DIEF_TECHNIQUE};

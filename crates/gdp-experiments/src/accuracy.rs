@@ -9,44 +9,7 @@ use gdp_workloads::Workload;
 use crate::config::ExperimentConfig;
 use crate::private::{run_private, PrivateRun};
 use crate::shared::{run_shared, SharedRun};
-
-/// The five accounting techniques under comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Technique {
-    /// Inter-Task Conflict-Aware accounting (transparent baseline).
-    Itca,
-    /// Per-Thread Cycle Accounting (transparent baseline).
-    Ptca,
-    /// Application Slowdown Model (invasive baseline).
-    Asm,
-    /// Graph-based Dynamic Performance accounting (this paper).
-    Gdp,
-    /// GDP with overlap accounting (this paper).
-    GdpO,
-}
-
-impl Technique {
-    /// All techniques in the paper's presentation order.
-    pub const ALL: [Technique; 5] =
-        [Technique::Itca, Technique::Ptca, Technique::Asm, Technique::Gdp, Technique::GdpO];
-
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Technique::Itca => "ITCA",
-            Technique::Ptca => "PTCA",
-            Technique::Asm => "ASM",
-            Technique::Gdp => "GDP",
-            Technique::GdpO => "GDP-O",
-        }
-    }
-}
-
-impl std::fmt::Display for Technique {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+pub use crate::techniques::{transparent_subset, Technique};
 
 /// Per-benchmark (per-core slot) error series over a workload run.
 #[derive(Debug, Clone)]
@@ -55,10 +18,11 @@ pub struct BenchAccuracy {
     pub bench: &'static str,
     /// Core slot in the workload.
     pub core: usize,
-    /// IPC estimation errors, indexed like [`Technique::ALL`].
+    /// IPC estimation errors, indexed like the evaluation's canonical
+    /// technique set ([`WorkloadAccuracy::techniques`]).
     pub ipc_err: Vec<ErrorSeries>,
-    /// SMS-load stall-cycle estimation errors, indexed like
-    /// [`Technique::ALL`].
+    /// SMS-load stall-cycle estimation errors, indexed like the
+    /// evaluation's canonical technique set.
     pub stall_err: Vec<ErrorSeries>,
     /// GDP's runtime CPL vs. the unbounded private-mode reference.
     pub cpl_err: ErrorSeries,
@@ -73,12 +37,22 @@ pub struct BenchAccuracy {
 pub struct WorkloadAccuracy {
     /// Workload identifier.
     pub workload: String,
+    /// The canonical technique set under evaluation: the index space of
+    /// every per-bench error vector.
+    pub techniques: Vec<Technique>,
     /// One record per core slot.
     pub benches: Vec<BenchAccuracy>,
     /// Per-core shared-mode slowdown imposed by ASM's invasive priority
     /// rotation relative to the transparent run (>1 = ASM slowed the core;
     /// the paper observed up to 57% reductions).
     pub invasive_slowdown: Vec<f64>,
+}
+
+impl WorkloadAccuracy {
+    /// Index of a technique in this evaluation's error vectors.
+    pub fn tech_index(&self, t: Technique) -> Option<usize> {
+        self.techniques.iter().position(|x| *x == t)
+    }
 }
 
 /// Evaluate all five techniques on `workload` (paper methodology §VI):
@@ -130,12 +104,6 @@ pub fn private_base(core: usize) -> u64 {
     (core as u64) << 36
 }
 
-/// The techniques of `techniques` that share one transparent run (all but
-/// the invasive ASM).
-pub fn transparent_subset(techniques: &[Technique]) -> Vec<Technique> {
-    techniques.iter().copied().filter(|t| *t != Technique::Asm).collect()
-}
-
 /// A workload evaluation split into its two phases (paper §VI):
 ///
 /// 1. **Shared phase** ([`WorkloadEval::shared`] or, when the shared runs
@@ -155,41 +123,50 @@ pub struct WorkloadEval {
     workload_name: String,
     benchmarks: Vec<gdp_workloads::Benchmark>,
     xcfg: ExperimentConfig,
+    techniques: Vec<Technique>,
     t_run: SharedRun,
     a_run: Option<SharedRun>,
 }
 
 impl WorkloadEval {
-    /// Run the shared phase: the transparent run, plus the invasive ASM
-    /// run when `techniques` contains [`Technique::Asm`].
+    /// Run the shared phase: the transparent run, plus the separate
+    /// invasive run when `techniques` selects any invasive technique
+    /// (per its registry capability flags).
     pub fn shared(
         workload: &Workload,
         xcfg: &ExperimentConfig,
         techniques: &[Technique],
     ) -> WorkloadEval {
-        let t_run = run_shared(workload, xcfg, &transparent_subset(techniques));
-        let a_run = techniques
-            .contains(&Technique::Asm)
-            .then(|| run_shared(workload, xcfg, &[Technique::Asm]));
+        let techniques = Technique::canonical(techniques);
+        let invasive: Vec<Technique> =
+            techniques.iter().copied().filter(|t| t.is_invasive()).collect();
+        let t_run = run_shared(workload, xcfg, &transparent_subset(&techniques));
+        let a_run = (!invasive.is_empty()).then(|| run_shared(workload, xcfg, &invasive));
         Self::from_runs(workload, xcfg, t_run, a_run)
     }
 
     /// Assemble an evaluation from shared runs executed elsewhere (e.g.
     /// as two independent campaign jobs). `t_run` must be the transparent
-    /// run and `a_run`, if present, the invasive ASM run of the same
-    /// workload under the same configuration.
+    /// run and `a_run`, if present, the invasive run of the same workload
+    /// under the same configuration. The evaluation's technique set is
+    /// the canonical union of both runs' sets.
     pub fn from_runs(
         workload: &Workload,
         xcfg: &ExperimentConfig,
         t_run: SharedRun,
         a_run: Option<SharedRun>,
     ) -> WorkloadEval {
-        debug_assert!(!t_run.techniques.contains(&Technique::Asm));
-        debug_assert!(a_run.as_ref().map_or(true, |r| r.techniques == [Technique::Asm]));
+        debug_assert!(t_run.techniques.iter().all(|t| !t.is_invasive()));
+        debug_assert!(a_run
+            .as_ref()
+            .map_or(true, |r| r.techniques.iter().all(Technique::is_invasive)));
+        let mut techniques = t_run.techniques.clone();
+        techniques.extend(a_run.iter().flat_map(|r| r.techniques.iter().copied()));
         WorkloadEval {
             workload_name: workload.name.clone(),
             benchmarks: workload.benchmarks.clone(),
             xcfg: xcfg.clone(),
+            techniques: Technique::canonical(&techniques),
             t_run,
             a_run,
         }
@@ -241,6 +218,11 @@ impl WorkloadEval {
         )
     }
 
+    /// The canonical technique set under evaluation.
+    pub fn techniques(&self) -> &[Technique] {
+        &self.techniques
+    }
+
     /// Score every core's shared-mode estimates against its private
     /// record (`privates[core]`, as produced by
     /// [`WorkloadEval::run_private_for`]).
@@ -257,8 +239,8 @@ impl WorkloadEval {
             let mut acc = BenchAccuracy {
                 bench: self.benchmarks[core].name,
                 core,
-                ipc_err: Technique::ALL.iter().map(|_| ErrorSeries::new()).collect(),
-                stall_err: Technique::ALL.iter().map(|_| ErrorSeries::new()).collect(),
+                ipc_err: self.techniques.iter().map(|_| ErrorSeries::new()).collect(),
+                stall_err: self.techniques.iter().map(|_| ErrorSeries::new()).collect(),
                 cpl_err: ErrorSeries::new(),
                 overlap_err: ErrorSeries::new(),
                 lambda_err: ErrorSeries::new(),
@@ -266,10 +248,19 @@ impl WorkloadEval {
 
             let warmup = self.xcfg.warmup_intervals;
             // Transparent techniques.
-            score_run(&self.t_run, core, private, &by_target, &mut acc, true, warmup);
-            // ASM (separate invasive run).
+            score_run(
+                &self.t_run,
+                &self.techniques,
+                core,
+                private,
+                &by_target,
+                &mut acc,
+                true,
+                warmup,
+            );
+            // Invasive techniques (separate run).
             if let Some(ar) = &self.a_run {
-                score_run(ar, core, private, &by_target, &mut acc, false, warmup);
+                score_run(ar, &self.techniques, core, private, &by_target, &mut acc, false, warmup);
                 let t_cpi = self.t_run.final_stats[core].cpi();
                 let a_cpi = ar.final_stats[core].cpi();
                 invasive_slowdown.push(if t_cpi.is_finite() && t_cpi > 0.0 {
@@ -284,13 +275,20 @@ impl WorkloadEval {
             benches.push(acc);
         }
 
-        WorkloadAccuracy { workload: self.workload_name.clone(), benches, invasive_slowdown }
+        WorkloadAccuracy {
+            workload: self.workload_name.clone(),
+            techniques: self.techniques.clone(),
+            benches,
+            invasive_slowdown,
+        }
     }
 }
 
 /// Score one shared run's estimates for `core` against the private record.
+#[allow(clippy::too_many_arguments)]
 fn score_run(
     run: &SharedRun,
+    eval_set: &[Technique],
     core: usize,
     private: &crate::private::PrivateRun,
     by_target: &HashMap<u64, usize>,
@@ -342,13 +340,13 @@ fn score_run(
 
         for (slot, tech) in run.techniques.iter().enumerate() {
             let est = &iv.estimates[slot];
-            let global = Technique::ALL.iter().position(|t| t == tech).expect("known");
+            let global = eval_set.iter().position(|t| t == tech).expect("known");
             acc.ipc_err[global].push(est.ipc(), actual.ipc());
             acc.stall_err[global].push(est.sigma_sms, actual.stall_sms as f64);
-            if component_errors && *tech == Technique::Gdp {
+            if component_errors && *tech == Technique::GDP {
                 acc.cpl_err.push(est.cpl as f64, actual_cpl as f64);
             }
-            if component_errors && *tech == Technique::GdpO {
+            if component_errors && *tech == Technique::GDP_O {
                 let actual_overlap = if actual.sms_loads > 0 {
                     actual.overlap_cycles as f64 / actual.sms_loads as f64
                 } else {
@@ -381,16 +379,17 @@ mod tests {
         let w = &paper_workloads(2, 5)[0];
         let mut x = xcfg();
         x.sample_instrs = 6_000;
-        let serial = evaluate_workload_subset(w, &x, &[Technique::Gdp, Technique::GdpO]);
+        let serial = evaluate_workload_subset(w, &x, &[Technique::GDP, Technique::GDP_O]);
         let pooled = evaluate_workload_pooled(
             w,
             &x,
-            &[Technique::Gdp, Technique::GdpO],
+            &[Technique::GDP, Technique::GDP_O],
             &gdp_runner::Pool::new(4),
         );
         assert_eq!(serial.benches.len(), pooled.benches.len());
+        assert_eq!(serial.techniques, pooled.techniques);
         for (a, b) in serial.benches.iter().zip(&pooled.benches) {
-            for t in 0..Technique::ALL.len() {
+            for t in 0..serial.techniques.len() {
                 assert_eq!(a.ipc_err[t].rms_abs().to_bits(), b.ipc_err[t].rms_abs().to_bits());
                 assert_eq!(a.stall_err[t].rms_abs().to_bits(), b.stall_err[t].rms_abs().to_bits());
             }
@@ -427,9 +426,9 @@ mod tests {
         for w in &paper_workloads(2, 5)[0..3] {
             let r = evaluate_workload(w, &x);
             for b in &r.benches {
-                gdpo.push(b.ipc_err[4].rms_abs());
-                itca.push(b.ipc_err[0].rms_abs());
-                ptca.push(b.ipc_err[1].rms_abs());
+                gdpo.push(b.ipc_err[r.tech_index(Technique::GDP_O).unwrap()].rms_abs());
+                itca.push(b.ipc_err[r.tech_index(Technique::ITCA).unwrap()].rms_abs());
+                ptca.push(b.ipc_err[r.tech_index(Technique::PTCA).unwrap()].rms_abs());
             }
         }
         assert!(

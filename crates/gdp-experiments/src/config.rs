@@ -62,6 +62,16 @@ impl ExperimentConfig {
     pub fn cycle_cap(&self) -> u64 {
         self.sample_instrs * self.max_cycles_per_instr
     }
+
+    /// The unified construction parameters handed to every registered
+    /// technique's factory.
+    pub fn technique_config(&self) -> gdp_core::TechniqueConfig {
+        gdp_core::TechniqueConfig {
+            sim: self.sim.clone(),
+            sampled_sets: self.sampled_sets,
+            prb_entries: self.prb_entries,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,13 @@
 //!   provided as input to the private mode experiments").
 //! * [`accuracy`] — per-benchmark RMS error evaluation of IPC, SMS-stall,
 //!   CPL, overlap and latency estimates (Figs. 3–5).
+//! * [`techniques`] — the assembled technique registry and the
+//!   [`Technique`] handle: every estimator is data (id, label,
+//!   capability flags, factory), so sweeps, CLI selection and JSON
+//!   labels are configuration instead of code.
+//! * [`session`] — the streaming [`EstimationSession`]: a host embeds
+//!   it to consume per-interval private-mode estimates online; the
+//!   batch drivers here are thin shims over it.
 //! * [`interval`] — accounting-interval bookkeeping shared by the run
 //!   loops: the engine's advance limit and exact, lossless boundary
 //!   emission under multi-cycle clock jumps.
@@ -24,19 +31,23 @@ pub mod config;
 pub mod interval;
 pub mod policy_run;
 pub mod private;
+pub mod session;
 pub mod shared;
+pub mod techniques;
 pub mod trace;
 
 pub use accuracy::{
     evaluate_workload, evaluate_workload_pooled, evaluate_workload_subset, private_base,
-    transparent_subset, BenchAccuracy, Technique, WorkloadAccuracy, WorkloadEval,
+    BenchAccuracy, WorkloadAccuracy, WorkloadEval,
 };
 pub use config::ExperimentConfig;
 pub use interval::IntervalSchedule;
 pub use policy_run::{run_policy_study, PolicyKind, PolicyOutcome};
 pub use private::{run_private, PrivateCheckpoint, PrivateRun};
+pub use session::{EstimationSession, ReplaySession, SessionBuilder};
 pub use shared::{run_shared, run_shared_with_sink, CoreInterval, SharedRun};
+pub use techniques::{registry, transparent_subset, Technique};
 pub use trace::{
     evaluate_workload_traced, private_from_trace, private_to_trace, private_trace_key,
-    record_shared, replay_shared, shared_trace_key, CampaignTraces,
+    record_shared, replay_shared, shared_trace_key, shared_trace_key_for, CampaignTraces,
 };

@@ -8,7 +8,6 @@
 
 use gdp_accounting::Asm;
 use gdp_core::model::{IntervalMeasurement, PrivateModeEstimator};
-use gdp_core::{GdpEstimator, GdpVariant};
 use gdp_dief::Dief;
 use gdp_partition::{
     contiguous_masks, AllocContext, AsmCache, CoreSignals, Mcp, PartitionPolicy, Ucp,
@@ -21,6 +20,7 @@ use gdp_workloads::Workload;
 use crate::config::ExperimentConfig;
 use crate::interval::IntervalSchedule;
 use crate::private::run_private;
+use crate::techniques::Technique;
 
 /// The LLC managers of Fig. 6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,32 +31,46 @@ pub enum PolicyKind {
     Ucp,
     /// ASM-driven partitioning (invasive accounting).
     AsmPart,
-    /// Model-based Cache Partitioning fed by GDP.
-    Mcp,
-    /// MCP fed by GDP-O.
-    McpO,
+    /// Model-based Cache Partitioning fed by a registered transparent
+    /// technique's π̂ estimates: `Mcp(Technique::GDP)` is the paper's
+    /// MCP, `Mcp(Technique::GDP_O)` its MCP-O, and any other registered
+    /// transparent technique becomes a new policy variant for free.
+    Mcp(Technique),
 }
 
 impl PolicyKind {
     /// All policies in the paper's presentation order.
-    pub const ALL: [PolicyKind; 5] =
-        [PolicyKind::Lru, PolicyKind::Ucp, PolicyKind::AsmPart, PolicyKind::Mcp, PolicyKind::McpO];
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::Lru,
+        PolicyKind::Ucp,
+        PolicyKind::AsmPart,
+        PolicyKind::Mcp(Technique::GDP),
+        PolicyKind::Mcp(Technique::GDP_O),
+    ];
 
-    /// Display name.
-    pub fn name(&self) -> &'static str {
+    /// One MCP variant per transparent technique of `set` (invasive
+    /// techniques cannot feed MCP: their estimator would perturb the run
+    /// without the run loop applying its invasive schedule).
+    pub fn mcp_feeders(set: &[Technique]) -> Vec<PolicyKind> {
+        crate::techniques::transparent_subset(set).into_iter().map(PolicyKind::Mcp).collect()
+    }
+
+    /// Display name (the paper's spellings for the GDP-fed variants).
+    pub fn name(&self) -> String {
         match self {
-            PolicyKind::Lru => "LRU",
-            PolicyKind::Ucp => "UCP",
-            PolicyKind::AsmPart => "ASM",
-            PolicyKind::Mcp => "MCP",
-            PolicyKind::McpO => "MCP-O",
+            PolicyKind::Lru => "LRU".to_string(),
+            PolicyKind::Ucp => "UCP".to_string(),
+            PolicyKind::AsmPart => "ASM".to_string(),
+            PolicyKind::Mcp(t) if *t == Technique::GDP => "MCP".to_string(),
+            PolicyKind::Mcp(t) if *t == Technique::GDP_O => "MCP-O".to_string(),
+            PolicyKind::Mcp(t) => format!("MCP[{}]", t.name()),
         }
     }
 }
 
 impl std::fmt::Display for PolicyKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
+        f.write_str(&self.name())
     }
 }
 
@@ -111,12 +125,11 @@ fn run_with_policy(
     let mut sys = System::new(xcfg.sim.clone(), workload.streams());
     let mut dief = Dief::new(&xcfg.sim, xcfg.sampled_sets);
 
-    // Estimator feeding π̂ into the policy, if any.
+    // Estimator feeding π̂ into the policy, if any. MCP's feeder is
+    // built through the registry, so any registered transparent
+    // technique can drive the partitioning lookahead.
     let mut estimator: Option<Box<dyn PrivateModeEstimator>> = match policy {
-        PolicyKind::Mcp => Some(Box::new(GdpEstimator::new(GdpVariant::Gdp, n, xcfg.prb_entries))),
-        PolicyKind::McpO => {
-            Some(Box::new(GdpEstimator::new(GdpVariant::GdpO, n, xcfg.prb_entries)))
-        }
+        PolicyKind::Mcp(t) => Some(t.build(&xcfg.technique_config())),
         PolicyKind::AsmPart => Some(Box::new(Asm::new(&xcfg.sim, xcfg.sampled_sets))),
         _ => None,
     };
@@ -124,8 +137,8 @@ fn run_with_policy(
         PolicyKind::Lru => None,
         PolicyKind::Ucp => Some(Box::new(Ucp::new())),
         PolicyKind::AsmPart => Some(Box::new(AsmCache::new())),
-        PolicyKind::Mcp => Some(Box::new(Mcp::new())),
-        PolicyKind::McpO => Some(Box::new(Mcp::new_o())),
+        PolicyKind::Mcp(t) if t == Technique::GDP_O => Some(Box::new(Mcp::new_o())),
+        PolicyKind::Mcp(_) => Some(Box::new(Mcp::new())),
     };
     // ASM's accounting is invasive: rotate the MC priority token.
     let asm_epoch = (policy == PolicyKind::AsmPart).then(|| Asm::new(&xcfg.sim, 1).epoch_len());
@@ -271,7 +284,11 @@ mod tests {
         };
         let mut x = xcfg();
         x.sample_instrs = 15_000;
-        let out = run_policy_study(&w, &x, &[PolicyKind::Lru, PolicyKind::Ucp, PolicyKind::Mcp]);
+        let out = run_policy_study(
+            &w,
+            &x,
+            &[PolicyKind::Lru, PolicyKind::Ucp, PolicyKind::Mcp(Technique::GDP)],
+        );
         let lru = out[0].stp;
         let ucp = out[1].stp;
         let mcp = out[2].stp;

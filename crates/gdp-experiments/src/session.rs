@@ -1,0 +1,548 @@
+//! The streaming estimation session: one API under the whole stack.
+//!
+//! An [`EstimationSession`] owns a [`System`], DIEF, any registered
+//! technique set and an [`IntervalSchedule`], and exposes the paper's
+//! runtime estimation loop *incrementally*:
+//!
+//! * [`EstimationSession::advance_to`] — simulate up to a target cycle,
+//!   crossing every accounting-interval boundary exactly;
+//! * [`EstimationSession::poll_estimates`] — drain the per-interval
+//!   estimate rows produced since the last poll (one
+//!   [`PrivateEstimate`](gdp_core::PrivateEstimate) per technique per
+//!   core per interval);
+//! * [`EstimationSession::into_report`] — finish the run and assemble
+//!   the classic [`SharedRun`].
+//!
+//! The batch drivers are thin shims over this one loop:
+//! [`run_shared`](crate::shared::run_shared) builds a session and calls
+//! `into_report`; trace capture is a session with a
+//! [`TraceSink`] attached; trace replay is a [`ReplaySession`] feeding
+//! the same estimator bank from a recorded stream instead of a live
+//! simulator. A host system embeds the same session to consume live
+//! interference-free estimates online (see `examples/quickstart.rs`).
+
+use gdp_core::model::{estimate_all, observe_subscribed, PrivateModeEstimator};
+use gdp_dief::Dief;
+use gdp_sim::stats::CoreStats;
+use gdp_sim::types::{CoreId, Cycle};
+use gdp_sim::System;
+use gdp_trace::{Boundary, SharedTrace, TraceSink};
+use gdp_workloads::Workload;
+
+use crate::config::ExperimentConfig;
+use crate::interval::IntervalSchedule;
+use crate::shared::{CoreInterval, SharedRun};
+use crate::techniques::Technique;
+
+/// Builder for an [`EstimationSession`].
+///
+/// ```no_run
+/// use gdp_experiments::{ExperimentConfig, SessionBuilder, Technique};
+/// use gdp_workloads::paper_workloads;
+///
+/// let xcfg = ExperimentConfig::quick(4);
+/// let workload = &paper_workloads(4, 42)[0];
+/// let mut session = SessionBuilder::new(workload, &xcfg)
+///     .techniques(&[Technique::GDP, Technique::GDP_O])
+///     .build();
+/// while !session.done() {
+///     session.advance_to(session.now() + 100_000);
+///     for row in session.poll_estimates() {
+///         let _ = &row[0].estimates; // one estimate per technique
+///     }
+/// }
+/// ```
+pub struct SessionBuilder<'s> {
+    workload: Workload,
+    xcfg: ExperimentConfig,
+    techniques: Vec<Technique>,
+    sink: Option<&'s mut dyn TraceSink>,
+}
+
+impl SessionBuilder<'static> {
+    /// Start a builder for `workload` under `xcfg`, with the default
+    /// technique set ([`Technique::ALL`]) attached.
+    pub fn new(workload: &Workload, xcfg: &ExperimentConfig) -> SessionBuilder<'static> {
+        SessionBuilder {
+            workload: workload.clone(),
+            xcfg: xcfg.clone(),
+            techniques: Technique::ALL.to_vec(),
+            sink: None,
+        }
+    }
+}
+
+impl<'s> SessionBuilder<'s> {
+    /// Attach a technique set (canonicalized to registry order at
+    /// build time). Selecting any invasive technique makes the run
+    /// invasive — evaluate those separately, as the paper does.
+    pub fn techniques(mut self, set: &[Technique]) -> SessionBuilder<'s> {
+        self.techniques = set.to_vec();
+        self
+    }
+
+    /// Attach a trace capture sink: it sees exactly the event batches
+    /// and boundary measurements the estimators see.
+    pub fn sink<'b>(self, sink: &'b mut dyn TraceSink) -> SessionBuilder<'b> {
+        SessionBuilder {
+            workload: self.workload,
+            xcfg: self.xcfg,
+            techniques: self.techniques,
+            sink: Some(sink),
+        }
+    }
+
+    /// Build the session.
+    ///
+    /// # Panics
+    /// Panics if the workload's core count does not match the CMP.
+    pub fn build(self) -> EstimationSession<'s> {
+        let SessionBuilder { workload, xcfg, techniques, sink } = self;
+        assert_eq!(workload.cores(), xcfg.sim.cores, "workload size must match the CMP");
+        let techniques = Technique::canonical(&techniques);
+        let sys = System::new(xcfg.sim.clone(), workload.streams());
+        let dief = Dief::new(&xcfg.sim, xcfg.sampled_sets);
+        let tcfg = xcfg.technique_config();
+        let estimators: Vec<Box<dyn PrivateModeEstimator>> =
+            techniques.iter().map(|t| t.build(&tcfg)).collect();
+        let needs_probe: Vec<bool> =
+            techniques.iter().map(|t| t.caps().needs_probe_stream).collect();
+        let mc_epoch = techniques.iter().find_map(|t| t.mc_priority_epoch());
+        let n = xcfg.sim.cores;
+        let last_snapshot = (0..n).map(|c| *sys.core_stats(c)).collect();
+        EstimationSession {
+            sys,
+            dief,
+            techniques,
+            estimators,
+            needs_probe,
+            schedule: IntervalSchedule::new(xcfg.interval_cycles),
+            mc_epoch,
+            last_snapshot,
+            cores: n,
+            cap: xcfg.cycle_cap(),
+            sample_instrs: xcfg.sample_instrs,
+            intervals: Vec::new(),
+            fresh: 0,
+            sink,
+        }
+    }
+}
+
+/// A live streaming estimation session (see the module docs).
+pub struct EstimationSession<'s> {
+    sys: System,
+    dief: Dief,
+    techniques: Vec<Technique>,
+    estimators: Vec<Box<dyn PrivateModeEstimator>>,
+    needs_probe: Vec<bool>,
+    schedule: IntervalSchedule,
+    mc_epoch: Option<u64>,
+    last_snapshot: Vec<CoreStats>,
+    cores: usize,
+    cap: Cycle,
+    sample_instrs: u64,
+    intervals: Vec<Vec<CoreInterval>>,
+    fresh: usize,
+    sink: Option<&'s mut dyn TraceSink>,
+}
+
+impl EstimationSession<'_> {
+    /// Current simulated cycle.
+    pub fn now(&self) -> Cycle {
+        self.sys.now()
+    }
+
+    /// The canonical technique set attached to this session (estimate
+    /// vectors are indexed in this order).
+    pub fn techniques(&self) -> &[Technique] {
+        &self.techniques
+    }
+
+    /// Whether the run has reached its end condition: every core hit the
+    /// instruction sample target, or the cycle safety cap fired.
+    pub fn done(&self) -> bool {
+        !(self.sys.now() < self.cap
+            && (0..self.cores).any(|c| self.sys.committed(c) < self.sample_instrs))
+    }
+
+    /// Simulate up to `target` cycles (clamped by the run's cycle cap
+    /// and end condition), producing an estimate row at every crossed
+    /// accounting-interval boundary. Returns the number of new rows.
+    ///
+    /// Calling this with small increments is bit-identical to one big
+    /// call: the engine only ever skips provably-dead cycles, and every
+    /// cycle-indexed obligation (interval boundaries, invasive priority
+    /// epochs) clamps the advance exactly as the batch loop did.
+    pub fn advance_to(&mut self, target: Cycle) -> usize {
+        let before = self.intervals.len();
+        while !self.done() && self.sys.now() < target {
+            if let Some(epoch) = self.mc_epoch {
+                if self.sys.now() % epoch == 0 {
+                    let n = self.cores as u64;
+                    let pc = CoreId(((self.sys.now() / epoch) % n) as u8);
+                    self.sys.mem().mc().set_priority_core(Some(pc));
+                }
+            }
+            // Clamp the engine to every cycle-indexed obligation so
+            // boundaries are observed exactly.
+            let mut limit = self.cap.min(target).min(self.schedule.next_boundary());
+            if let Some(epoch) = self.mc_epoch {
+                limit = limit.min((self.sys.now() / epoch + 1) * epoch);
+            }
+            self.sys.advance(limit);
+
+            // Emit every boundary the advance reached (with the clamp
+            // above that is at most one, but a missed boundary would
+            // corrupt the interval record stream, so the loop is
+            // load-bearing).
+            while self.schedule.pop_crossed(self.sys.now()).is_some() {
+                self.emit_boundary_row();
+            }
+        }
+        self.intervals.len() - before
+    }
+
+    /// One accounting-interval boundary: close stall runs, feed the
+    /// probe batch to DIEF and every estimator (and the capture sink),
+    /// then produce one estimate row across all cores.
+    fn emit_boundary_row(&mut self) {
+        self.sys.finalize(); // close open stall runs at the boundary
+        let events = self.sys.drain_probes();
+        for ev in &events {
+            self.dief.observe(ev);
+        }
+        // Estimators observe through the shared driving helper — the
+        // same call sequence the replay session reproduces. Techniques
+        // whose descriptor declares `needs_probe_stream: false` are
+        // skipped, so the capability flag is enforced, not advisory.
+        observe_subscribed(&mut self.estimators, &self.needs_probe, &events);
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record_events(&events);
+        }
+        let n = self.cores;
+        let mut row = Vec::with_capacity(n);
+        for c in 0..n {
+            let core = CoreId(c as u8);
+            let cum = *self.sys.core_stats(c);
+            let delta = cum.delta(&self.last_snapshot[c]);
+            let lat = self.dief.interval_estimate(core);
+            let boundary = Boundary {
+                instr_start: self.last_snapshot[c].committed_instrs,
+                instr_end: cum.committed_instrs,
+                stats: delta,
+                lambda: lat.private,
+                shared_latency: delta.avg_sms_latency(),
+            };
+            let m = boundary.measurement();
+            let estimates = estimate_all(&mut self.estimators, core, &m);
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.record_boundary(boundary);
+            }
+            row.push(CoreInterval {
+                instr_start: boundary.instr_start,
+                instr_end: boundary.instr_end,
+                stats: delta,
+                lambda: lat.private,
+                shared_latency: m.shared_latency,
+                estimates,
+            });
+            self.last_snapshot[c] = cum;
+        }
+        self.intervals.push(row);
+    }
+
+    /// Run to the end condition (the batch mode).
+    pub fn run_to_end(&mut self) {
+        self.advance_to(self.cap);
+    }
+
+    /// Drain the estimate rows produced since the last poll:
+    /// `rows[i][core]` carries the boundary measurement and one estimate
+    /// per attached technique. Rows remain owned by the session — they
+    /// also feed [`EstimationSession::into_report`] — so memory grows
+    /// with run length; a long-running host that never wants the batch
+    /// report should use [`EstimationSession::take_estimates`] instead.
+    pub fn poll_estimates(&mut self) -> &[Vec<CoreInterval>] {
+        let from = self.fresh;
+        self.fresh = self.intervals.len();
+        &self.intervals[from..]
+    }
+
+    /// Drain the retained rows *by value*, removing them from the
+    /// session — the bounded-memory polling mode for long-running hosts:
+    /// used exclusively, each call returns exactly the rows produced
+    /// since the previous one and the session holds no history. A later
+    /// [`EstimationSession::into_report`] still reports correct
+    /// `cycles`/`final_stats` but only the rows not yet taken.
+    pub fn take_estimates(&mut self) -> Vec<Vec<CoreInterval>> {
+        self.fresh = 0;
+        std::mem::take(&mut self.intervals)
+    }
+
+    /// All interval rows currently retained by the session.
+    pub fn intervals(&self) -> &[Vec<CoreInterval>] {
+        &self.intervals
+    }
+
+    /// Finish the run (if not already at its end condition), record the
+    /// final statistics with any attached sink, and assemble the
+    /// [`SharedRun`] report.
+    pub fn into_report(mut self) -> SharedRun {
+        self.run_to_end();
+        let n = self.cores;
+        let final_stats: Vec<CoreStats> = (0..n).map(|c| *self.sys.core_stats(c)).collect();
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record_final(self.sys.now(), &final_stats);
+        }
+        SharedRun {
+            techniques: self.techniques,
+            intervals: self.intervals,
+            cycles: self.sys.now(),
+            final_stats,
+        }
+    }
+}
+
+/// A streaming session over a *recorded* trace: the same estimator bank
+/// and the same per-interval surface as [`EstimationSession`], fed from
+/// a [`SharedTrace`] at memory speed instead of a live simulator.
+///
+/// Because estimators are pure functions of their observed stream, a
+/// replay session's estimates are bit-identical to the live session that
+/// recorded the trace — for *any* registered technique subset (the
+/// recorded stream does not depend on who observes it).
+pub struct ReplaySession<'t> {
+    trace: &'t SharedTrace,
+    techniques: Vec<Technique>,
+    estimators: Vec<Box<dyn PrivateModeEstimator>>,
+    needs_probe: Vec<bool>,
+    next: usize,
+    intervals: Vec<Vec<CoreInterval>>,
+    fresh: usize,
+}
+
+impl<'t> ReplaySession<'t> {
+    /// Build a replay session over `trace` with a (canonicalized)
+    /// technique set built from the registry for `xcfg`.
+    ///
+    /// The technique set's *invasiveness must match the trace's run
+    /// kind*: an invasive technique (ASM) perturbs the execution it
+    /// measures, so replaying it over a transparently-recorded stream
+    /// produces estimates no live run would — the trace format does not
+    /// record run kind, so this cannot be checked here. The campaign
+    /// cache layer gets it right by keying invasive runs separately
+    /// ([`shared_trace_key_for`](crate::trace::shared_trace_key_for));
+    /// direct callers carry the same obligation.
+    pub fn new(
+        trace: &'t SharedTrace,
+        xcfg: &ExperimentConfig,
+        techniques: &[Technique],
+    ) -> ReplaySession<'t> {
+        let techniques = Technique::canonical(techniques);
+        let tcfg = xcfg.technique_config();
+        let estimators = techniques.iter().map(|t| t.build(&tcfg)).collect();
+        let needs_probe = techniques.iter().map(|t| t.caps().needs_probe_stream).collect();
+        ReplaySession {
+            trace,
+            techniques,
+            estimators,
+            needs_probe,
+            next: 0,
+            intervals: Vec::new(),
+            fresh: 0,
+        }
+    }
+
+    /// The canonical technique set under replay.
+    pub fn techniques(&self) -> &[Technique] {
+        &self.techniques
+    }
+
+    /// Whether every recorded interval has been replayed.
+    pub fn done(&self) -> bool {
+        self.next >= self.trace.intervals.len()
+    }
+
+    /// Replay up to `count` recorded intervals; returns how many were
+    /// processed (fewer at the end of the trace).
+    pub fn advance_intervals(&mut self, count: usize) -> usize {
+        let upto = self.next.saturating_add(count).min(self.trace.intervals.len());
+        let done = upto - self.next;
+        // Call-sequence lockstep: this loop, the live session's
+        // `emit_boundary_row` and `gdp_trace::replay_estimates` must all
+        // drive estimators identically (events, then per-core estimates,
+        // in core order) — the bit-exactness contract the replay tests
+        // pin from both ends.
+        while self.next < upto {
+            let iv = &self.trace.intervals[self.next];
+            observe_subscribed(&mut self.estimators, &self.needs_probe, &iv.events);
+            let mut row = Vec::with_capacity(iv.boundaries.len());
+            for (c, b) in iv.boundaries.iter().enumerate() {
+                assert!(
+                    c < self.trace.cores,
+                    "boundary for core {c} in a {}-core trace",
+                    self.trace.cores
+                );
+                let estimates =
+                    estimate_all(&mut self.estimators, CoreId(c as u8), &b.measurement());
+                row.push(CoreInterval {
+                    instr_start: b.instr_start,
+                    instr_end: b.instr_end,
+                    stats: b.stats,
+                    lambda: b.lambda,
+                    shared_latency: b.shared_latency,
+                    estimates,
+                });
+            }
+            self.intervals.push(row);
+            self.next += 1;
+        }
+        done
+    }
+
+    /// Drain the estimate rows produced since the last poll (rows stay
+    /// retained for [`ReplaySession::into_report`]).
+    pub fn poll_estimates(&mut self) -> &[Vec<CoreInterval>] {
+        let from = self.fresh;
+        self.fresh = self.intervals.len();
+        &self.intervals[from..]
+    }
+
+    /// Drain the retained rows by value (bounded-memory streaming; see
+    /// [`EstimationSession::take_estimates`]).
+    pub fn take_estimates(&mut self) -> Vec<Vec<CoreInterval>> {
+        self.fresh = 0;
+        std::mem::take(&mut self.intervals)
+    }
+
+    /// Replay any remaining intervals and assemble the [`SharedRun`],
+    /// bit-identical to the live run with the same technique set.
+    pub fn into_report(mut self) -> SharedRun {
+        self.advance_intervals(usize::MAX);
+        SharedRun {
+            techniques: self.techniques,
+            intervals: self.intervals,
+            cycles: self.trace.cycles,
+            final_stats: self.trace.final_stats.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_workloads::paper_workloads;
+
+    fn xcfg() -> ExperimentConfig {
+        let mut x = ExperimentConfig::tiny(2);
+        x.sample_instrs = 6_000;
+        x.interval_cycles = 10_000;
+        x
+    }
+
+    #[test]
+    fn chunked_advance_is_bit_identical_to_one_shot() {
+        let w = &paper_workloads(2, 5)[0];
+        let x = xcfg();
+        let techniques = [Technique::GDP, Technique::GDP_O];
+        let oneshot = SessionBuilder::new(w, &x).techniques(&techniques).build().into_report();
+        let mut s = SessionBuilder::new(w, &x).techniques(&techniques).build();
+        // Deliberately awkward chunk size: lands mid-interval constantly.
+        let mut polled = 0;
+        while !s.done() {
+            s.advance_to(s.now() + 3_333);
+            polled += s.poll_estimates().len();
+        }
+        let chunked = s.into_report();
+        assert_eq!(polled, chunked.intervals.len(), "every row polled exactly once");
+        assert_eq!(oneshot.cycles, chunked.cycles);
+        assert_eq!(oneshot.final_stats, chunked.final_stats);
+        assert_eq!(oneshot.intervals.len(), chunked.intervals.len());
+        for (a, b) in oneshot.intervals.iter().flatten().zip(chunked.intervals.iter().flatten()) {
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.lambda.to_bits(), b.lambda.to_bits());
+            for (ea, eb) in a.estimates.iter().zip(&b.estimates) {
+                assert_eq!(ea.cpi.to_bits(), eb.cpi.to_bits());
+                assert_eq!(ea.sigma_sms.to_bits(), eb.sigma_sms.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_advance_matches_one_shot_for_an_invasive_session() {
+        // The ASM priority rotation is cycle-indexed: chunked advances
+        // must hit every epoch boundary exactly.
+        let w = &paper_workloads(2, 5)[0];
+        let x = xcfg();
+        let oneshot =
+            SessionBuilder::new(w, &x).techniques(&[Technique::ASM]).build().into_report();
+        let mut s = SessionBuilder::new(w, &x).techniques(&[Technique::ASM]).build();
+        while !s.done() {
+            s.advance_to(s.now() + 777);
+        }
+        let chunked = s.into_report();
+        assert_eq!(oneshot.cycles, chunked.cycles);
+        assert_eq!(oneshot.final_stats, chunked.final_stats);
+    }
+
+    #[test]
+    fn poll_estimates_streams_rows_incrementally() {
+        let w = &paper_workloads(2, 5)[1];
+        let x = xcfg();
+        let mut s = SessionBuilder::new(w, &x).techniques(&[Technique::GDP_O]).build();
+        assert_eq!(s.techniques(), &[Technique::GDP_O]);
+        let mut seen = 0;
+        while !s.done() {
+            s.advance_to(s.now() + x.interval_cycles);
+            for row in s.poll_estimates() {
+                assert_eq!(row.len(), 2, "one entry per core");
+                for iv in row {
+                    assert_eq!(iv.estimates.len(), 1, "one estimate per technique");
+                }
+                seen += 1;
+            }
+        }
+        assert!(seen > 0, "a run must produce interval rows");
+        assert!(s.poll_estimates().is_empty(), "drained");
+        assert_eq!(s.intervals().len(), seen);
+    }
+
+    #[test]
+    fn take_estimates_streams_with_bounded_memory() {
+        let w = &paper_workloads(2, 5)[0];
+        let x = xcfg();
+        let reference =
+            SessionBuilder::new(w, &x).techniques(&[Technique::GDP]).build().into_report();
+        let mut s = SessionBuilder::new(w, &x).techniques(&[Technique::GDP]).build();
+        let mut taken: Vec<Vec<CoreInterval>> = Vec::new();
+        while !s.done() {
+            s.advance_to(s.now() + 3_333);
+            taken.extend(s.take_estimates());
+            assert!(s.intervals().is_empty(), "taking must leave no retained history");
+        }
+        assert_eq!(taken.len(), reference.intervals.len());
+        for (a, b) in taken.iter().flatten().zip(reference.intervals.iter().flatten()) {
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(
+                a.estimates[0].cpi.to_bits(),
+                b.estimates[0].cpi.to_bits(),
+                "taken rows are the same rows the report would have carried"
+            );
+        }
+        let report = s.into_report();
+        assert!(report.intervals.is_empty(), "all rows were taken");
+        assert_eq!(report.cycles, reference.cycles, "run identity is unaffected");
+        assert_eq!(report.final_stats, reference.final_stats);
+    }
+
+    #[test]
+    fn builder_canonicalizes_the_technique_set() {
+        let w = &paper_workloads(2, 5)[0];
+        let x = xcfg();
+        let s = SessionBuilder::new(w, &x)
+            .techniques(&[Technique::GDP_O, Technique::ITCA, Technique::GDP_O])
+            .build();
+        assert_eq!(s.techniques(), &[Technique::ITCA, Technique::GDP_O]);
+    }
+}

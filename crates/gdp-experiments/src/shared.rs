@@ -1,18 +1,19 @@
 //! Shared-mode runs with accounting techniques attached.
+//!
+//! The batch entry points here are thin drivers over the streaming
+//! [`EstimationSession`](crate::session::EstimationSession): they build a
+//! session from the registry-backed technique set and immediately ask for
+//! the full report. Hosts that want per-interval estimates online use the
+//! session API directly.
 
-use gdp_accounting::{Asm, Itca, Ptca};
-use gdp_core::model::{estimate_all, observe_all, PrivateEstimate, PrivateModeEstimator};
-use gdp_core::{GdpEstimator, GdpVariant};
-use gdp_dief::Dief;
+use gdp_core::model::PrivateEstimate;
 use gdp_sim::stats::CoreStats;
-use gdp_sim::types::CoreId;
-use gdp_sim::System;
-use gdp_trace::{Boundary, NullSink, TraceSink};
+use gdp_trace::{NullSink, TraceSink};
 use gdp_workloads::Workload;
 
-use crate::accuracy::Technique;
 use crate::config::ExperimentConfig;
-use crate::interval::IntervalSchedule;
+use crate::session::SessionBuilder;
+use crate::techniques::Technique;
 
 /// One core's record for one accounting interval.
 #[derive(Debug, Clone)]
@@ -58,25 +59,12 @@ impl SharedRun {
     }
 }
 
-pub(crate) fn build(t: Technique, xcfg: &ExperimentConfig) -> Box<dyn PrivateModeEstimator> {
-    match t {
-        Technique::Itca => Box::new(Itca::new(&xcfg.sim, xcfg.sampled_sets)),
-        Technique::Ptca => Box::new(Ptca::new(&xcfg.sim, xcfg.sampled_sets)),
-        Technique::Asm => Box::new(Asm::new(&xcfg.sim, xcfg.sampled_sets)),
-        Technique::Gdp => {
-            Box::new(GdpEstimator::new(GdpVariant::Gdp, xcfg.sim.cores, xcfg.prb_entries))
-        }
-        Technique::GdpO => {
-            Box::new(GdpEstimator::new(GdpVariant::GdpO, xcfg.sim.cores, xcfg.prb_entries))
-        }
-    }
-}
-
 /// Run `workload` in shared mode with the given techniques attached.
 ///
-/// If `techniques` contains [`Technique::Asm`], the run becomes *invasive*:
-/// the memory-controller priority token rotates every ASM epoch, exactly
-/// as the real mechanism would perturb execution. Evaluate ASM in its own
+/// If `techniques` contains an invasive technique (ASM), the run becomes
+/// *invasive*: the memory-controller priority token rotates every epoch
+/// the technique's descriptor declares, exactly as the real mechanism
+/// would perturb execution. Evaluate invasive techniques in their own
 /// run, as the paper does.
 pub fn run_shared(
     workload: &Workload,
@@ -95,83 +83,7 @@ pub fn run_shared_with_sink(
     techniques: &[Technique],
     sink: &mut dyn TraceSink,
 ) -> SharedRun {
-    assert_eq!(workload.cores(), xcfg.sim.cores, "workload size must match the CMP");
-    let mut sys = System::new(xcfg.sim.clone(), workload.streams());
-    let mut dief = Dief::new(&xcfg.sim, xcfg.sampled_sets);
-    let mut estimators: Vec<Box<dyn PrivateModeEstimator>> =
-        techniques.iter().map(|t| build(*t, xcfg)).collect();
-
-    // The invasive schedule, if ASM is attached.
-    let asm_schedule =
-        techniques.contains(&Technique::Asm).then(|| Asm::new(&xcfg.sim, 1).epoch_len());
-
-    let n = xcfg.sim.cores;
-    let cap = xcfg.cycle_cap();
-    let mut intervals: Vec<Vec<CoreInterval>> = Vec::new();
-    let mut last_snapshot: Vec<CoreStats> = (0..n).map(|c| *sys.core_stats(c)).collect();
-    let mut schedule = IntervalSchedule::new(xcfg.interval_cycles);
-
-    while sys.now() < cap && (0..n).any(|c| sys.committed(c) < xcfg.sample_instrs) {
-        if let Some(epoch) = asm_schedule {
-            if sys.now() % epoch == 0 {
-                let pc = CoreId(((sys.now() / epoch) % n as u64) as u8);
-                sys.mem().mc().set_priority_core(Some(pc));
-            }
-        }
-        // The engine may skip many dead cycles per call; clamp it to every
-        // cycle-indexed obligation so boundaries are observed exactly.
-        let mut limit = cap.min(schedule.next_boundary());
-        if let Some(epoch) = asm_schedule {
-            limit = limit.min((sys.now() / epoch + 1) * epoch);
-        }
-        sys.advance(limit);
-
-        // Emit every boundary the advance reached (with the clamp above
-        // that is at most one, but a missed boundary would corrupt the
-        // interval record stream, so the loop is load-bearing).
-        while schedule.pop_crossed(sys.now()).is_some() {
-            sys.finalize(); // close open stall runs at the boundary
-            let events = sys.drain_probes();
-            for ev in &events {
-                dief.observe(ev);
-            }
-            // Estimators observe through the shared driving helper — the
-            // same call sequence the trace-replay engine reproduces.
-            observe_all(&mut estimators, &events);
-            sink.record_events(&events);
-            let mut row = Vec::with_capacity(n);
-            for c in 0..n {
-                let core = CoreId(c as u8);
-                let cum = *sys.core_stats(c);
-                let delta = cum.delta(&last_snapshot[c]);
-                let lat = dief.interval_estimate(core);
-                let boundary = Boundary {
-                    instr_start: last_snapshot[c].committed_instrs,
-                    instr_end: cum.committed_instrs,
-                    stats: delta,
-                    lambda: lat.private,
-                    shared_latency: delta.avg_sms_latency(),
-                };
-                let m = boundary.measurement();
-                let estimates = estimate_all(&mut estimators, core, &m);
-                sink.record_boundary(boundary);
-                row.push(CoreInterval {
-                    instr_start: boundary.instr_start,
-                    instr_end: boundary.instr_end,
-                    stats: delta,
-                    lambda: lat.private,
-                    shared_latency: m.shared_latency,
-                    estimates,
-                });
-                last_snapshot[c] = cum;
-            }
-            intervals.push(row);
-        }
-    }
-
-    let final_stats: Vec<CoreStats> = (0..n).map(|c| *sys.core_stats(c)).collect();
-    sink.record_final(sys.now(), &final_stats);
-    SharedRun { techniques: techniques.to_vec(), intervals, cycles: sys.now(), final_stats }
+    SessionBuilder::new(workload, xcfg).techniques(techniques).sink(sink).build().into_report()
 }
 
 #[cfg(test)]
@@ -190,7 +102,7 @@ mod tests {
     fn shared_run_produces_intervals_and_estimates() {
         let w = &paper_workloads(2, 3)[0];
         let x = small_xcfg();
-        let run = run_shared(w, &x, &[Technique::Gdp, Technique::GdpO]);
+        let run = run_shared(w, &x, &[Technique::GDP, Technique::GDP_O]);
         assert!(!run.intervals.is_empty(), "at least one interval expected");
         for iv in &run.intervals {
             assert_eq!(iv.len(), 2);
@@ -199,15 +111,15 @@ mod tests {
                 assert!(core.instr_end >= core.instr_start);
             }
         }
-        assert_eq!(run.technique_index(Technique::GdpO), Some(1));
-        assert_eq!(run.technique_index(Technique::Asm), None);
+        assert_eq!(run.technique_index(Technique::GDP_O), Some(1));
+        assert_eq!(run.technique_index(Technique::ASM), None);
     }
 
     #[test]
     fn checkpoints_are_monotone() {
         let w = &paper_workloads(2, 3)[1];
         let x = small_xcfg();
-        let run = run_shared(w, &x, &[Technique::Gdp]);
+        let run = run_shared(w, &x, &[Technique::GDP]);
         for c in 0..2 {
             let cks = run.checkpoints(c);
             assert!(cks.windows(2).all(|w| w[0] <= w[1]), "{cks:?}");
@@ -220,7 +132,7 @@ mod tests {
         // estimates; the MC priority rotation is applied internally.
         let w = &paper_workloads(2, 3)[0];
         let x = small_xcfg();
-        let run = run_shared(w, &x, &[Technique::Asm]);
+        let run = run_shared(w, &x, &[Technique::ASM]);
         assert!(!run.intervals.is_empty());
     }
 
@@ -228,8 +140,8 @@ mod tests {
     fn deterministic_across_repeats() {
         let w = &paper_workloads(2, 9)[0];
         let x = small_xcfg();
-        let a = run_shared(w, &x, &[Technique::Gdp]);
-        let b = run_shared(w, &x, &[Technique::Gdp]);
+        let a = run_shared(w, &x, &[Technique::GDP]);
+        let b = run_shared(w, &x, &[Technique::GDP]);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.intervals.len(), b.intervals.len());
     }

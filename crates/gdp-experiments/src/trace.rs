@@ -13,18 +13,18 @@
 //!   flags: shared and private jobs route through it and transparently
 //!   hit the cache instead of the simulator.
 
-use gdp_core::model::PrivateModeEstimator;
 use gdp_sim::{CacheConfig, SimConfig};
 use gdp_trace::{
-    Boundary, CacheKey, CacheStatsSnapshot, PrivateTrace, Recorder, SharedTrace, TraceCache,
-    TraceCheckpoint, FORMAT_VERSION,
+    CacheKey, CacheStatsSnapshot, PrivateTrace, Recorder, SharedTrace, TraceCache, TraceCheckpoint,
+    FORMAT_VERSION,
 };
 use gdp_workloads::Workload;
 
 use crate::accuracy::{private_base, Technique, WorkloadEval};
 use crate::config::ExperimentConfig;
 use crate::private::{PrivateCheckpoint, PrivateRun};
-use crate::shared::{build, run_shared, run_shared_with_sink, CoreInterval, SharedRun};
+use crate::session::ReplaySession;
+use crate::shared::{run_shared, run_shared_with_sink, SharedRun};
 
 /// Run `workload` in shared mode with a recorder attached; returns the
 /// live run plus the trace that replays it.
@@ -47,38 +47,7 @@ pub fn replay_shared(
     xcfg: &ExperimentConfig,
     techniques: &[Technique],
 ) -> SharedRun {
-    let mut estimators: Vec<Box<dyn PrivateModeEstimator>> =
-        techniques.iter().map(|t| build(*t, xcfg)).collect();
-    let estimate_rows = gdp_trace::replay_estimates(trace, &mut estimators);
-    let intervals = trace
-        .intervals
-        .iter()
-        .zip(estimate_rows)
-        .map(|(iv, row)| {
-            iv.boundaries
-                .iter()
-                .zip(row)
-                .map(|(b, estimates)| core_interval(b, estimates))
-                .collect()
-        })
-        .collect();
-    SharedRun {
-        techniques: techniques.to_vec(),
-        intervals,
-        cycles: trace.cycles,
-        final_stats: trace.final_stats.clone(),
-    }
-}
-
-fn core_interval(b: &Boundary, estimates: Vec<gdp_core::model::PrivateEstimate>) -> CoreInterval {
-    CoreInterval {
-        instr_start: b.instr_start,
-        instr_end: b.instr_end,
-        stats: b.stats,
-        lambda: b.lambda,
-        shared_latency: b.shared_latency,
-        estimates,
-    }
+    ReplaySession::new(trace, xcfg, techniques).into_report()
 }
 
 /// Convert a private run to its trace record.
@@ -164,25 +133,34 @@ fn feed_sim_config(k: &mut CacheKey, s: &SimConfig) {
         .usize(d.write_drain_threshold);
 }
 
-fn feed_xcfg(k: &mut CacheKey, x: &ExperimentConfig) {
+/// The one shared derivation of a trace key's format/config material:
+/// run kind, trace-format version and the full simulator + experiment
+/// configuration. Both key builders start from it, so the slicing rule
+/// cannot drift between shared and private entries — and, deliberately,
+/// it takes **no technique information**: the recorded stream of a run
+/// does not depend on which techniques observe it, so a registry-driven
+/// technique subset must never fork the cache ("record once, replay any
+/// subset"; asserted by tests).
+fn key_material(kind: &str, x: &ExperimentConfig) -> CacheKey {
+    let mut k = CacheKey::new(kind);
     k.u64(u64::from(FORMAT_VERSION));
-    feed_sim_config(k, &x.sim);
+    feed_sim_config(&mut k, &x.sim);
     k.u64(x.interval_cycles)
         .u64(x.sample_instrs)
         .usize(x.sampled_sets)
         .usize(x.prb_entries)
         .u64(x.max_cycles_per_instr)
         .usize(x.warmup_intervals);
+    k
 }
 
 /// Cache key of a shared-mode run: experiment configuration + workload
 /// spec + run kind. Transparent runs are keyed *without* the technique
 /// list — the recorded stream does not depend on which transparent
 /// techniques observe it, so one entry serves every subset ("simulate
-/// once, estimate many"). The invasive ASM run is a separate kind.
+/// once, estimate many"). The invasive run is a separate kind.
 pub fn shared_trace_key(xcfg: &ExperimentConfig, workload: &Workload, invasive: bool) -> CacheKey {
-    let mut k = CacheKey::new("shared");
-    feed_xcfg(&mut k, xcfg);
+    let mut k = key_material("shared", xcfg);
     k.str(&workload.name);
     k.usize(workload.cores());
     for b in &workload.benchmarks {
@@ -190,6 +168,18 @@ pub fn shared_trace_key(xcfg: &ExperimentConfig, workload: &Workload, invasive: 
     }
     k.bool(invasive);
     k
+}
+
+/// [`shared_trace_key`] for a technique set: the only key-relevant
+/// property of the set is whether it makes the run invasive (per the
+/// registry capability flags) — the identity of the transparent
+/// observers never reaches the key.
+pub fn shared_trace_key_for(
+    xcfg: &ExperimentConfig,
+    workload: &Workload,
+    techniques: &[Technique],
+) -> CacheKey {
+    shared_trace_key(xcfg, workload, techniques.iter().any(Technique::is_invasive))
 }
 
 /// Cache key of a private ground-truth run: configuration + benchmark +
@@ -201,8 +191,7 @@ pub fn private_trace_key(
     base: u64,
     checkpoints: &[u64],
 ) -> CacheKey {
-    let mut k = CacheKey::new("private");
-    feed_xcfg(&mut k, xcfg);
+    let mut k = key_material("private", xcfg);
     k.str(bench);
     k.u64(base);
     k.usize(checkpoints.len());
@@ -250,8 +239,7 @@ impl CampaignTraces {
         xcfg: &ExperimentConfig,
         techniques: &[Technique],
     ) -> SharedRun {
-        let invasive = techniques.contains(&Technique::Asm);
-        let key = shared_trace_key(xcfg, workload, invasive);
+        let key = shared_trace_key_for(xcfg, workload, techniques);
         if self.replay {
             if let Some(trace) = self.cache.load_shared(&key) {
                 return replay_shared(&trace, xcfg, techniques);
@@ -302,11 +290,12 @@ pub fn evaluate_workload_traced(
     let eval = match traces {
         None => WorkloadEval::shared(workload, xcfg, techniques),
         Some(tc) => {
-            let transparent = crate::accuracy::transparent_subset(techniques);
+            let techniques = Technique::canonical(techniques);
+            let transparent = crate::accuracy::transparent_subset(&techniques);
+            let invasive: Vec<Technique> =
+                techniques.iter().copied().filter(Technique::is_invasive).collect();
             let t_run = tc.shared(workload, xcfg, &transparent);
-            let a_run = techniques
-                .contains(&Technique::Asm)
-                .then(|| tc.shared(workload, xcfg, &[Technique::Asm]));
+            let a_run = (!invasive.is_empty()).then(|| tc.shared(workload, xcfg, &invasive));
             WorkloadEval::from_runs(workload, xcfg, t_run, a_run)
         }
     };
@@ -358,8 +347,8 @@ mod tests {
     fn recording_does_not_perturb_the_run() {
         let w = &paper_workloads(2, 5)[0];
         let x = xcfg();
-        let plain = run_shared(w, &x, &[Technique::Gdp]);
-        let (recorded, trace) = record_shared(w, &x, &[Technique::Gdp]);
+        let plain = run_shared(w, &x, &[Technique::GDP]);
+        let (recorded, trace) = record_shared(w, &x, &[Technique::GDP]);
         assert_runs_bit_identical(&plain, &recorded);
         assert_eq!(trace.intervals.len(), plain.intervals.len());
         assert!(trace.event_count() > 0, "a real run must produce events");
@@ -369,7 +358,7 @@ mod tests {
     fn replay_is_bit_identical_to_live_for_all_transparent_techniques() {
         let w = &paper_workloads(2, 5)[0];
         let x = xcfg();
-        let transparent = [Technique::Itca, Technique::Ptca, Technique::Gdp, Technique::GdpO];
+        let transparent = [Technique::ITCA, Technique::PTCA, Technique::GDP, Technique::GDP_O];
         let (live, trace) = record_shared(w, &x, &transparent);
         // Round-trip the trace through the binary codec, as the cache does.
         let decoded = gdp_trace::decode_shared(&gdp_trace::encode_shared(&trace)).expect("codec");
@@ -386,10 +375,10 @@ mod tests {
         let (_, trace) = record_shared(
             w,
             &x,
-            &[Technique::Itca, Technique::Ptca, Technique::Gdp, Technique::GdpO],
+            &[Technique::ITCA, Technique::PTCA, Technique::GDP, Technique::GDP_O],
         );
-        let live_solo = run_shared(w, &x, &[Technique::GdpO]);
-        let replay_solo = replay_shared(&trace, &x, &[Technique::GdpO]);
+        let live_solo = run_shared(w, &x, &[Technique::GDP_O]);
+        let replay_solo = replay_shared(&trace, &x, &[Technique::GDP_O]);
         assert_runs_bit_identical(&live_solo, &replay_solo);
     }
 
@@ -397,7 +386,7 @@ mod tests {
     fn private_trace_round_trips_through_codec() {
         let w = &paper_workloads(2, 5)[0];
         let x = xcfg();
-        let eval = WorkloadEval::shared(w, &x, &[Technique::Gdp]);
+        let eval = WorkloadEval::shared(w, &x, &[Technique::GDP]);
         let run = eval.run_private_for(0);
         let t = private_to_trace(&run, eval.bench_name(0), private_base(0));
         let decoded = gdp_trace::decode_private(&gdp_trace::encode_private(&t)).expect("codec");
@@ -410,6 +399,43 @@ mod tests {
             assert_eq!(a.cpl, b.cpl);
         }
         assert_eq!(back.total, run.total);
+    }
+
+    #[test]
+    fn technique_subset_choice_never_forks_the_cache_key() {
+        // The "record once, replay any subset" invariant: a registry-
+        // driven technique selection must map to the same shared-trace
+        // key as any other transparent selection (and as the full
+        // transparent set), or subsets would silently re-simulate.
+        let ws = paper_workloads(2, 5);
+        let x = xcfg();
+        let full = shared_trace_key_for(
+            &x,
+            &ws[0],
+            &crate::techniques::transparent_subset(&Technique::ALL),
+        );
+        for subset in [
+            &[Technique::GDP][..],
+            &[Technique::GDP_O][..],
+            &[Technique::ITCA, Technique::PTCA][..],
+            &[Technique::DIEF][..],
+            &[][..],
+        ] {
+            assert_eq!(
+                full.digest(),
+                shared_trace_key_for(&x, &ws[0], subset).digest(),
+                "transparent subset {subset:?} must share the cache entry"
+            );
+        }
+        // Any invasive selection is a different run kind — and equally
+        // subset-invariant on the transparent side of the set.
+        let inv = shared_trace_key_for(&x, &ws[0], &[Technique::ASM]);
+        assert_ne!(full.digest(), inv.digest());
+        assert_eq!(
+            inv.digest(),
+            shared_trace_key_for(&x, &ws[0], &Technique::ALL).digest(),
+            "an invasive set keys the invasive run regardless of transparent members"
+        );
     }
 
     #[test]
@@ -433,7 +459,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let w = &paper_workloads(2, 5)[0];
         let x = xcfg();
-        let techniques = [Technique::Gdp, Technique::GdpO];
+        let techniques = [Technique::GDP, Technique::GDP_O];
 
         let rec = CampaignTraces::new(&dir, true, false);
         let cold = evaluate_workload_traced(w, &x, &techniques, Some(&rec));
@@ -447,7 +473,7 @@ mod tests {
 
         let live = crate::evaluate_workload_subset(w, &x, &techniques);
         for (l, c, h) in itertools3(&live.benches, &cold.benches, &warm.benches) {
-            for t in 0..Technique::ALL.len() {
+            for t in 0..live.techniques.len() {
                 assert_eq!(l.ipc_err[t].rms_abs().to_bits(), c.ipc_err[t].rms_abs().to_bits());
                 assert_eq!(l.ipc_err[t].rms_abs().to_bits(), h.ipc_err[t].rms_abs().to_bits());
                 assert_eq!(l.stall_err[t].rms_abs().to_bits(), h.stall_err[t].rms_abs().to_bits());

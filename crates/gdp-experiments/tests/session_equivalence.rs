@@ -1,0 +1,191 @@
+//! The streaming `EstimationSession` against a retained copy of the
+//! pre-session batch loop: on arbitrary workload mixes and registered
+//! technique subsets, interval records, λ̂ bits, every technique's
+//! estimates and the final statistics must be **bit-identical** — the
+//! property that let the whole estimation stack collapse onto one
+//! session API without moving a single figure.
+
+use proptest::prelude::*;
+
+use gdp_core::model::{estimate_all, observe_all, IntervalMeasurement, PrivateModeEstimator};
+use gdp_dief::Dief;
+use gdp_experiments::{
+    run_shared, CoreInterval, ExperimentConfig, IntervalSchedule, SessionBuilder, SharedRun,
+    Technique,
+};
+use gdp_sim::stats::CoreStats;
+use gdp_sim::types::CoreId;
+use gdp_sim::System;
+use gdp_workloads::paper_workloads;
+
+/// The shared-mode run loop exactly as it existed before the session
+/// refactor (minus the trace sink): the bit-equality oracle.
+fn legacy_run_shared(
+    workload: &gdp_workloads::Workload,
+    xcfg: &ExperimentConfig,
+    techniques: &[Technique],
+) -> SharedRun {
+    let techniques = Technique::canonical(techniques);
+    let mut sys = System::new(xcfg.sim.clone(), workload.streams());
+    let mut dief = Dief::new(&xcfg.sim, xcfg.sampled_sets);
+    let tcfg = xcfg.technique_config();
+    let mut estimators: Vec<Box<dyn PrivateModeEstimator>> =
+        techniques.iter().map(|t| t.build(&tcfg)).collect();
+    let asm_schedule = techniques.iter().find_map(|t| t.mc_priority_epoch());
+
+    let n = xcfg.sim.cores;
+    let cap = xcfg.cycle_cap();
+    let mut intervals: Vec<Vec<CoreInterval>> = Vec::new();
+    let mut last_snapshot: Vec<CoreStats> = (0..n).map(|c| *sys.core_stats(c)).collect();
+    let mut schedule = IntervalSchedule::new(xcfg.interval_cycles);
+
+    while sys.now() < cap && (0..n).any(|c| sys.committed(c) < xcfg.sample_instrs) {
+        if let Some(epoch) = asm_schedule {
+            if sys.now() % epoch == 0 {
+                let pc = CoreId(((sys.now() / epoch) % n as u64) as u8);
+                sys.mem().mc().set_priority_core(Some(pc));
+            }
+        }
+        let mut limit = cap.min(schedule.next_boundary());
+        if let Some(epoch) = asm_schedule {
+            limit = limit.min((sys.now() / epoch + 1) * epoch);
+        }
+        sys.advance(limit);
+
+        while schedule.pop_crossed(sys.now()).is_some() {
+            sys.finalize();
+            let events = sys.drain_probes();
+            for ev in &events {
+                dief.observe(ev);
+            }
+            observe_all(&mut estimators, &events);
+            let mut row = Vec::with_capacity(n);
+            for c in 0..n {
+                let core = CoreId(c as u8);
+                let cum = *sys.core_stats(c);
+                let delta = cum.delta(&last_snapshot[c]);
+                let lat = dief.interval_estimate(core);
+                let m = IntervalMeasurement {
+                    stats: delta,
+                    lambda: lat.private,
+                    shared_latency: delta.avg_sms_latency(),
+                };
+                let estimates = estimate_all(&mut estimators, core, &m);
+                row.push(CoreInterval {
+                    instr_start: last_snapshot[c].committed_instrs,
+                    instr_end: cum.committed_instrs,
+                    stats: delta,
+                    lambda: lat.private,
+                    shared_latency: m.shared_latency,
+                    estimates,
+                });
+                last_snapshot[c] = cum;
+            }
+            intervals.push(row);
+        }
+    }
+
+    let final_stats: Vec<CoreStats> = (0..n).map(|c| *sys.core_stats(c)).collect();
+    SharedRun { techniques, intervals, cycles: sys.now(), final_stats }
+}
+
+fn assert_runs_bit_identical(a: &SharedRun, b: &SharedRun, what: &str) {
+    assert_eq!(a.techniques, b.techniques, "{what}: technique sets");
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.final_stats, b.final_stats, "{what}: final stats");
+    assert_eq!(a.intervals.len(), b.intervals.len(), "{what}: interval count");
+    for (i, (ra, rb)) in a.intervals.iter().zip(&b.intervals).enumerate() {
+        for (c, (ca, cb)) in ra.iter().zip(rb).enumerate() {
+            assert_eq!(ca.instr_start, cb.instr_start, "{what}: iv {i} core {c}");
+            assert_eq!(ca.instr_end, cb.instr_end, "{what}: iv {i} core {c}");
+            assert_eq!(ca.stats, cb.stats, "{what}: iv {i} core {c}");
+            assert_eq!(ca.lambda.to_bits(), cb.lambda.to_bits(), "{what}: iv {i} core {c} λ");
+            assert_eq!(
+                ca.shared_latency.to_bits(),
+                cb.shared_latency.to_bits(),
+                "{what}: iv {i} core {c} L"
+            );
+            assert_eq!(ca.estimates.len(), cb.estimates.len());
+            for (e, (ea, eb)) in ca.estimates.iter().zip(&cb.estimates).enumerate() {
+                assert_eq!(ea.cpi.to_bits(), eb.cpi.to_bits(), "{what}: iv {i} c{c} est{e} cpi");
+                assert_eq!(
+                    ea.sigma_sms.to_bits(),
+                    eb.sigma_sms.to_bits(),
+                    "{what}: iv {i} c{c} est{e} σ"
+                );
+                assert_eq!(ea.cpl, eb.cpl, "{what}: iv {i} c{c} est{e} cpl");
+                assert_eq!(
+                    ea.overlap.to_bits(),
+                    eb.overlap.to_bits(),
+                    "{what}: iv {i} c{c} est{e} overlap"
+                );
+            }
+        }
+    }
+}
+
+/// Decode a subset bitmask over the full registry into a technique set.
+fn subset_from_mask(mask: usize) -> Vec<Technique> {
+    let all = Technique::all_registered();
+    let set: Vec<Technique> = all
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, t)| t)
+        .collect();
+    if set.is_empty() {
+        vec![Technique::GDP]
+    } else {
+        set
+    }
+}
+
+fn xcfg(cores: usize) -> ExperimentConfig {
+    let mut x = ExperimentConfig::tiny(cores);
+    x.sample_instrs = 5_000;
+    x.interval_cycles = 9_000;
+    x
+}
+
+fn assert_session_matches_legacy(seed: u64, cores: usize, mask: usize, chunk: u64) {
+    let w = &paper_workloads(cores, seed)[0];
+    let x = xcfg(cores);
+    let set = subset_from_mask(mask);
+    let legacy = legacy_run_shared(w, &x, &set);
+    // Batch driver (one-shot session).
+    let batch = run_shared(w, &x, &set);
+    assert_runs_bit_identical(&legacy, &batch, "batch session vs legacy");
+    // Streaming session, deliberately awkward advance increments.
+    let mut s = SessionBuilder::new(w, &x).techniques(&set).build();
+    let mut polled = 0usize;
+    while !s.done() {
+        s.advance_to(s.now() + chunk);
+        polled += s.poll_estimates().len();
+    }
+    let streamed = s.into_report();
+    assert_eq!(polled, streamed.intervals.len(), "every interval polled exactly once");
+    assert_runs_bit_identical(&legacy, &streamed, "streamed session vs legacy");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random workload mixes × registered technique subsets × stream
+    /// chunk sizes: the session is bit-identical to the legacy loop.
+    #[test]
+    fn session_is_bit_identical_to_the_legacy_loop(
+        seed in 0u64..1_000,
+        mask in 1usize..64,
+        chunk in 1_000u64..20_000,
+    ) {
+        assert_session_matches_legacy(seed, 2, mask, chunk);
+    }
+}
+
+/// One deterministic 4-core case with the full default set (covers the
+/// invasive epoch clamping on a wider CMP than the proptest cases).
+#[test]
+fn four_core_full_set_session_matches_legacy() {
+    assert_session_matches_legacy(42, 4, 0b111111, 7_777);
+}

@@ -10,6 +10,8 @@
 //! --record                    store event traces after simulating
 //! --replay                    reuse cached event traces when present
 //! --trace-dir DIR             trace cache location (default results/traces)
+//! --techniques a,b,c          registry-backed technique selection (ids
+//!                             validated downstream against the registry)
 //! --help | -h                 usage
 //! ```
 //!
@@ -65,6 +67,10 @@ pub struct RunnerArgs {
     /// Trace-cache directory (`--trace-dir`; default
     /// [`DEFAULT_TRACE_DIR`]).
     pub trace_dir: String,
+    /// Raw `--techniques` id list, if given. The runner crate stays
+    /// dependency-free, so validation against the technique registry
+    /// happens in the binaries (which exit 2 listing the valid ids).
+    pub techniques: Option<String>,
 }
 
 impl RunnerArgs {
@@ -90,6 +96,8 @@ pub enum CliError {
     BadJobs(String),
     /// `--trace-dir` without a value.
     MissingTraceDir,
+    /// `--techniques` without a value.
+    MissingTechniques,
 }
 
 impl std::fmt::Display for CliError {
@@ -99,6 +107,9 @@ impl std::fmt::Display for CliError {
             CliError::Unknown(a) => write!(f, "unrecognized argument `{a}`"),
             CliError::BadJobs(v) => write!(f, "--jobs expects a positive integer, got `{v}`"),
             CliError::MissingTraceDir => f.write_str("--trace-dir expects a directory path"),
+            CliError::MissingTechniques => {
+                f.write_str("--techniques expects a comma-separated id list")
+            }
         }
     }
 }
@@ -108,6 +119,7 @@ pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--tiny|--quick|--full] [--jobs N] [--json]\n\
          \x20            [--list] [--record] [--replay] [--trace-dir DIR]\n\
+         \x20            [--techniques a,b,c]\n\
          \n\
          \x20 --tiny          smallest meaningful sweep (CI smoke; minutes)\n\
          \x20 --quick         reduced workload counts (default)\n\
@@ -121,6 +133,9 @@ pub fn usage(bin: &str) -> String {
          \x20 --replay        replay cached event traces instead of simulating;\n\
          \x20                 output is byte-identical to the live run\n\
          \x20 --trace-dir DIR trace cache location (default {DEFAULT_TRACE_DIR})\n\
+         \x20 --techniques L  comma-separated technique ids to evaluate\n\
+         \x20                 (registry-validated; unknown ids exit 2 and\n\
+         \x20                 list the valid ids)\n\
          \x20 --help          this text"
     )
 }
@@ -138,6 +153,7 @@ where
         record: false,
         replay: false,
         trace_dir: DEFAULT_TRACE_DIR.to_string(),
+        techniques: None,
     };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -161,6 +177,10 @@ where
                 let v = it.next().filter(|v| !v.starts_with("--"));
                 out.trace_dir = v.ok_or(CliError::MissingTraceDir)?;
             }
+            "--techniques" => {
+                let v = it.next().filter(|v| !v.starts_with("--") && !v.is_empty());
+                out.techniques = Some(v.ok_or(CliError::MissingTechniques)?);
+            }
             s => {
                 if let Some(v) = s.strip_prefix("--jobs=") {
                     out.jobs = Some(parse_jobs(v)?);
@@ -169,6 +189,11 @@ where
                         return Err(CliError::MissingTraceDir);
                     }
                     out.trace_dir = v.to_string();
+                } else if let Some(v) = s.strip_prefix("--techniques=") {
+                    if v.is_empty() {
+                        return Err(CliError::MissingTechniques);
+                    }
+                    out.techniques = Some(v.to_string());
                 } else {
                     return Err(CliError::Unknown(a));
                 }
@@ -265,6 +290,7 @@ mod tests {
             "--record",
             "--replay",
             "--trace-dir",
+            "--techniques",
         ] {
             assert!(u.contains(flag), "usage must mention {flag}");
         }
@@ -291,6 +317,17 @@ mod tests {
         assert!(a.list && a.record && a.replay);
         assert_eq!(p(&["--trace-dir", "/tmp/t"]).unwrap().trace_dir, "/tmp/t");
         assert_eq!(p(&["--trace-dir=/tmp/u"]).unwrap().trace_dir, "/tmp/u");
+    }
+
+    #[test]
+    fn techniques_flag_parses_and_requires_a_value() {
+        assert_eq!(p(&[]).unwrap().techniques, None);
+        assert_eq!(p(&["--techniques", "gdp,itca"]).unwrap().techniques, Some("gdp,itca".into()));
+        assert_eq!(p(&["--techniques=gdp-o"]).unwrap().techniques, Some("gdp-o".into()));
+        assert_eq!(p(&["--techniques"]), Err(CliError::MissingTechniques));
+        assert_eq!(p(&["--techniques="]), Err(CliError::MissingTechniques));
+        // A following flag must not be swallowed as the id list.
+        assert_eq!(p(&["--techniques", "--json"]), Err(CliError::MissingTechniques));
     }
 
     #[test]

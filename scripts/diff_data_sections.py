@@ -3,14 +3,24 @@
 
 The campaign results pretty-printer has a fixed layout, so the raw text
 between the `"data":` key and the trailing `"run":` key is exactly the
-deterministic portion of `results/<figure>.json`. Both CI byte-compare
-jobs (trace replay vs live, step engine vs event engine) share this one
-parser so the slicing rule cannot drift between them.
+deterministic portion of `results/<figure>.json`. All CI byte-compare
+jobs (trace replay vs live, step engine vs event engine, technique
+subset vs full set) share this one parser so the slicing rule cannot
+drift between them.
 
-Usage: diff_data_sections.py A.json B.json [label]
-Exits non-zero when the sections differ.
+Usage: diff_data_sections.py [--common] A.json B.json [label]
+
+Default mode compares the raw data-section text byte-for-byte. With
+`--common`, both data sections are parsed as JSON and only their
+*common-key projection* is compared: object keys present in both
+documents must carry byte-identical values, extra keys (e.g. the columns
+an extra `--techniques` selection adds) are reported and ignored. That
+is the "matching data rows" check for default-set vs full-set runs.
+
+Exits non-zero when the compared content differs.
 """
 
+import json
 import sys
 
 
@@ -21,9 +31,60 @@ def data_section(path: str) -> str:
     return text[start:end]
 
 
+def data_json(path: str):
+    return json.load(open(path))["data"]
+
+
+def project_common(a, b, dropped, prefix):
+    """The part of `a` whose keys/positions also exist in `b`."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        out = {}
+        for k, v in a.items():
+            if k in b:
+                out[k] = project_common(v, b[k], dropped, f"{prefix}.{k}")
+            else:
+                dropped.append(f"{prefix}.{k}")
+        return out
+    if isinstance(a, list) and isinstance(b, list):
+        n = min(len(a), len(b))
+        if len(a) != n:
+            dropped.append(f"{prefix}[{n}:{len(a)}]")
+        return [
+            project_common(x, y, dropped, f"{prefix}[{i}]")
+            for i, (x, y) in enumerate(zip(a, b))
+        ]
+    return a
+
+
+def dumps(v) -> str:
+    # Insertion order is the documents' own deterministic order; float
+    # repr round-trips exact f64 values, so equal text == equal bits.
+    return json.dumps(v, indent=1)
+
+
 def main() -> int:
-    a, b = sys.argv[1], sys.argv[2]
-    label = sys.argv[3] if len(sys.argv) > 3 else f"{a} vs {b}"
+    args = sys.argv[1:]
+    common = args and args[0] == "--common"
+    if common:
+        args = args[1:]
+    a, b = args[0], args[1]
+    label = args[2] if len(args) > 2 else f"{a} vs {b}"
+
+    if common:
+        da, db = data_json(a), data_json(b)
+        dropped_a, dropped_b = [], []
+        pa = dumps(project_common(da, db, dropped_a, "data"))
+        pb = dumps(project_common(db, da, dropped_b, "data"))
+        for side, dropped in ((a, dropped_a), (b, dropped_b)):
+            if dropped:
+                head = ", ".join(dropped[:4]) + ("..." if len(dropped) > 4 else "")
+                print(f"note: {len(dropped)} key(s) only in {side}, ignored: {head}")
+        if pa != pb:
+            print(f"common data rows differ: {label}", file=sys.stderr)
+            return 1
+        print(f"common data rows byte-identical ({len(pa)} bytes compared): {label}")
+        return 0
+
     sa, sb = data_section(a), data_section(b)
     if sa != sb:
         print(f"data sections differ: {label}", file=sys.stderr)

@@ -32,10 +32,10 @@ fn accuracy_evaluation_is_bit_stable() {
     let mut x = ExperimentConfig::quick(2);
     x.sample_instrs = 6_000;
     x.interval_cycles = 10_000;
-    let r1 = evaluate_workload_subset(w, &x, &[Technique::Gdp, Technique::GdpO]);
-    let r2 = evaluate_workload_subset(w, &x, &[Technique::Gdp, Technique::GdpO]);
+    let r1 = evaluate_workload_subset(w, &x, &[Technique::GDP, Technique::GDP_O]);
+    let r2 = evaluate_workload_subset(w, &x, &[Technique::GDP, Technique::GDP_O]);
     for (a, b) in r1.benches.iter().zip(&r2.benches) {
-        let gdp = Technique::ALL.iter().position(|t| *t == Technique::Gdp).unwrap();
+        let gdp = r1.tech_index(Technique::GDP).unwrap();
         assert_eq!(a.ipc_err[gdp].rms_abs().to_bits(), b.ipc_err[gdp].rms_abs().to_bits());
         assert_eq!(a.cpl_err.rms_rel().to_bits(), b.cpl_err.rms_rel().to_bits());
     }

@@ -44,9 +44,9 @@ fn gdp_o_is_accurate_and_unbiased() {
     let mut bias = Vec::new();
     let mut rms = Vec::new();
     for w in &paper_workloads(2, 7)[0..2] {
-        let r = evaluate_workload_subset(w, &x, &[Technique::GdpO]);
+        let r = evaluate_workload_subset(w, &x, &[Technique::GDP_O]);
         for b in &r.benches {
-            let i = Technique::ALL.iter().position(|t| *t == Technique::GdpO).unwrap();
+            let i = r.tech_index(Technique::GDP_O).unwrap();
             bias.push(b.ipc_err[i].mean_rel());
             rms.push(b.ipc_err[i].rms_rel().abs());
         }
@@ -63,8 +63,8 @@ fn transparent_techniques_do_not_perturb_the_run() {
     // identically (same cycles, same committed counts).
     let w = &paper_workloads(2, 11)[0];
     let x = tiny_xcfg(2);
-    let a = run_shared(w, &x, &[Technique::Gdp]);
-    let b = run_shared(w, &x, &[Technique::Itca, Technique::Ptca, Technique::GdpO]);
+    let a = run_shared(w, &x, &[Technique::GDP]);
+    let b = run_shared(w, &x, &[Technique::ITCA, Technique::PTCA, Technique::GDP_O]);
     assert_eq!(a.cycles, b.cycles, "observers must be performance-transparent");
     assert_eq!(a.final_stats[0].committed_instrs, b.final_stats[0].committed_instrs);
 }
@@ -74,8 +74,8 @@ fn asm_perturbs_the_run_it_measures() {
     // The invasive baseline must actually change execution.
     let w = &paper_workloads(2, 11)[0];
     let x = tiny_xcfg(2);
-    let transparent = run_shared(w, &x, &[Technique::Gdp]);
-    let invasive = run_shared(w, &x, &[Technique::Asm]);
+    let transparent = run_shared(w, &x, &[Technique::GDP]);
+    let invasive = run_shared(w, &x, &[Technique::ASM]);
     assert_ne!(transparent.cycles, invasive.cycles, "ASM's priority rotation must perturb timing");
 }
 
@@ -107,7 +107,7 @@ fn mcp_does_not_regress_against_lru_when_partitioning_matters() {
     };
     let mut x = tiny_xcfg(2);
     x.sample_instrs = 15_000;
-    let out = run_policy_study(&w, &x, &[PolicyKind::Lru, PolicyKind::Mcp]);
+    let out = run_policy_study(&w, &x, &[PolicyKind::Lru, PolicyKind::Mcp(Technique::GDP)]);
     let (lru, mcp) = (out[0].stp, out[1].stp);
     assert!(mcp > lru * 0.9, "MCP {mcp:.3} collapsed against LRU {lru:.3}");
 }
@@ -120,8 +120,8 @@ fn eight_core_pipeline_smoke() {
     let mut x = tiny_xcfg(8);
     x.sample_instrs = 4_000;
     x.interval_cycles = 10_000;
-    let r = evaluate_workload_subset(w, &x, &[Technique::Gdp, Technique::GdpO]);
+    let r = evaluate_workload_subset(w, &x, &[Technique::GDP, Technique::GDP_O]);
     assert_eq!(r.benches.len(), 8);
-    let gdp = Technique::ALL.iter().position(|t| *t == Technique::Gdp).unwrap();
+    let gdp = r.tech_index(Technique::GDP).unwrap();
     assert!(r.benches.iter().any(|b| !b.ipc_err[gdp].is_empty()));
 }
