@@ -27,6 +27,7 @@
 use gdp_core::model::{
     sigma_other, sigma_sms_from_cpi, IntervalMeasurement, PrivateEstimate, PrivateModeEstimator,
 };
+use gdp_core::state::{EstimatorState, StateError, StateValue};
 use gdp_dief::Dief;
 use gdp_sim::probe::ProbeEvent;
 use gdp_sim::types::{CoreId, Cycle};
@@ -139,6 +140,51 @@ impl PrivateModeEstimator for Asm {
         let so = sigma_other(&m.stats, m.lambda, m.shared_latency);
         let sigma_sms = sigma_sms_from_cpi(&m.stats, cpi, so);
         PrivateEstimate { cpi, sigma_sms, cpl: 0, overlap: 0.0 }
+    }
+
+    fn snapshot(&self) -> EstimatorState {
+        let acc = self
+            .acc
+            .iter()
+            .map(|a| {
+                StateValue::List(vec![
+                    StateValue::U64(a.llc_total),
+                    StateValue::U64(a.llc_hp),
+                    StateValue::U64(a.intf_correction_hp),
+                ])
+            })
+            .collect();
+        EstimatorState::new(
+            self.name(),
+            StateValue::List(vec![
+                StateValue::U64(self.epoch_len),
+                self.dief.snapshot_value(),
+                StateValue::List(acc),
+            ]),
+        )
+    }
+
+    fn restore(&mut self, state: &EstimatorState) -> Result<(), StateError> {
+        let f = state.check(self.name())?.fields(3)?;
+        if f[0].as_u64()? != self.epoch_len {
+            return Err(StateError::ConfigMismatch("epoch length"));
+        }
+        let accs = f[2].as_list()?;
+        if accs.len() != self.acc.len() {
+            return Err(StateError::ConfigMismatch("core count"));
+        }
+        let mut acc = Vec::with_capacity(accs.len());
+        for a in accs {
+            let af = a.fields(3)?;
+            acc.push(CoreAcc {
+                llc_total: af[0].as_u64()?,
+                llc_hp: af[1].as_u64()?,
+                intf_correction_hp: af[2].as_u64()?,
+            });
+        }
+        self.dief.restore_value(&f[1])?;
+        self.acc = acc;
+        Ok(())
     }
 }
 

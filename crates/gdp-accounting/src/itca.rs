@@ -19,6 +19,7 @@
 use gdp_core::model::{
     private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate, PrivateModeEstimator,
 };
+use gdp_core::state::{EstimatorState, StateError, StateValue};
 use gdp_dief::Dief;
 use gdp_sim::probe::{ProbeEvent, StallCause};
 use gdp_sim::types::CoreId;
@@ -75,6 +76,28 @@ impl PrivateModeEstimator for Itca {
             cpl: 0,
             overlap: 0.0,
         }
+    }
+
+    fn snapshot(&self) -> EstimatorState {
+        EstimatorState::new(
+            self.name(),
+            StateValue::List(vec![
+                self.dief.snapshot_value(),
+                StateValue::List(self.discounted.iter().map(|&d| StateValue::U64(d)).collect()),
+            ]),
+        )
+    }
+
+    fn restore(&mut self, state: &EstimatorState) -> Result<(), StateError> {
+        let f = state.check(self.name())?.fields(2)?;
+        let discounted: Vec<u64> =
+            f[1].as_list()?.iter().map(|d| d.as_u64()).collect::<Result<_, _>>()?;
+        if discounted.len() != self.discounted.len() {
+            return Err(StateError::ConfigMismatch("core count"));
+        }
+        self.dief.restore_value(&f[0])?;
+        self.discounted = discounted;
+        Ok(())
     }
 }
 

@@ -19,6 +19,7 @@
 use gdp_core::model::{
     private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate, PrivateModeEstimator,
 };
+use gdp_core::state::{EstimatorState, StateError, StateValue};
 use gdp_dief::Dief;
 use gdp_sim::probe::{ProbeEvent, StallCause};
 use gdp_sim::types::CoreId;
@@ -79,6 +80,29 @@ impl PrivateModeEstimator for Ptca {
             cpl: 0,
             overlap: 0.0,
         }
+    }
+
+    fn snapshot(&self) -> EstimatorState {
+        EstimatorState::new(
+            self.name(),
+            StateValue::List(vec![
+                self.dief.snapshot_value(),
+                // σ̂ accumulators travel as exact f64 bits.
+                StateValue::List(self.sigma.iter().map(|&s| StateValue::f64(s)).collect()),
+            ]),
+        )
+    }
+
+    fn restore(&mut self, state: &EstimatorState) -> Result<(), StateError> {
+        let f = state.check(self.name())?.fields(2)?;
+        let sigma: Vec<f64> =
+            f[1].as_list()?.iter().map(|s| s.as_f64()).collect::<Result<_, _>>()?;
+        if sigma.len() != self.sigma.len() {
+            return Err(StateError::ConfigMismatch("core count"));
+        }
+        self.dief.restore_value(&f[0])?;
+        self.sigma = sigma;
+        Ok(())
     }
 }
 

@@ -82,7 +82,8 @@ impl Scale {
 
 /// Parsed command line of a figure binary (shared `gdp-runner` surface:
 /// `--tiny/--quick/--full`, `--jobs N`, `--json`, `--list`, the
-/// trace-cache flags `--record`/`--replay`/`--trace-dir DIR`, and the
+/// trace-cache flags `--record`/`--replay`/`--replay-jobs N`/
+/// `--trace-dir DIR`, and the
 /// registry-backed `--techniques a,b,c` selection; unknown flags and
 /// unknown technique ids exit non-zero with usage / the valid-id list).
 #[derive(Debug, Clone)]
@@ -101,6 +102,10 @@ pub struct BenchArgs {
     pub record: bool,
     /// `--replay`: reuse cached event traces when present.
     pub replay: bool,
+    /// `--replay-jobs N`: fan each cached-trace replay across N workers
+    /// using the estimator-state checkpoints summarized at record time
+    /// (1 = serial replay; results are identical for every N).
+    pub replay_jobs: usize,
     /// Trace-cache directory.
     pub trace_dir: String,
     /// `--techniques`: validated registry selection, canonical order;
@@ -128,6 +133,7 @@ impl BenchArgs {
             list: a.list,
             record: a.record,
             replay: a.replay,
+            replay_jobs: a.replay_jobs(),
             trace_dir: a.trace_dir,
             techniques,
         }
@@ -151,8 +157,10 @@ impl BenchArgs {
     /// The campaign trace policy, when `--record`/`--replay` asked for
     /// one. `None` keeps the cache entirely out of the hot path.
     pub fn traces(&self) -> Option<CampaignTraces> {
-        (self.record || self.replay)
-            .then(|| CampaignTraces::new(&self.trace_dir, self.record, self.replay))
+        (self.record || self.replay).then(|| {
+            CampaignTraces::new(&self.trace_dir, self.record, self.replay)
+                .with_replay_jobs(self.replay_jobs)
+        })
     }
 
     /// Under `--list`, print the flattened job plan (one label per job,

@@ -11,6 +11,7 @@
 use crate::model::{
     private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate, PrivateModeEstimator,
 };
+use crate::state::{EstimatorState, StateError, StateValue};
 use crate::unit::GdpUnit;
 use gdp_sim::probe::ProbeEvent;
 use gdp_sim::types::CoreId;
@@ -111,6 +112,24 @@ impl PrivateModeEstimator for GdpEstimator {
             cpl: h.cpl,
             overlap: h.overlap,
         }
+    }
+
+    fn snapshot(&self) -> EstimatorState {
+        EstimatorState::new(
+            self.name(),
+            StateValue::List(self.units.iter().map(GdpUnit::snapshot_value).collect()),
+        )
+    }
+
+    fn restore(&mut self, state: &EstimatorState) -> Result<(), StateError> {
+        let units = state.check(self.name())?.as_list()?;
+        if units.len() != self.units.len() {
+            return Err(StateError::ConfigMismatch("core count"));
+        }
+        for (unit, v) in self.units.iter_mut().zip(units) {
+            unit.restore_value(v)?;
+        }
+        Ok(())
     }
 }
 

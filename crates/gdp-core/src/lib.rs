@@ -35,6 +35,7 @@
 
 pub mod estimator;
 pub mod model;
+pub mod state;
 pub mod technique;
 pub mod unit;
 
@@ -43,6 +44,7 @@ pub use model::{
     observe_subscribed, private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate,
     PrivateModeEstimator,
 };
+pub use state::{EstimatorState, StateError, StateValue, STATE_VERSION};
 pub use technique::{
     TechniqueCaps, TechniqueConfig, TechniqueDesc, TechniqueRegistry, UnknownTechnique,
     GDP_O_TECHNIQUE, GDP_TECHNIQUE,

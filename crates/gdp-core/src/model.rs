@@ -18,6 +18,7 @@
 //! where `σ̂_SMS` is each technique's private SMS-load stall estimate and
 //! `σ̂_Other` scales the rare other stalls by the latency ratio (§III).
 
+use crate::state::{EstimatorState, StateError};
 use gdp_sim::probe::ProbeEvent;
 use gdp_sim::stats::CoreStats;
 use gdp_sim::types::CoreId;
@@ -71,6 +72,21 @@ pub trait PrivateModeEstimator {
     /// Produce the estimate for `core` at an interval boundary and reset
     /// per-interval state.
     fn estimate(&mut self, core: CoreId, m: &IntervalMeasurement) -> PrivateEstimate;
+
+    /// Capture the estimator's complete internal state, bit-exactly.
+    ///
+    /// Contract: `restore(snapshot())` on an identically-configured
+    /// estimator, followed by any call sequence, produces bit-identical
+    /// results to continuing on the original — the property segmented
+    /// parallel replay is built on.
+    fn snapshot(&self) -> EstimatorState;
+
+    /// Replace the estimator's internal state with `state`.
+    ///
+    /// Fails (leaving the estimator unspecified but safe to drop or
+    /// re-restore) when the snapshot belongs to a different technique,
+    /// schema version or hardware configuration.
+    fn restore(&mut self, state: &EstimatorState) -> Result<(), StateError>;
 }
 
 /// Feed one interval's probe-event batch to every estimator, in event

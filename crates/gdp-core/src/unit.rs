@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 
+use crate::state::{StateError, StateValue};
 use gdp_sim::probe::{ProbeEvent, StallCause};
 use gdp_sim::types::{Addr, Cycle, FxHashMap};
 
@@ -267,6 +268,115 @@ impl GdpUnit {
             self.by_addr.remove(&e.addr);
         }
         self.pcb.children.retain(|&u| u != e.uid);
+    }
+
+    // ---- snapshot / restore ------------------------------------------
+
+    /// Capture the unit's complete state as a positional value tree.
+    ///
+    /// `by_addr` is serialized explicitly (in sorted address order, so
+    /// identical states give identical snapshots): it is *not*
+    /// reconstructible from the PRB entries, because [`GdpUnit::forget`]
+    /// only clears a mapping that still points at the departing uid —
+    /// an address re-issued after an eviction keeps the newer mapping.
+    pub fn snapshot_value(&self) -> StateValue {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                StateValue::List(vec![
+                    StateValue::U64(e.uid),
+                    StateValue::U64(e.addr),
+                    StateValue::U64(e.depth),
+                    StateValue::U64(e.issued_at),
+                    StateValue::Bool(e.completed),
+                    StateValue::U64(e.completed_at),
+                ])
+            })
+            .collect();
+        let mut by_addr: Vec<(Addr, u64)> = self.by_addr.iter().map(|(&a, &u)| (a, u)).collect();
+        by_addr.sort_unstable();
+        let by_addr = by_addr
+            .into_iter()
+            .map(|(a, u)| StateValue::List(vec![StateValue::U64(a), StateValue::U64(u)]))
+            .collect();
+        let pcb = StateValue::List(vec![
+            StateValue::U64(self.pcb.depth),
+            StateValue::U64(self.pcb.started_at),
+            StateValue::U64(self.pcb.stalled_at),
+            StateValue::List(self.pcb.children.iter().map(|&u| StateValue::U64(u)).collect()),
+        ]);
+        let spans = |v: &[(Cycle, Cycle)]| {
+            StateValue::List(
+                v.iter()
+                    .map(|&(s, e)| StateValue::List(vec![StateValue::U64(s), StateValue::U64(e)]))
+                    .collect(),
+            )
+        };
+        StateValue::List(vec![
+            StateValue::U64(self.capacity as u64),
+            StateValue::List(entries),
+            StateValue::List(by_addr),
+            pcb,
+            StateValue::U64(self.next_uid),
+            spans(&self.stall_spans),
+            spans(&self.sms_spans),
+            StateValue::U64(self.interval_start),
+            StateValue::U64(self.evictions),
+        ])
+    }
+
+    /// Restore the unit from a [`GdpUnit::snapshot_value`] tree.
+    pub fn restore_value(&mut self, v: &StateValue) -> Result<(), StateError> {
+        let f = v.fields(9)?;
+        if f[0].as_u64()? != self.capacity as u64 {
+            return Err(StateError::ConfigMismatch("PRB capacity"));
+        }
+        let mut entries = VecDeque::new();
+        for e in f[1].as_list()? {
+            let ef = e.fields(6)?;
+            entries.push_back(PrbEntry {
+                uid: ef[0].as_u64()?,
+                addr: ef[1].as_u64()?,
+                depth: ef[2].as_u64()?,
+                issued_at: ef[3].as_u64()?,
+                completed: ef[4].as_bool()?,
+                completed_at: ef[5].as_u64()?,
+            });
+        }
+        if entries.len() > self.capacity {
+            return Err(StateError::Malformed("PRB overflow"));
+        }
+        let mut by_addr = FxHashMap::default();
+        for pair in f[2].as_list()? {
+            let pf = pair.fields(2)?;
+            by_addr.insert(pf[0].as_u64()?, pf[1].as_u64()?);
+        }
+        let pf = f[3].fields(4)?;
+        let pcb = Pcb {
+            depth: pf[0].as_u64()?,
+            started_at: pf[1].as_u64()?,
+            stalled_at: pf[2].as_u64()?,
+            children: pf[3].as_list()?.iter().map(|c| c.as_u64()).collect::<Result<_, _>>()?,
+        };
+        let spans = |v: &StateValue| -> Result<Vec<(Cycle, Cycle)>, StateError> {
+            v.as_list()?
+                .iter()
+                .map(|p| {
+                    let pf = p.fields(2)?;
+                    Ok((pf[0].as_u64()?, pf[1].as_u64()?))
+                })
+                .collect()
+        };
+        self.entries = entries;
+        self.by_addr = by_addr;
+        self.pcb = pcb;
+        self.next_uid = f[4].as_u64()?;
+        self.stall_spans = spans(&f[5])?;
+        self.sms_spans = spans(&f[6])?;
+        self.interval_start = f[7].as_u64()?;
+        self.evictions = f[8].as_u64()?;
+        Ok(())
     }
 
     /// Storage cost in bits (paper §IV-A: 3117 bits for GDP, 3597 for

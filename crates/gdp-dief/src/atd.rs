@@ -9,6 +9,7 @@
 //! keeps only a subset of sets, cutting storage from megabytes to
 //! kilobytes; counts are scaled back up by the sampling factor.
 
+use gdp_core::state::{StateError, StateValue};
 use gdp_sim::types::{Addr, FxHashMap, BLOCK_BYTES};
 
 /// Outcome of an ATD access.
@@ -136,6 +137,65 @@ impl Atd {
         self.hits_at.iter_mut().for_each(|h| *h = 0);
         self.misses = 0;
         self.accesses = 0;
+    }
+
+    /// Capture the ATD's complete state (geometry, tag arrays, stack-
+    /// distance histogram and counters) as a positional value tree.
+    /// Sampled sets are emitted in sorted set-index order so identical
+    /// ATD states always yield identical snapshots.
+    pub fn snapshot_value(&self) -> StateValue {
+        let mut sets: Vec<(&u64, &Vec<u64>)> = self.sets.iter().collect();
+        sets.sort_unstable_by_key(|(set, _)| **set);
+        let sets = sets
+            .into_iter()
+            .map(|(&set, tags)| {
+                StateValue::List(vec![
+                    StateValue::U64(set),
+                    StateValue::List(tags.iter().map(|&t| StateValue::U64(t)).collect()),
+                ])
+            })
+            .collect();
+        StateValue::List(vec![
+            StateValue::U64(self.ways as u64),
+            StateValue::U64(self.sample_interval),
+            StateValue::U64(self.total_sets),
+            StateValue::List(sets),
+            StateValue::List(self.hits_at.iter().map(|&h| StateValue::U64(h)).collect()),
+            StateValue::U64(self.misses),
+            StateValue::U64(self.accesses),
+        ])
+    }
+
+    /// Restore the ATD from a [`Atd::snapshot_value`] tree. The geometry
+    /// (ways, sampling interval, total sets) must match this ATD's.
+    pub fn restore_value(&mut self, v: &StateValue) -> Result<(), StateError> {
+        let f = v.fields(7)?;
+        if f[0].as_u64()? != self.ways as u64
+            || f[1].as_u64()? != self.sample_interval
+            || f[2].as_u64()? != self.total_sets
+        {
+            return Err(StateError::ConfigMismatch("ATD geometry"));
+        }
+        let mut sets = FxHashMap::default();
+        for entry in f[3].as_list()? {
+            let ef = entry.fields(2)?;
+            let tags: Vec<u64> =
+                ef[1].as_list()?.iter().map(|t| t.as_u64()).collect::<Result<_, _>>()?;
+            if tags.len() > self.ways {
+                return Err(StateError::Malformed("ATD set overflow"));
+            }
+            sets.insert(ef[0].as_u64()?, tags);
+        }
+        let hits_at: Vec<u64> =
+            f[4].as_list()?.iter().map(|h| h.as_u64()).collect::<Result<_, _>>()?;
+        if hits_at.len() != self.ways {
+            return Err(StateError::Malformed("ATD histogram length"));
+        }
+        self.sets = sets;
+        self.hits_at = hits_at;
+        self.misses = f[5].as_u64()?;
+        self.accesses = f[6].as_u64()?;
+        Ok(())
     }
 
     /// Approximate storage cost in bits (diagnostics; paper §IV-B reports

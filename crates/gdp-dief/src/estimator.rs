@@ -10,6 +10,7 @@
 //! hit latency (a hardware sanity clamp).
 
 use crate::atd::{Atd, AtdOutcome};
+use gdp_core::state::{StateError, StateValue};
 use gdp_sim::probe::ProbeEvent;
 use gdp_sim::types::{CoreId, FxHashMap, ReqId};
 use gdp_sim::SimConfig;
@@ -158,6 +159,82 @@ impl Dief {
     /// The λ lower clamp in cycles.
     pub fn latency_floor(&self) -> f64 {
         self.latency_floor
+    }
+
+    /// Capture DIEF's complete state — per-core ATDs plus interference
+    /// and λ̂ accumulators — as a positional value tree. Map contents are
+    /// emitted in sorted request order so identical states give
+    /// identical snapshots.
+    pub fn snapshot_value(&self) -> StateValue {
+        let cores = self
+            .cores
+            .iter()
+            .map(|st| {
+                let mut pending: Vec<u64> = st.intf_miss.keys().map(|r| r.0).collect();
+                pending.sort_unstable();
+                let mut completed: Vec<(u64, u64, bool)> =
+                    st.completed_intf.iter().map(|(r, &(i, m))| (r.0, i, m)).collect();
+                completed.sort_unstable();
+                StateValue::List(vec![
+                    StateValue::List(pending.into_iter().map(StateValue::U64).collect()),
+                    StateValue::U64(st.lat_sum),
+                    StateValue::U64(st.intf_sum),
+                    StateValue::U64(st.loads),
+                    StateValue::List(
+                        completed
+                            .into_iter()
+                            .map(|(r, i, m)| {
+                                StateValue::List(vec![
+                                    StateValue::U64(r),
+                                    StateValue::U64(i),
+                                    StateValue::Bool(m),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ])
+            })
+            .collect();
+        StateValue::List(vec![
+            StateValue::List(self.atds.iter().map(Atd::snapshot_value).collect()),
+            StateValue::List(cores),
+            StateValue::f64(self.latency_floor),
+        ])
+    }
+
+    /// Restore DIEF from a [`Dief::snapshot_value`] tree. The core count,
+    /// ATD geometry and latency floor must match this instance's.
+    pub fn restore_value(&mut self, v: &StateValue) -> Result<(), StateError> {
+        let f = v.fields(3)?;
+        let atds = f[0].as_list()?;
+        let cores = f[1].as_list()?;
+        if atds.len() != self.atds.len() || cores.len() != self.cores.len() {
+            return Err(StateError::ConfigMismatch("core count"));
+        }
+        if f[2].as_f64()?.to_bits() != self.latency_floor.to_bits() {
+            return Err(StateError::ConfigMismatch("latency floor"));
+        }
+        for (atd, av) in self.atds.iter_mut().zip(atds) {
+            atd.restore_value(av)?;
+        }
+        for (st, cv) in self.cores.iter_mut().zip(cores) {
+            let cf = cv.fields(5)?;
+            let mut intf_miss = FxHashMap::default();
+            for r in cf[0].as_list()? {
+                intf_miss.insert(ReqId(r.as_u64()?), ());
+            }
+            let mut completed_intf = FxHashMap::default();
+            for entry in cf[4].as_list()? {
+                let ef = entry.fields(3)?;
+                completed_intf.insert(ReqId(ef[0].as_u64()?), (ef[1].as_u64()?, ef[2].as_bool()?));
+            }
+            st.intf_miss = intf_miss;
+            st.lat_sum = cf[1].as_u64()?;
+            st.intf_sum = cf[2].as_u64()?;
+            st.loads = cf[3].as_u64()?;
+            st.completed_intf = completed_intf;
+        }
+        Ok(())
     }
 }
 

@@ -13,6 +13,7 @@
 use gdp_core::model::{
     private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate, PrivateModeEstimator,
 };
+use gdp_core::state::{EstimatorState, StateError, StateValue};
 use gdp_core::technique::{TechniqueCaps, TechniqueConfig, TechniqueDesc};
 use gdp_sim::probe::ProbeEvent;
 use gdp_sim::types::CoreId;
@@ -51,6 +52,16 @@ impl PrivateModeEstimator for DiefOnly {
             cpl: 0,
             overlap: 0.0,
         }
+    }
+
+    fn snapshot(&self) -> EstimatorState {
+        // Stateless between boundaries: the snapshot is an empty record.
+        EstimatorState::new(self.name(), StateValue::List(Vec::new()))
+    }
+
+    fn restore(&mut self, state: &EstimatorState) -> Result<(), StateError> {
+        state.check(self.name())?.fields(0)?;
+        Ok(())
     }
 }
 

@@ -44,10 +44,11 @@ pub use config::ExperimentConfig;
 pub use interval::IntervalSchedule;
 pub use policy_run::{run_policy_study, PolicyKind, PolicyOutcome};
 pub use private::{run_private, PrivateCheckpoint, PrivateRun};
-pub use session::{EstimationSession, ReplaySession, SessionBuilder};
+pub use session::{EstimationSession, ParallelReplaySession, ReplaySession, SessionBuilder};
 pub use shared::{run_shared, run_shared_with_sink, CoreInterval, SharedRun};
 pub use techniques::{registry, transparent_subset, Technique};
 pub use trace::{
-    evaluate_workload_traced, private_from_trace, private_to_trace, private_trace_key,
-    record_shared, replay_shared, shared_trace_key, shared_trace_key_for, CampaignTraces,
+    checkpoint_key, evaluate_workload_traced, private_from_trace, private_to_trace,
+    private_trace_key, record_shared, replay_shared, shared_trace_key, shared_trace_key_for,
+    summarize_checkpoints, CampaignTraces,
 };

@@ -22,11 +22,13 @@
 //! interference-free estimates online (see `examples/quickstart.rs`).
 
 use gdp_core::model::{estimate_all, observe_subscribed, PrivateModeEstimator};
+use gdp_core::state::{EstimatorState, StateError};
 use gdp_dief::Dief;
+use gdp_runner::Pool;
 use gdp_sim::stats::CoreStats;
 use gdp_sim::types::{CoreId, Cycle};
 use gdp_sim::System;
-use gdp_trace::{Boundary, SharedTrace, TraceSink};
+use gdp_trace::{Boundary, CheckpointFile, SharedTrace, StateCheckpoint, TraceSink};
 use gdp_workloads::Workload;
 
 use crate::config::ExperimentConfig;
@@ -427,6 +429,188 @@ impl<'t> ReplaySession<'t> {
             final_stats: self.trace.final_stats.clone(),
         }
     }
+
+    /// Snapshot every attached estimator, keyed by stable technique id —
+    /// the per-boundary payload the offline checkpoint summarizer stores
+    /// ([`summarize_checkpoints`](crate::trace::summarize_checkpoints)).
+    pub fn snapshot_states(&self) -> Vec<(String, EstimatorState)> {
+        self.techniques
+            .iter()
+            .zip(&self.estimators)
+            .map(|(t, e)| (t.id().to_string(), e.snapshot()))
+            .collect()
+    }
+
+    /// Restore from a summarized checkpoint: seeks the session to
+    /// interval `cp.at` with every estimator's state restored, after
+    /// which replay is bit-identical to a serial session that already
+    /// replayed intervals `0..cp.at`. Fails — leaving the session
+    /// unsuitable for bit-exact work until re-restored or rebuilt — when
+    /// the checkpoint lacks any attached technique's state or a state
+    /// does not fit this configuration.
+    pub fn restore_checkpoint(&mut self, cp: &StateCheckpoint) -> Result<(), StateError> {
+        for (t, e) in self.techniques.iter().zip(&mut self.estimators) {
+            let state = cp
+                .state(t.id())
+                .ok_or(StateError::Malformed("checkpoint lacks a technique's state"))?;
+            e.restore(state)?;
+        }
+        self.next = (cp.at as usize).min(self.trace.intervals.len());
+        Ok(())
+    }
+}
+
+/// Segmented, pool-parallel trace replay.
+///
+/// The trace's interval range is cut into one contiguous segment per
+/// pool worker; each segment restores the summarized estimator-state
+/// checkpoint at its start boundary (segment 0 starts cold), replays its
+/// intervals on a worker, and the rows are reassembled in schedule
+/// order — bit-identical to a serial [`ReplaySession`] over the whole
+/// trace, because restoring a boundary snapshot is bit-identical to
+/// having replayed everything before it.
+///
+/// Degradation is built in: cuts snap to the nearest available
+/// checkpoint at or before the ideal position, so a missing or corrupt
+/// (salvaged-away) checkpoint merely merges segments; a checkpoint that
+/// fails to *restore* falls back to replaying that segment from the
+/// trace start. Either way the campaign completes with exact results —
+/// parallelism only ever buys time, never correctness.
+pub struct ParallelReplaySession<'t> {
+    trace: &'t SharedTrace,
+    checkpoints: Option<&'t CheckpointFile>,
+    xcfg: ExperimentConfig,
+    techniques: Vec<Technique>,
+    pool: Pool,
+}
+
+impl<'t> ParallelReplaySession<'t> {
+    /// A parallel replay of `trace` for a (canonicalized) technique set,
+    /// fanning segments across `pool`. Without `checkpoints` (or with a
+    /// one-worker pool) replay is plain serial.
+    pub fn new(
+        trace: &'t SharedTrace,
+        xcfg: &ExperimentConfig,
+        techniques: &[Technique],
+        checkpoints: Option<&'t CheckpointFile>,
+        pool: Pool,
+    ) -> ParallelReplaySession<'t> {
+        ParallelReplaySession {
+            trace,
+            checkpoints,
+            xcfg: xcfg.clone(),
+            techniques: Technique::canonical(techniques),
+            pool,
+        }
+    }
+
+    /// The canonical technique set under replay.
+    pub fn techniques(&self) -> &[Technique] {
+        &self.techniques
+    }
+
+    /// The planned segment start boundaries (diagnostics/tests): one per
+    /// worker when every cut finds a usable checkpoint, fewer when cuts
+    /// collapse onto earlier restore points.
+    pub fn segment_starts(&self) -> Vec<usize> {
+        self.plan().into_iter().map(|(start, _)| start).collect()
+    }
+
+    fn plan(&self) -> Vec<(usize, Option<&'t StateCheckpoint>)> {
+        let n = self.trace.intervals.len();
+        let mut starts: Vec<(usize, Option<&'t StateCheckpoint>)> = vec![(0, None)];
+        let Some(cks) = self.checkpoints else { return starts };
+        let jobs = self.pool.workers().min(n).max(1);
+        for i in 1..jobs {
+            let ideal = (i * n / jobs) as u64;
+            // Snap to the nearest restore point at or before the ideal
+            // cut; a summarization gap shifts the cut earlier (toward
+            // serial) instead of erroring.
+            if let Some(cp) = cks.nearest_at_or_before(ideal) {
+                let at = cp.at as usize;
+                if at > starts.last().unwrap().0 && at < n {
+                    starts.push((at, Some(cp)));
+                }
+            }
+        }
+        starts
+    }
+
+    /// Replay every interval, fanning segments across the pool, and
+    /// assemble the [`SharedRun`] — bit-identical to
+    /// [`ReplaySession::into_report`] over the same trace and set.
+    pub fn into_report(self) -> SharedRun {
+        let n = self.trace.intervals.len();
+        let starts = self.plan();
+        if starts.len() <= 1 {
+            return ReplaySession::new(self.trace, &self.xcfg, &self.techniques).into_report();
+        }
+        let ends = starts.iter().skip(1).map(|&(s, _)| s).chain([n]);
+        let trace = self.trace;
+        let xcfg = &self.xcfg;
+        let techniques = &self.techniques;
+        let jobs: Vec<_> = starts
+            .iter()
+            .zip(ends)
+            .map(|(&(start, cp), end)| {
+                move || replay_segment(trace, xcfg, techniques, start, end, cp)
+            })
+            .collect();
+        let segments = self.pool.run(jobs);
+        SharedRun {
+            techniques: self.techniques.clone(),
+            intervals: segments.into_iter().flatten().collect(),
+            cycles: trace.cycles,
+            final_stats: trace.final_stats.clone(),
+        }
+    }
+
+    /// On-demand single-interval query: restore exactly one checkpoint
+    /// (the nearest at or before `k`; cold state when none) and replay
+    /// forward just far enough to produce interval `k`'s row —
+    /// bit-identical to the `k`-th row of a full serial replay. `None`
+    /// when `k` is past the end of the trace.
+    pub fn estimate_interval(&self, k: usize) -> Option<Vec<CoreInterval>> {
+        if k >= self.trace.intervals.len() {
+            return None;
+        }
+        let cp = self.checkpoints.and_then(|c| c.nearest_at_or_before(k as u64));
+        Some(replay_segment(self.trace, &self.xcfg, &self.techniques, k, k + 1, cp).remove(0))
+    }
+}
+
+/// Replay intervals `start..end` of `trace`, restoring `cp` when given
+/// (its `at` may be at or before `start`); returns exactly the rows of
+/// `start..end`. A checkpoint that fails to restore degrades to serial
+/// replay from the trace start.
+fn replay_segment(
+    trace: &SharedTrace,
+    xcfg: &ExperimentConfig,
+    techniques: &[Technique],
+    start: usize,
+    end: usize,
+    cp: Option<&StateCheckpoint>,
+) -> Vec<Vec<CoreInterval>> {
+    let mut s = ReplaySession::new(trace, xcfg, techniques);
+    let mut from = 0;
+    if let Some(cp) = cp {
+        match s.restore_checkpoint(cp) {
+            Ok(()) => from = cp.at as usize,
+            Err(e) => {
+                eprintln!(
+                    "gdp: checkpoint at interval {} unusable ({e}); replaying from the start",
+                    cp.at
+                );
+                s = ReplaySession::new(trace, xcfg, techniques);
+            }
+        }
+    }
+    if start > from {
+        s.advance_intervals(start - from);
+        let _ = s.take_estimates(); // warm-up rows before the segment
+    }
+    s.advance_intervals(end - start);
+    s.take_estimates()
 }
 
 #[cfg(test)]

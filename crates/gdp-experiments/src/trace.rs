@@ -13,17 +13,18 @@
 //!   flags: shared and private jobs route through it and transparently
 //!   hit the cache instead of the simulator.
 
+use gdp_runner::Pool;
 use gdp_sim::{CacheConfig, SimConfig};
 use gdp_trace::{
-    CacheKey, CacheStatsSnapshot, PrivateTrace, Recorder, SharedTrace, TraceCache, TraceCheckpoint,
-    FORMAT_VERSION,
+    CacheKey, CacheStatsSnapshot, CheckpointFile, PrivateTrace, Recorder, SharedTrace,
+    StateCheckpoint, TraceCache, TraceCheckpoint, FORMAT_VERSION,
 };
 use gdp_workloads::Workload;
 
 use crate::accuracy::{private_base, Technique, WorkloadEval};
 use crate::config::ExperimentConfig;
 use crate::private::{PrivateCheckpoint, PrivateRun};
-use crate::session::ReplaySession;
+use crate::session::{ParallelReplaySession, ReplaySession};
 use crate::shared::{run_shared, run_shared_with_sink, SharedRun};
 
 /// Run `workload` in shared mode with a recorder attached; returns the
@@ -48,6 +49,32 @@ pub fn replay_shared(
     techniques: &[Technique],
 ) -> SharedRun {
     ReplaySession::new(trace, xcfg, techniques).into_report()
+}
+
+/// One-pass offline checkpoint summarization: replay `trace` once with
+/// *every* registered technique attached, snapshotting all estimator
+/// states at each interval boundary. One checkpoint file serves any
+/// later technique subset: an estimator's state depends only on the
+/// recorded stream and its own boundary calls, never on co-observers —
+/// the same invariant that lets one trace serve every subset.
+pub fn summarize_checkpoints(trace: &SharedTrace, xcfg: &ExperimentConfig) -> CheckpointFile {
+    let techniques = Technique::all_registered();
+    let mut s = ReplaySession::new(trace, xcfg, &techniques);
+    let n = trace.intervals.len() as u64;
+    let mut f = CheckpointFile {
+        workload: trace.workload.clone(),
+        cores: trace.cores,
+        intervals: n,
+        checkpoints: Vec::with_capacity(n.saturating_sub(1) as usize),
+    };
+    // Boundary n would have no intervals left to replay; boundary 0 is
+    // the cold state every fresh session already has.
+    for at in 1..n {
+        s.advance_intervals(1);
+        let _ = s.take_estimates(); // bounded memory: keep states, not rows
+        f.checkpoints.push(StateCheckpoint { at, states: s.snapshot_states() });
+    }
+    f
 }
 
 /// Convert a private run to its trace record.
@@ -182,6 +209,23 @@ pub fn shared_trace_key_for(
     shared_trace_key(xcfg, workload, techniques.iter().any(Technique::is_invasive))
 }
 
+/// Cache key of a checkpoint (estimator-state) file: the same material
+/// as the shared trace it summarizes, under its own domain, plus the
+/// estimator-state schema version — a restored snapshot must match the
+/// exact estimator layout, so a schema bump invalidates checkpoints
+/// without touching the (still-valid) traces.
+pub fn checkpoint_key(xcfg: &ExperimentConfig, workload: &Workload, invasive: bool) -> CacheKey {
+    let mut k = key_material("state", xcfg);
+    k.u64(u64::from(gdp_core::STATE_VERSION));
+    k.str(&workload.name);
+    k.usize(workload.cores());
+    for b in &workload.benchmarks {
+        k.str(b.name);
+    }
+    k.bool(invasive);
+    k
+}
+
 /// Cache key of a private ground-truth run: configuration + benchmark +
 /// address base + the exact checkpoint list (checkpoints come from the
 /// shared runs, so a changed shared trace invalidates its private runs).
@@ -210,6 +254,7 @@ pub struct CampaignTraces {
     cache: TraceCache,
     record: bool,
     replay: bool,
+    replay_jobs: usize,
 }
 
 impl CampaignTraces {
@@ -217,7 +262,21 @@ impl CampaignTraces {
     /// `replay` consults the cache before simulating (both may be set:
     /// replay what exists, record what does not).
     pub fn new(dir: impl Into<std::path::PathBuf>, record: bool, replay: bool) -> CampaignTraces {
-        CampaignTraces { cache: TraceCache::new(dir), record, replay }
+        CampaignTraces { cache: TraceCache::new(dir), record, replay, replay_jobs: 1 }
+    }
+
+    /// Set the parallel-replay fan-out: warm replays of cached traces
+    /// fan interval segments across an `n`-worker pool using summarized
+    /// checkpoints. With `n <= 1`, or when no checkpoint entry exists,
+    /// replay stays serial — results are bit-identical either way.
+    pub fn with_replay_jobs(mut self, n: usize) -> CampaignTraces {
+        self.replay_jobs = n.max(1);
+        self
+    }
+
+    /// The configured parallel-replay fan-out.
+    pub fn replay_jobs(&self) -> usize {
+        self.replay_jobs
     }
 
     /// The underlying cache (diagnostics).
@@ -240,8 +299,24 @@ impl CampaignTraces {
         techniques: &[Technique],
     ) -> SharedRun {
         let key = shared_trace_key_for(xcfg, workload, techniques);
+        let invasive = techniques.iter().any(Technique::is_invasive);
         if self.replay {
             if let Some(trace) = self.cache.load_shared(&key) {
+                if self.replay_jobs > 1 {
+                    // Salvage-loaded checkpoints (None on a full miss):
+                    // the parallel session degrades around whatever is
+                    // missing, so corruption costs time, not the run.
+                    let cks =
+                        self.cache.load_checkpoints(&checkpoint_key(xcfg, workload, invasive));
+                    return ParallelReplaySession::new(
+                        &trace,
+                        xcfg,
+                        techniques,
+                        cks.as_ref(),
+                        Pool::new(self.replay_jobs),
+                    )
+                    .into_report();
+                }
                 return replay_shared(&trace, xcfg, techniques);
             }
         }
@@ -249,6 +324,14 @@ impl CampaignTraces {
             let (run, trace) = record_shared(workload, xcfg, techniques);
             if let Err(e) = self.cache.store_shared(&key, &trace) {
                 eprintln!("gdp-trace: cannot store shared trace: {e}");
+            }
+            // Summarize checkpoints next to the stored trace so warm
+            // replays can fan out immediately.
+            let cks = summarize_checkpoints(&trace, xcfg);
+            if let Err(e) =
+                self.cache.store_checkpoints(&checkpoint_key(xcfg, workload, invasive), &cks)
+            {
+                eprintln!("gdp-trace: cannot store checkpoint file: {e}");
             }
             run
         } else {

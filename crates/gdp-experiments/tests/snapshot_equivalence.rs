@@ -1,0 +1,273 @@
+//! Snapshot/restore and parallel-replay equivalence: extending the
+//! session-equivalence harness to the checkpointable-estimator surface.
+//!
+//! The pinned property: restoring a summarized estimator-state snapshot
+//! at *any* interval boundary is bit-identical to having replayed every
+//! interval before it — which is exactly what makes segmented,
+//! pool-parallel replay exact rather than approximate. Over random
+//! workload mixes × registered technique subsets × segment cuts and
+//! worker counts, `ParallelReplaySession` must reproduce the serial
+//! `ReplaySession` row for row, bit for bit, through `into_report` and
+//! through the on-demand `estimate_interval(k)` query — including after
+//! the checkpoint file round-trips the binary `STATE` codec.
+
+use proptest::prelude::*;
+
+use gdp_experiments::{
+    record_shared, summarize_checkpoints, CoreInterval, ExperimentConfig, ParallelReplaySession,
+    ReplaySession, SharedRun, Technique,
+};
+use gdp_runner::Pool;
+use gdp_trace::{decode_checkpoints, encode_checkpoints, CheckpointFile, StateCheckpoint};
+use gdp_workloads::paper_workloads;
+
+fn xcfg(cores: usize) -> ExperimentConfig {
+    let mut x = ExperimentConfig::tiny(cores);
+    x.sample_instrs = 5_000;
+    x.interval_cycles = 9_000;
+    x
+}
+
+/// Decode a subset bitmask over the full registry into a technique set
+/// (the same encoding the session-equivalence suite uses).
+fn subset_from_mask(mask: usize) -> Vec<Technique> {
+    let all = Technique::all_registered();
+    let set: Vec<Technique> = all
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, t)| t)
+        .collect();
+    if set.is_empty() {
+        vec![Technique::GDP]
+    } else {
+        set
+    }
+}
+
+fn assert_rows_bit_identical(a: &[Vec<CoreInterval>], b: &[Vec<CoreInterval>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: row count");
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.len(), rb.len(), "{what}: iv {i} core count");
+        for (c, (ca, cb)) in ra.iter().zip(rb).enumerate() {
+            assert_eq!(ca.instr_start, cb.instr_start, "{what}: iv {i} core {c}");
+            assert_eq!(ca.instr_end, cb.instr_end, "{what}: iv {i} core {c}");
+            assert_eq!(ca.stats, cb.stats, "{what}: iv {i} core {c}");
+            assert_eq!(ca.lambda.to_bits(), cb.lambda.to_bits(), "{what}: iv {i} core {c} λ");
+            assert_eq!(
+                ca.shared_latency.to_bits(),
+                cb.shared_latency.to_bits(),
+                "{what}: iv {i} core {c} L"
+            );
+            assert_eq!(ca.estimates.len(), cb.estimates.len(), "{what}: iv {i} core {c}");
+            for (e, (ea, eb)) in ca.estimates.iter().zip(&cb.estimates).enumerate() {
+                assert_eq!(ea.cpi.to_bits(), eb.cpi.to_bits(), "{what}: iv {i} c{c} est{e} cpi");
+                assert_eq!(
+                    ea.sigma_sms.to_bits(),
+                    eb.sigma_sms.to_bits(),
+                    "{what}: iv {i} c{c} est{e} σ"
+                );
+                assert_eq!(ea.cpl, eb.cpl, "{what}: iv {i} c{c} est{e} cpl");
+                assert_eq!(
+                    ea.overlap.to_bits(),
+                    eb.overlap.to_bits(),
+                    "{what}: iv {i} c{c} est{e} overlap"
+                );
+            }
+        }
+    }
+}
+
+fn assert_runs_bit_identical(a: &SharedRun, b: &SharedRun, what: &str) {
+    assert_eq!(a.techniques, b.techniques, "{what}: technique sets");
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.final_stats, b.final_stats, "{what}: final stats");
+    assert_rows_bit_identical(&a.intervals, &b.intervals, what);
+}
+
+/// One recorded tiny cell: (trace, summarized checkpoints). Recording a
+/// transparent run is subset-invariant, so the GDP-only recording serves
+/// every transparent replay subset; invasive subsets are excluded by the
+/// mask space below (ASM replays must come from ASM-recorded traces).
+fn recorded_cell(seed: u64, cores: usize) -> (gdp_trace::SharedTrace, CheckpointFile) {
+    let w = &paper_workloads(cores, seed)[0];
+    let x = xcfg(cores);
+    let (_, trace) = record_shared(w, &x, &[Technique::GDP]);
+    let cks = summarize_checkpoints(&trace, &x);
+    (trace, cks)
+}
+
+/// Restrict a registry mask to transparent techniques (drop ASM's bit;
+/// the parallel session itself is kind-agnostic, but replaying an
+/// invasive estimator over a transparent stream is a category error the
+/// cache layer prevents by keying kinds separately).
+fn transparent_mask(mask: usize) -> usize {
+    let all = Technique::all_registered();
+    let mut m = 0usize;
+    for (i, t) in all.iter().enumerate() {
+        if mask & (1 << i) != 0 && !t.is_invasive() {
+            m |= 1 << i;
+        }
+    }
+    m
+}
+
+fn check_snapshot_equivalence(seed: u64, mask: usize, cut_pick: usize, jobs: usize) {
+    let cores = 2;
+    let x = xcfg(cores);
+    let set = subset_from_mask(transparent_mask(mask));
+    let (trace, cks) = recorded_cell(seed, cores);
+    let n = trace.intervals.len();
+    assert!(n >= 2, "a tiny run must cross at least two boundaries");
+    assert_eq!(cks.checkpoints.len(), n - 1, "one checkpoint per interior boundary");
+
+    // Serial oracle.
+    let serial = ReplaySession::new(&trace, &x, &set).into_report();
+
+    // Property 1: restore-at-any-boundary. Replay to `cut`, snapshot,
+    // restore into a *fresh* session, finish both; the restored tail
+    // must be bit-identical to the oracle's tail.
+    let cut = 1 + cut_pick % (n - 1); // an interior boundary 1..n-1
+    let mut warm = ReplaySession::new(&trace, &x, &set);
+    warm.advance_intervals(cut);
+    let _ = warm.take_estimates();
+    let cp = StateCheckpoint { at: cut as u64, states: warm.snapshot_states() };
+    let mut restored = ReplaySession::new(&trace, &x, &set);
+    restored.restore_checkpoint(&cp).expect("restore a just-taken snapshot");
+    restored.advance_intervals(usize::MAX);
+    assert_rows_bit_identical(
+        &restored.take_estimates(),
+        &serial.intervals[cut..],
+        "restored tail vs serial",
+    );
+
+    // Property 2: summarized snapshots round-trip the STATE codec and
+    // still restore bit-exactly (f64 bit transport end to end).
+    let decoded = decode_checkpoints(&encode_checkpoints(&cks)).expect("STATE codec");
+    assert_eq!(decoded, cks, "checkpoint file round-trips exactly");
+
+    // Property 3: N-way parallel replay over the decoded checkpoints is
+    // bit-identical to the serial session.
+    let par = ParallelReplaySession::new(&trace, &x, &set, Some(&decoded), Pool::new(jobs));
+    if jobs > 1 && n >= jobs {
+        assert!(par.segment_starts().len() > 1, "full checkpoints must let the replay fan out");
+    }
+    assert_runs_bit_identical(&serial, &par.into_report(), "parallel vs serial");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random workload mixes × transparent technique subsets × segment
+    /// cuts × worker counts: snapshot/restore at any boundary and N-way
+    /// parallel replay are bit-identical to the serial session.
+    #[test]
+    fn snapshot_restore_and_parallel_replay_match_serial(
+        seed in 0u64..1_000,
+        mask in 1usize..64,
+        cut_pick in 0usize..1_000,
+        jobs in 2usize..6,
+    ) {
+        check_snapshot_equivalence(seed, mask, cut_pick, jobs);
+    }
+}
+
+/// `estimate_interval(k)` for **every** k of a recorded cell equals the
+/// k-th row of a full serial replay — including k=0 (cold state, no
+/// checkpoint restored) and the final interval (the row the FINAL
+/// section's statistics close over). Past-the-end queries return `None`.
+#[test]
+fn estimate_interval_matches_every_serial_row() {
+    let x = xcfg(2);
+    let set = [Technique::GDP, Technique::GDP_O, Technique::ITCA];
+    let (trace, cks) = recorded_cell(7, 2);
+    let serial = ReplaySession::new(&trace, &x, &set).into_report();
+    let par = ParallelReplaySession::new(&trace, &x, &set, Some(&cks), Pool::new(4));
+    let n = trace.intervals.len();
+    for k in 0..n {
+        let row = par.estimate_interval(k).expect("in-range interval");
+        assert_rows_bit_identical(
+            std::slice::from_ref(&row),
+            std::slice::from_ref(&serial.intervals[k]),
+            &format!("estimate_interval({k})"),
+        );
+    }
+    assert!(par.estimate_interval(n).is_none(), "past-the-end query");
+    assert!(par.estimate_interval(n + 7).is_none());
+}
+
+/// Without checkpoints a parallel session cannot cut the trace: it runs
+/// the whole replay serially — and still bit-identically.
+#[test]
+fn parallel_replay_without_checkpoints_degrades_to_serial() {
+    let x = xcfg(2);
+    let set = [Technique::GDP];
+    let (trace, _) = recorded_cell(11, 2);
+    let serial = ReplaySession::new(&trace, &x, &set).into_report();
+    let par = ParallelReplaySession::new(&trace, &x, &set, None, Pool::new(4));
+    assert_eq!(par.segment_starts(), vec![0], "no checkpoints, no cuts");
+    assert_runs_bit_identical(&serial, &par.into_report(), "checkpoint-free parallel vs serial");
+    // estimate_interval still works — it replays from the trace start.
+    let row = ParallelReplaySession::new(&trace, &x, &set, None, Pool::new(4))
+        .estimate_interval(1)
+        .expect("in range");
+    assert_rows_bit_identical(
+        std::slice::from_ref(&row),
+        std::slice::from_ref(&serial.intervals[1]),
+        "cold estimate_interval(1)",
+    );
+}
+
+/// A checkpoint file whose interior entries were salvaged away (as the
+/// corruption-tolerant loader does) merges segments instead of erroring;
+/// a checkpoint that *restores* badly (schema version from the future)
+/// falls back to replaying that segment from the trace start. Both paths
+/// stay bit-identical to serial — corruption costs time, never results.
+#[test]
+fn damaged_checkpoints_degrade_without_changing_results() {
+    let x = xcfg(2);
+    let set = [Technique::GDP, Technique::PTCA];
+    let (trace, cks) = recorded_cell(13, 2);
+    let serial = ReplaySession::new(&trace, &x, &set).into_report();
+
+    // Salvage dropped all but one interior checkpoint.
+    let keep = cks.checkpoints.len() / 2;
+    let sparse = CheckpointFile {
+        workload: cks.workload.clone(),
+        cores: cks.cores,
+        intervals: cks.intervals,
+        checkpoints: vec![cks.checkpoints[keep].clone()],
+    };
+    let par = ParallelReplaySession::new(&trace, &x, &set, Some(&sparse), Pool::new(4));
+    assert!(par.segment_starts().len() <= 2, "one surviving restore point, at most two segments");
+    assert_runs_bit_identical(&serial, &par.into_report(), "sparse checkpoints vs serial");
+
+    // A restore-time failure (future schema version) must not surface:
+    // the segment silently replays from the trace start instead.
+    let mut tampered = cks.clone();
+    for cp in &mut tampered.checkpoints {
+        for (_, state) in &mut cp.states {
+            state.version = gdp_core::STATE_VERSION + 1;
+        }
+    }
+    let par = ParallelReplaySession::new(&trace, &x, &set, Some(&tampered), Pool::new(3));
+    assert_runs_bit_identical(&serial, &par.into_report(), "unrestorable checkpoints vs serial");
+}
+
+/// One checkpoint file (summarized with every registered technique)
+/// serves any transparent replay subset: an estimator's state depends
+/// only on the recorded stream and its own boundary calls, never on
+/// which co-observers were attached during summarization.
+#[test]
+fn one_checkpoint_file_serves_any_transparent_subset() {
+    let x = xcfg(2);
+    let (trace, cks) = recorded_cell(17, 2);
+    for set in
+        [&[Technique::GDP_O][..], &[Technique::DIEF][..], &[Technique::ITCA, Technique::PTCA][..]]
+    {
+        let serial = ReplaySession::new(&trace, &x, set).into_report();
+        let par = ParallelReplaySession::new(&trace, &x, set, Some(&cks), Pool::new(3));
+        assert_runs_bit_identical(&serial, &par.into_report(), "subset parallel vs serial");
+    }
+}

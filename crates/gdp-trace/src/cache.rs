@@ -15,8 +15,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::format::{decode_private, decode_shared, encode_private, encode_shared};
-use crate::model::{PrivateTrace, SharedTrace};
+use crate::format::{
+    decode_checkpoints_salvage, decode_private, decode_shared, encode_checkpoints, encode_private,
+    encode_shared,
+};
+use crate::model::{CheckpointFile, PrivateTrace, SharedTrace};
 
 // The campaign-facing default directory lives in `gdp-runner::cli`
 // (`DEFAULT_TRACE_DIR`, "results/traces"); the cache itself always takes
@@ -155,6 +158,20 @@ impl TraceCache {
     /// Store a private trace; returns the entry path.
     pub fn store_private(&self, key: &CacheKey, t: &PrivateTrace) -> io::Result<PathBuf> {
         self.store(self.path("private", key), encode_private(t))
+    }
+
+    /// Load a checkpoint (estimator-state) file; `None` (a counted miss)
+    /// when absent or when the header/META is unreadable. Individual
+    /// corrupt STATE sections are *salvaged around*, not fatal: parallel
+    /// replay then degrades to the nearest earlier good restore point,
+    /// which costs time but never correctness.
+    pub fn load_checkpoints(&self, key: &CacheKey) -> Option<CheckpointFile> {
+        self.load(&self.path("state", key), |b| decode_checkpoints_salvage(b).map(|(f, _)| f))
+    }
+
+    /// Store a checkpoint file; returns the entry path.
+    pub fn store_checkpoints(&self, key: &CacheKey, f: &CheckpointFile) -> io::Result<PathBuf> {
+        self.store(self.path("state", key), encode_checkpoints(f))
     }
 
     fn load<T>(
@@ -341,6 +358,87 @@ mod tests {
             }
         });
         assert_eq!(cache.load_shared(&key), Some(t));
+        let leftovers: Vec<_> = std::fs::read_dir(cache.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x != "gdpt"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn checkpoint_entries_store_load_and_salvage() {
+        use crate::model::StateCheckpoint;
+        use gdp_core::state::{EstimatorState, StateValue};
+
+        let cache = TraceCache::new(tmpdir("state"));
+        let mut key = CacheKey::new("state");
+        key.u64(3);
+        let f = CheckpointFile {
+            workload: "2c-H-00".into(),
+            cores: 2,
+            intervals: 4,
+            checkpoints: vec![
+                StateCheckpoint {
+                    at: 1,
+                    states: vec![("gdp".into(), EstimatorState::new("GDP", StateValue::U64(7)))],
+                },
+                StateCheckpoint {
+                    at: 3,
+                    states: vec![("gdp".into(), EstimatorState::new("GDP", StateValue::U64(9)))],
+                },
+            ],
+        };
+        assert!(cache.load_checkpoints(&key).is_none(), "cold cache misses");
+        cache.store_checkpoints(&key, &f).expect("stores");
+        assert_eq!(cache.load_checkpoints(&key), Some(f.clone()));
+
+        // Corrupt the *last* STATE section's bytes in place: the salvage
+        // loader still returns the file, minus that checkpoint.
+        let path = cache.path("state", &key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 6] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let got = cache.load_checkpoints(&key).expect("salvaged");
+        assert_eq!(got.checkpoints, f.checkpoints[..1]);
+        assert!(path.exists(), "partially-salvaged entries are kept, not quarantined");
+
+        // A corrupt header is beyond salvage: counted miss + quarantine.
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.load_checkpoints(&key).is_none());
+        assert!(!path.exists(), "unsalvageable entry must be quarantined");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn concurrent_same_key_checkpoint_stores_leave_a_clean_entry() {
+        // Checkpoint summarization is content-addressed exactly like
+        // traces: two campaign jobs summarizing the same trace race their
+        // stores, and the survivor must decode with nothing leaked.
+        use crate::model::StateCheckpoint;
+        use gdp_core::state::{EstimatorState, StateValue};
+
+        let cache = TraceCache::new(tmpdir("state-race"));
+        let mut key = CacheKey::new("state");
+        key.u64(11);
+        let f = CheckpointFile {
+            workload: "w".into(),
+            cores: 1,
+            intervals: 2,
+            checkpoints: vec![StateCheckpoint {
+                at: 1,
+                states: vec![("gdp".into(), EstimatorState::new("GDP", StateValue::U64(1)))],
+            }],
+        };
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| cache.store_checkpoints(&key, &f).expect("stores"));
+            }
+        });
+        assert_eq!(cache.load_checkpoints(&key), Some(f));
         let leftovers: Vec<_> = std::fs::read_dir(cache.dir())
             .unwrap()
             .filter_map(|e| e.ok())

@@ -6,7 +6,9 @@
 //! ```
 //!
 //! Shared traces carry sections META, INTERVALS, FINAL; private traces
-//! META, CHECKPOINTS. Integers are LEB128 varints, signed values zigzag,
+//! META, CHECKPOINTS; checkpoint (estimator-state) files META followed
+//! by one independently-CRC'd STATE section per interval-boundary
+//! snapshot. Integers are LEB128 varints, signed values zigzag,
 //! floats exact little-endian bits, and event timestamps are
 //! delta-encoded against the previous event's visibility cycle (probe
 //! streams are near-sorted, so deltas stay short). The decoder is
@@ -14,13 +16,17 @@
 //! are all typed [`TraceError`]s — a corrupt cache entry can never decode
 //! into a silently-wrong campaign.
 
+use gdp_core::state::{EstimatorState, StateValue};
 use gdp_sim::mem::Interference;
 use gdp_sim::probe::{ProbeEvent, StallCause};
 use gdp_sim::stats::CoreStats;
 use gdp_sim::types::{CoreId, ReqId};
 
 use crate::codec::{crc32, Reader, TraceError, Writer};
-use crate::model::{Boundary, PrivateTrace, SharedTrace, TraceCheckpoint, TraceInterval};
+use crate::model::{
+    Boundary, CheckpointFile, PrivateTrace, SharedTrace, StateCheckpoint, TraceCheckpoint,
+    TraceInterval,
+};
 
 /// Current format version; bump on any layout change (also folded into
 /// cache keys, so stale traces are invalidated rather than misdecoded).
@@ -32,11 +38,14 @@ const MAGIC: &[u8; 8] = b"GDPTRACE";
 pub const KIND_SHARED: u8 = 0;
 /// Header kind byte of a private-mode trace.
 pub const KIND_PRIVATE: u8 = 1;
+/// Header kind byte of a checkpoint (estimator-state) file.
+pub const KIND_STATE: u8 = 2;
 
 const SEC_META: u8 = 1;
 const SEC_INTERVALS: u8 = 2;
 const SEC_FINAL: u8 = 3;
 const SEC_CHECKPOINTS: u8 = 4;
+const SEC_STATE: u8 = 5;
 
 // ------------------------------------------------------------- encoding
 
@@ -412,6 +421,135 @@ pub fn encode_private(t: &PrivateTrace) -> Vec<u8> {
     out.into_bytes()
 }
 
+// ------------------------------------------------ estimator-state codec
+
+const SV_U64: u8 = 0;
+const SV_I64: u8 = 1;
+const SV_F64: u8 = 2;
+const SV_BOOL: u8 = 3;
+const SV_LIST: u8 = 4;
+
+/// Maximum nesting of a state tree. Real snapshots are 3–4 deep; the
+/// guard keeps a corrupt length byte from recursing the decoder away.
+const STATE_MAX_DEPTH: u32 = 32;
+
+fn encode_state_value(w: &mut Writer, v: &StateValue) {
+    match v {
+        StateValue::U64(x) => {
+            w.u8(SV_U64);
+            w.varint(*x);
+        }
+        StateValue::I64(x) => {
+            w.u8(SV_I64);
+            w.zigzag(*x);
+        }
+        StateValue::F64Bits(bits) => {
+            w.u8(SV_F64);
+            w.f64_bits(f64::from_bits(*bits));
+        }
+        StateValue::Bool(x) => {
+            w.u8(SV_BOOL);
+            w.u8(u8::from(*x));
+        }
+        StateValue::List(xs) => {
+            w.u8(SV_LIST);
+            w.varint(xs.len() as u64);
+            for x in xs {
+                encode_state_value(w, x);
+            }
+        }
+    }
+}
+
+fn decode_state_value(r: &mut Reader<'_>, depth: u32) -> Result<StateValue, TraceError> {
+    if depth > STATE_MAX_DEPTH {
+        return Err(TraceError::BadSection { section: "STATE" });
+    }
+    let at = r.pos();
+    match r.u8()? {
+        SV_U64 => Ok(StateValue::U64(r.varint()?)),
+        SV_I64 => Ok(StateValue::I64(r.zigzag()?)),
+        SV_F64 => Ok(StateValue::F64Bits(r.f64_bits()?.to_bits())),
+        SV_BOOL => match r.u8()? {
+            0 => Ok(StateValue::Bool(false)),
+            1 => Ok(StateValue::Bool(true)),
+            tag => Err(TraceError::BadTag { what: "state-bool", tag, at }),
+        },
+        SV_LIST => {
+            let n = r.varint()? as usize;
+            let mut xs = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                xs.push(decode_state_value(r, depth + 1)?);
+            }
+            Ok(StateValue::List(xs))
+        }
+        tag => Err(TraceError::BadTag { what: "state-value", tag, at }),
+    }
+}
+
+fn encode_estimator_state(w: &mut Writer, s: &EstimatorState) {
+    w.str(&s.technique);
+    w.varint(u64::from(s.version));
+    encode_state_value(w, &s.root);
+}
+
+fn decode_estimator_state(r: &mut Reader<'_>) -> Result<EstimatorState, TraceError> {
+    let technique = r.str()?;
+    let version = r.varint()?;
+    if version > u64::from(u32::MAX) {
+        return Err(TraceError::BadSection { section: "STATE" });
+    }
+    let root = decode_state_value(r, 0)?;
+    Ok(EstimatorState { technique, version: version as u32, root })
+}
+
+/// Payload of one STATE section: the boundary index and the
+/// per-technique snapshots captured there.
+fn encode_checkpoint_payload(c: &StateCheckpoint) -> Writer {
+    let mut w = Writer::new();
+    w.varint(c.at);
+    w.varint(c.states.len() as u64);
+    for (id, state) in &c.states {
+        w.str(id);
+        encode_estimator_state(&mut w, state);
+    }
+    w
+}
+
+fn decode_checkpoint_payload(p: &mut Reader<'_>) -> Result<StateCheckpoint, TraceError> {
+    let at = p.varint()?;
+    let n = p.varint()? as usize;
+    let mut states = Vec::with_capacity(n.min(1 << 10));
+    for _ in 0..n {
+        let id = p.str()?;
+        states.push((id, decode_estimator_state(p)?));
+    }
+    expect_drained(p, "STATE")?;
+    Ok(StateCheckpoint { at, states })
+}
+
+/// Encode a checkpoint file. Each checkpoint gets its own CRC'd STATE
+/// section so a single corrupt snapshot costs one restore point, not the
+/// whole file (see [`decode_checkpoints_salvage`]).
+pub fn encode_checkpoints(f: &CheckpointFile) -> Vec<u8> {
+    let mut out = Writer::new();
+    out.bytes(MAGIC);
+    out.u32_le(FORMAT_VERSION);
+    out.u8(KIND_STATE);
+
+    let mut meta = Writer::new();
+    meta.str(&f.workload);
+    meta.varint(f.cores as u64);
+    meta.varint(f.intervals);
+    meta.varint(f.checkpoints.len() as u64);
+    write_section(&mut out, SEC_META, meta);
+
+    for c in &f.checkpoints {
+        write_section(&mut out, SEC_STATE, encode_checkpoint_payload(c));
+    }
+    out.into_bytes()
+}
+
 // ------------------------------------------------------------- decoding
 
 fn decode_header(r: &mut Reader<'_>, want_kind: u8) -> Result<(), TraceError> {
@@ -477,6 +615,10 @@ pub fn decode_shared(bytes: &[u8]) -> Result<SharedTrace, TraceError> {
     let n_intervals = ivs.varint()? as usize;
     let mut intervals = Vec::with_capacity(n_intervals.min(1 << 20));
     let mut prev = 0u64;
+    // Per-core committed-instruction watermark: boundary windows must be
+    // non-decreasing (gaps are fine — not every interval reports every
+    // core — but a window running backwards would replay garbage).
+    let mut instr_watermark = vec![0u64; cores];
     for _ in 0..n_intervals {
         let n_events = ivs.varint()? as usize;
         let mut events = Vec::with_capacity(n_events.min(1 << 22));
@@ -490,8 +632,13 @@ pub fn decode_shared(bytes: &[u8]) -> Result<SharedTrace, TraceError> {
             return Err(TraceError::BadSection { section: "INTERVALS" });
         }
         let mut boundaries = Vec::with_capacity(n_bounds.min(1 << 10));
-        for _ in 0..n_bounds {
-            boundaries.push(decode_boundary(&mut ivs)?);
+        for core in 0..n_bounds {
+            let b = decode_boundary(&mut ivs)?;
+            if b.instr_end < b.instr_start || b.instr_start < instr_watermark[core] {
+                return Err(TraceError::BadSection { section: "INTERVALS" });
+            }
+            instr_watermark[core] = b.instr_end;
+            boundaries.push(b);
         }
         intervals.push(TraceInterval { events, boundaries });
     }
@@ -540,6 +687,90 @@ pub fn decode_private(bytes: &[u8]) -> Result<PrivateTrace, TraceError> {
         return Err(TraceError::TrailingBytes { len: r.remaining() });
     }
     Ok(PrivateTrace { bench, base, checkpoints, total })
+}
+
+/// Decode the header and META section of a checkpoint file, returning
+/// the reader positioned at the first STATE section plus the declared
+/// section count.
+fn decode_checkpoints_meta(
+    bytes: &[u8],
+) -> Result<(Reader<'_>, CheckpointFile, usize), TraceError> {
+    let mut r = Reader::new(bytes);
+    decode_header(&mut r, KIND_STATE)?;
+
+    let mut meta = read_section(&mut r, SEC_META, "META")?;
+    let workload = meta.str()?;
+    let cores = meta.varint()? as usize;
+    if cores > 256 {
+        return Err(TraceError::BadSection { section: "META" });
+    }
+    let intervals = meta.varint()?;
+    let declared = meta.varint()? as usize;
+    expect_drained(&meta, "META")?;
+
+    let file = CheckpointFile { workload, cores, intervals, checkpoints: Vec::new() };
+    Ok((r, file, declared))
+}
+
+/// Decode a checkpoint file; strict (every byte accounted for, every
+/// STATE section CRC-verified, checkpoint indices strictly ascending and
+/// inside the summarized trace).
+pub fn decode_checkpoints(bytes: &[u8]) -> Result<CheckpointFile, TraceError> {
+    let (mut r, mut file, declared) = decode_checkpoints_meta(bytes)?;
+    file.checkpoints.reserve(declared.min(1 << 20));
+    for _ in 0..declared {
+        let mut sec = read_section(&mut r, SEC_STATE, "STATE")?;
+        let c = decode_checkpoint_payload(&mut sec)?;
+        let ascending = file.checkpoints.last().map_or(true, |last| last.at < c.at);
+        if !ascending || c.at > file.intervals {
+            return Err(TraceError::BadSection { section: "STATE" });
+        }
+        file.checkpoints.push(c);
+    }
+    if r.remaining() != 0 {
+        return Err(TraceError::TrailingBytes { len: r.remaining() });
+    }
+    Ok(file)
+}
+
+/// Decode a checkpoint file, salvaging what survives corruption: the
+/// header and META must be intact, but each STATE section stands alone —
+/// a CRC or parse failure drops that one checkpoint and the next section
+/// is tried, so replay degrades to the nearest earlier good restore
+/// point instead of erroring the campaign. Stops at the first structural
+/// break (section framing no longer parses). Returns the surviving file
+/// and the number of checkpoints dropped.
+pub fn decode_checkpoints_salvage(bytes: &[u8]) -> Result<(CheckpointFile, usize), TraceError> {
+    let (mut r, mut file, declared) = decode_checkpoints_meta(bytes)?;
+    let mut dropped = 0usize;
+    let mut processed = 0usize;
+    while processed < declared {
+        // Section framing: a failure here means section boundaries are
+        // lost and everything after is unreachable — stop salvaging.
+        let Ok(tag) = r.u8() else { break };
+        if tag != SEC_STATE {
+            break;
+        }
+        let Ok(len) = r.varint() else { break };
+        let Ok(payload) = r.bytes(len as usize) else { break };
+        let Ok(stored) = r.u32_le() else { break };
+        processed += 1;
+        if stored != crc32(payload) {
+            dropped += 1;
+            continue;
+        }
+        match decode_checkpoint_payload(&mut Reader::new(payload)) {
+            Ok(c)
+                if c.at <= file.intervals
+                    && file.checkpoints.last().map_or(true, |last| last.at < c.at) =>
+            {
+                file.checkpoints.push(c)
+            }
+            _ => dropped += 1,
+        }
+    }
+    dropped += declared - processed;
+    Ok((file, dropped))
 }
 
 #[cfg(test)]
@@ -732,5 +963,172 @@ mod tests {
         assert_eq!(decode_shared(&encode_shared(&t)).unwrap(), t);
         let p = PrivateTrace::default();
         assert_eq!(decode_private(&encode_private(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn non_monotone_boundaries_are_rejected() {
+        // Gaps are fine: sample_shared's per-core windows are already
+        // non-contiguous (core 0 runs 0..100 then 200..300).
+        assert!(decode_shared(&encode_shared(&sample_shared())).is_ok());
+
+        // A window running backwards within one boundary.
+        let mut t = sample_shared();
+        t.intervals[0].boundaries[0].instr_start = 50;
+        t.intervals[0].boundaries[0].instr_end = 40;
+        assert_eq!(
+            decode_shared(&encode_shared(&t)),
+            Err(TraceError::BadSection { section: "INTERVALS" })
+        );
+
+        // A later interval restarting below the core's watermark.
+        let mut t = sample_shared();
+        t.intervals[1].boundaries[0] = t.intervals[0].boundaries[0];
+        assert_eq!(
+            decode_shared(&encode_shared(&t)),
+            Err(TraceError::BadSection { section: "INTERVALS" })
+        );
+    }
+
+    // ------------------------------------------------- checkpoint files
+
+    fn sample_state(seed: u64) -> EstimatorState {
+        EstimatorState::new(
+            "GDP",
+            StateValue::List(vec![
+                StateValue::U64(seed),
+                StateValue::I64(-(seed as i64) - 1),
+                StateValue::f64(140.25 + seed as f64),
+                StateValue::f64(f64::NAN),
+                StateValue::Bool(seed % 2 == 0),
+                StateValue::List(vec![StateValue::U64(7), StateValue::List(vec![])]),
+            ]),
+        )
+    }
+
+    fn sample_checkpoints() -> CheckpointFile {
+        CheckpointFile {
+            workload: "2c-H-00".to_string(),
+            cores: 2,
+            intervals: 5,
+            checkpoints: [1u64, 2, 4]
+                .into_iter()
+                .map(|at| StateCheckpoint {
+                    at,
+                    states: vec![
+                        ("gdp".to_string(), sample_state(at)),
+                        ("ptca".to_string(), sample_state(at + 9)),
+                    ],
+                })
+                .collect(),
+        }
+    }
+
+    /// Byte range of the `want`-th STATE section's payload.
+    fn state_payload_range(bytes: &[u8], want: usize) -> std::ops::Range<usize> {
+        let mut r = Reader::new(bytes);
+        r.bytes(13).unwrap(); // magic + version + kind
+        let mut seen = 0usize;
+        loop {
+            let tag = r.u8().unwrap();
+            let len = r.varint().unwrap() as usize;
+            let start = r.pos();
+            r.bytes(len).unwrap();
+            r.u32_le().unwrap();
+            if tag == SEC_STATE {
+                if seen == want {
+                    return start..start + len;
+                }
+                seen += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_files_round_trip_exactly() {
+        let f = sample_checkpoints();
+        let bytes = encode_checkpoints(&f);
+        assert_eq!(decode_checkpoints(&bytes).unwrap(), f);
+        // NaN λ̂ bits survive (PartialEq on F64Bits compares bit patterns).
+        assert_eq!(decode_checkpoints_salvage(&bytes).unwrap(), (f, 0));
+
+        let empty = CheckpointFile { workload: "w".into(), cores: 1, ..Default::default() };
+        assert_eq!(decode_checkpoints(&encode_checkpoints(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn state_bitflips_are_all_detected() {
+        // Mirror of `crc_catches_bitflips_that_still_parse` for the STATE
+        // format: every single-bit corruption anywhere in the file must
+        // surface as a TraceError from the strict decoder.
+        let clean = encode_checkpoints(&sample_checkpoints());
+        for pos in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x01;
+            assert!(decode_checkpoints(&bytes).is_err(), "bitflip at byte {pos} must be detected");
+        }
+    }
+
+    #[test]
+    fn state_truncation_and_trailing_bytes_are_rejected() {
+        let bytes = encode_checkpoints(&sample_checkpoints());
+        for cut in [0, 5, 12, 13, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_checkpoints(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        let mut bytes = bytes;
+        bytes.push(0);
+        assert_eq!(decode_checkpoints(&bytes), Err(TraceError::TrailingBytes { len: 1 }));
+    }
+
+    #[test]
+    fn checkpoints_must_ascend_within_the_trace() {
+        let mut f = sample_checkpoints();
+        f.checkpoints[1].at = f.checkpoints[0].at; // duplicate boundary
+        assert_eq!(
+            decode_checkpoints(&encode_checkpoints(&f)),
+            Err(TraceError::BadSection { section: "STATE" })
+        );
+        let mut f = sample_checkpoints();
+        f.checkpoints[2].at = f.intervals + 1; // outside the trace
+        assert_eq!(
+            decode_checkpoints(&encode_checkpoints(&f)),
+            Err(TraceError::BadSection { section: "STATE" })
+        );
+    }
+
+    #[test]
+    fn salvage_drops_only_the_corrupt_checkpoint() {
+        let f = sample_checkpoints();
+        let mut bytes = encode_checkpoints(&f);
+        let range = state_payload_range(&bytes, 1);
+        bytes[range.start + range.len() / 2] ^= 0xFF;
+
+        // Strict decode refuses the file outright…
+        assert!(decode_checkpoints(&bytes).is_err());
+        // …salvage keeps the intact restore points either side.
+        let (got, dropped) = decode_checkpoints_salvage(&bytes).unwrap();
+        assert_eq!(dropped, 1);
+        assert_eq!(got.checkpoints.len(), 2);
+        assert_eq!(got.checkpoints[0], f.checkpoints[0]);
+        assert_eq!(got.checkpoints[1], f.checkpoints[2]);
+        // The corrupt checkpoint was at=2: a segment starting at interval
+        // 3 now degrades to the earlier good restore point at=1.
+        assert_eq!(got.nearest_at_or_before(3).unwrap().at, 1);
+    }
+
+    #[test]
+    fn salvage_stops_at_structural_breaks() {
+        let f = sample_checkpoints();
+        let bytes = encode_checkpoints(&f);
+        // Truncate inside the last STATE section: its framing no longer
+        // parses, so salvage keeps the first two and reports one dropped.
+        let range = state_payload_range(&bytes, 2);
+        let (got, dropped) = decode_checkpoints_salvage(&bytes[..range.start + 1]).unwrap();
+        assert_eq!(dropped, 1);
+        assert_eq!(got.checkpoints, f.checkpoints[..2]);
+
+        // A corrupt META is not salvageable — the file identity is gone.
+        let mut bytes = encode_checkpoints(&f);
+        bytes[15] ^= 0xFF; // inside the META payload
+        assert!(decode_checkpoints_salvage(&bytes).is_err());
     }
 }

@@ -37,9 +37,12 @@ pub mod replay;
 
 pub use cache::{CacheKey, CacheStatsSnapshot, TraceCache};
 pub use codec::TraceError;
-pub use format::{decode_private, decode_shared, encode_private, encode_shared, FORMAT_VERSION};
+pub use format::{
+    decode_checkpoints, decode_checkpoints_salvage, decode_private, decode_shared,
+    encode_checkpoints, encode_private, encode_shared, FORMAT_VERSION,
+};
 pub use model::{
-    Boundary, NullSink, PrivateTrace, Recorder, SharedTrace, TraceCheckpoint, TraceInterval,
-    TraceSink,
+    Boundary, CheckpointFile, NullSink, PrivateTrace, Recorder, SharedTrace, StateCheckpoint,
+    TraceCheckpoint, TraceInterval, TraceSink,
 };
 pub use replay::replay_estimates;

@@ -10,6 +10,7 @@
 //! [`PrivateModeEstimator`]: gdp_core::model::PrivateModeEstimator
 
 use gdp_core::model::IntervalMeasurement;
+use gdp_core::state::EstimatorState;
 use gdp_sim::probe::ProbeEvent;
 use gdp_sim::stats::CoreStats;
 
@@ -100,6 +101,50 @@ pub struct PrivateTrace {
     pub checkpoints: Vec<TraceCheckpoint>,
     /// Final cumulative statistics.
     pub total: CoreStats,
+}
+
+/// Snapshots of every registered technique's estimator state at one
+/// interval boundary of a shared trace: restoring the snapshot for
+/// technique `id` and replaying intervals `at..` is bit-identical to
+/// replaying the whole trace — the unit of segmented parallel replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateCheckpoint {
+    /// Number of intervals fully replayed before this state was captured
+    /// (checkpoint `at = k` restores a session about to replay interval
+    /// `k`; `k = 0` is the cold state and is never stored).
+    pub at: u64,
+    /// Per-technique snapshots, keyed by the technique's stable id.
+    pub states: Vec<(String, EstimatorState)>,
+}
+
+impl StateCheckpoint {
+    /// The snapshot of technique `id`, if the summarizer captured one.
+    pub fn state(&self, id: &str) -> Option<&EstimatorState> {
+        self.states.iter().find(|(s, _)| s == id).map(|(_, e)| e)
+    }
+}
+
+/// A checkpoint file: per-interval-boundary estimator states summarized
+/// offline from one shared trace (stored next to it in the cache).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointFile {
+    /// Workload identifier (diagnostics; must match the trace's).
+    pub workload: String,
+    /// Core count of the summarized trace.
+    pub cores: usize,
+    /// Total interval count of the summarized trace.
+    pub intervals: u64,
+    /// Checkpoints in ascending `at` order.
+    pub checkpoints: Vec<StateCheckpoint>,
+}
+
+impl CheckpointFile {
+    /// The latest checkpoint at or before interval `k` — the restore
+    /// point for a segment (or on-demand query) starting at `k`. `None`
+    /// means replay from the cold state.
+    pub fn nearest_at_or_before(&self, k: u64) -> Option<&StateCheckpoint> {
+        self.checkpoints.iter().filter(|c| c.at <= k).max_by_key(|c| c.at)
+    }
 }
 
 /// Capture hook called by the shared-mode experiment driver. The calls
