@@ -70,6 +70,25 @@ fn bench_session(c: &mut Criterion) {
         );
     });
 
+    // Instrumentation overhead: identical replays with a telemetry
+    // registry attached — per-interval span enters plus event counting.
+    // The delta vs the unmetered scenarios above is the hot-path cost
+    // of `--metrics` (BENCH_session.json tracks it; budget ≤2%).
+    let registry = gdp_telemetry::MetricsRegistry::shared();
+    for (name, set) in [("gdp-o", vec![Technique::GDP_O]), ("transparent4", transparent.clone())] {
+        let reg = std::sync::Arc::clone(&registry);
+        c.bench_function(&format!("session/replay/{name}/metered"), |b| {
+            b.iter_batched(
+                || {
+                    ReplaySession::new(&trace, &xcfg, &set)
+                        .with_metrics(std::sync::Arc::clone(&reg))
+                },
+                |session| session.into_report(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
     // The streaming poll path: advance interval-by-interval and poll
     // after each, the embedding host's cadence (same work + poll
     // bookkeeping; confirms polling adds nothing measurable).

@@ -1,0 +1,83 @@
+//! Paired A/B measurement of telemetry's hot-path overhead.
+//!
+//! The criterion scenarios in `benches/estimator_session.rs` measure the
+//! metered and unmetered replays in separate blocks, so on a busy
+//! container their deltas drown in run-to-run drift (the *unmetered*
+//! scenario's own medians scatter several percent between invocations).
+//! This harness interleaves the two variants round by round — unmetered
+//! then metered, order flipped every round — so slow phases hit both
+//! sides equally, and reports the median of the per-round paired ratios:
+//! the statistic BENCH_session.json records for the ≤2% overhead budget.
+//!
+//! ```console
+//! $ cargo run --release -p gdp-bench --example metrics_overhead
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gdp_bench::{Scale, SWEEP_SEED};
+use gdp_experiments::{record_shared, ReplaySession, Technique};
+use gdp_telemetry::MetricsRegistry;
+use gdp_workloads::{generate_workloads, LlcClass};
+
+fn main() {
+    let workload = generate_workloads(2, LlcClass::H, 1, SWEEP_SEED).remove(0);
+    let xcfg = Scale::Tiny.xcfg(2);
+    let transparent: Vec<Technique> =
+        Technique::ALL.iter().copied().filter(|t| !t.is_invasive()).collect();
+    let (_, trace) = record_shared(&workload, &xcfg, &transparent);
+    let registry = MetricsRegistry::shared();
+
+    for (name, set) in [("gdp-o", vec![Technique::GDP_O]), ("transparent4", transparent.clone())] {
+        const ROUNDS: usize = 101;
+        let mut plain = Vec::with_capacity(ROUNDS);
+        let mut metered = Vec::with_capacity(ROUNDS);
+        let mut ratios = Vec::with_capacity(ROUNDS);
+        // Warm-up: one unmeasured replay of each variant.
+        ReplaySession::new(&trace, &xcfg, &set).into_report();
+        ReplaySession::new(&trace, &xcfg, &set).with_metrics(Arc::clone(&registry)).into_report();
+        for round in 0..ROUNDS {
+            let time_plain = || {
+                let s = ReplaySession::new(&trace, &xcfg, &set);
+                let t = Instant::now();
+                let r = s.into_report();
+                let d = t.elapsed().as_secs_f64();
+                std::hint::black_box(r);
+                d
+            };
+            let time_metered = || {
+                let s = ReplaySession::new(&trace, &xcfg, &set).with_metrics(Arc::clone(&registry));
+                let t = Instant::now();
+                let r = s.into_report();
+                let d = t.elapsed().as_secs_f64();
+                std::hint::black_box(r);
+                d
+            };
+            // Alternate order so any slow phase penalizes both variants.
+            let (p, m) = if round % 2 == 0 {
+                let p = time_plain();
+                let m = time_metered();
+                (p, m)
+            } else {
+                let m = time_metered();
+                let p = time_plain();
+                (p, m)
+            };
+            plain.push(p);
+            metered.push(m);
+            ratios.push(m / p);
+        }
+        let med = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.total_cmp(b));
+            v[v.len() / 2]
+        };
+        let (p, m, r) = (med(&mut plain), med(&mut metered), med(&mut ratios));
+        println!(
+            "{name:<14} plain {:8.3} ms   metered {:8.3} ms   median paired overhead {:+.2}%",
+            p * 1e3,
+            m * 1e3,
+            (r - 1.0) * 100.0
+        );
+    }
+}

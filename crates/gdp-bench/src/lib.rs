@@ -22,12 +22,17 @@
 //! (see `gdp_runner::report` for the document layout); progress goes to
 //! stderr. EXPERIMENTS.md records a reference transcript.
 
+use std::sync::Arc;
+
 use gdp_experiments::{
     transparent_subset, CampaignTraces, ExperimentConfig, PrivateRun, SharedRun, Technique,
     WorkloadAccuracy, WorkloadEval,
 };
 use gdp_metrics::{mean, Summary};
-use gdp_runner::{cli, summary_json, CacheCounters, Campaign, Json, Pool, Progress, ScaleFlag};
+use gdp_runner::{
+    cli, summary_json, CacheCounters, Campaign, Json, Pool, PoolTelemetry, Progress, ScaleFlag,
+};
+use gdp_telemetry::{log_info, render_profile, MetricsRegistry};
 use gdp_workloads::{generate_workloads, LlcClass, Workload};
 
 /// Sweep scale selected on the command line.
@@ -111,6 +116,21 @@ pub struct BenchArgs {
     /// `--techniques`: validated registry selection, canonical order;
     /// `None` means the binary's default set.
     pub techniques: Option<Vec<Technique>>,
+    /// `--metrics`: collect telemetry and write the full snapshot to
+    /// `results/<bin>.metrics.json` (plus a `telemetry` object in the
+    /// run record under `--json`).
+    pub metrics: bool,
+    /// `--metrics-out PATH`: write the snapshot to an explicit path
+    /// (implies collection).
+    pub metrics_out: Option<String>,
+    /// `--profile`: print the span-profile table to stderr after the
+    /// run (implies collection).
+    pub profile: bool,
+    /// `--quiet`: stderr diagnostics suppressed (the log level is
+    /// already applied globally by the shared CLI parser).
+    pub quiet: bool,
+    registry: Option<Arc<MetricsRegistry>>,
+    pool_telemetry: Option<Arc<PoolTelemetry>>,
 }
 
 impl BenchArgs {
@@ -125,6 +145,7 @@ impl BenchArgs {
                 std::process::exit(2);
             }
         });
+        let wants = a.wants_telemetry();
         BenchArgs {
             bin,
             scale: a.scale.into(),
@@ -136,7 +157,19 @@ impl BenchArgs {
             replay_jobs: a.replay_jobs(),
             trace_dir: a.trace_dir,
             techniques,
+            metrics: a.metrics,
+            metrics_out: a.metrics_out,
+            profile: a.profile,
+            quiet: a.quiet,
+            registry: wants.then(MetricsRegistry::shared),
+            pool_telemetry: wants.then(PoolTelemetry::shared),
         }
+    }
+
+    /// The campaign-wide metrics registry, when any telemetry flag
+    /// (`--metrics`/`--metrics-out`/`--profile`) asked for one.
+    pub fn telemetry(&self) -> Option<Arc<MetricsRegistry>> {
+        self.registry.clone()
     }
 
     /// The technique selection, falling back to the binary's default set.
@@ -144,9 +177,14 @@ impl BenchArgs {
         self.techniques.clone().unwrap_or_else(|| default.to_vec())
     }
 
-    /// The job pool for this invocation.
+    /// The job pool for this invocation (with the scheduling-telemetry
+    /// sink attached when telemetry is on).
     pub fn pool(&self) -> Pool {
-        Pool::new(self.jobs)
+        let p = Pool::new(self.jobs);
+        match &self.pool_telemetry {
+            Some(t) => p.with_telemetry(Arc::clone(t)),
+            None => p,
+        }
     }
 
     /// Start the campaign clock/identity for this invocation.
@@ -155,11 +193,18 @@ impl BenchArgs {
     }
 
     /// The campaign trace policy, when `--record`/`--replay` asked for
-    /// one. `None` keeps the cache entirely out of the hot path.
+    /// one — or, under any telemetry flag, a no-IO policy (neither
+    /// recording nor replaying) that exists purely to thread the metrics
+    /// registry into every shared and private job. `None` keeps both
+    /// the cache and telemetry entirely out of the hot path.
     pub fn traces(&self) -> Option<CampaignTraces> {
-        (self.record || self.replay).then(|| {
-            CampaignTraces::new(&self.trace_dir, self.record, self.replay)
-                .with_replay_jobs(self.replay_jobs)
+        (self.record || self.replay || self.registry.is_some()).then(|| {
+            let mut tc = CampaignTraces::new(&self.trace_dir, self.record, self.replay)
+                .with_replay_jobs(self.replay_jobs);
+            if let Some(reg) = &self.registry {
+                tc = tc.with_metrics(Arc::clone(reg));
+            }
+            tc
         })
     }
 
@@ -177,22 +222,68 @@ impl BenchArgs {
         true
     }
 
-    /// End-of-campaign bookkeeping: the stderr `done:` summary line and
-    /// trace-cache counters for the run record.
+    /// End-of-campaign bookkeeping: the stderr `done:` summary line
+    /// (with per-job aggregate time when telemetry is on), trace-cache
+    /// counters for the run record, and — under any telemetry flag —
+    /// the metrics snapshot: exported into the campaign (`telemetry`
+    /// run-record object), written to `results/<bin>.metrics.json` (or
+    /// `--metrics-out PATH`), and rendered as the `--profile` span
+    /// table on stderr.
     pub fn finish_campaign(
         &self,
         campaign: &mut Campaign,
         progress: &Progress,
         traces: Option<&CampaignTraces>,
     ) {
-        progress.campaign_done();
+        progress.campaign_done_with(self.pool_telemetry.as_deref());
         if let Some(tc) = traces {
-            let s = tc.stats();
-            campaign.set_cache(CacheCounters { hits: s.hits, misses: s.misses, stores: s.stores });
-            eprintln!(
-                "[{}] trace cache: {} hits, {} misses, {} stores ({})",
-                self.bin, s.hits, s.misses, s.stores, self.trace_dir
-            );
+            if self.record || self.replay {
+                let s = tc.stats();
+                campaign.set_cache(CacheCounters {
+                    hits: s.hits,
+                    misses: s.misses,
+                    stores: s.stores,
+                    quarantines: s.quarantines,
+                    salvage_dropped: s.salvage_dropped,
+                });
+                log_info!(
+                    "[{}] trace cache: {} hits, {} misses, {} stores ({})",
+                    self.bin,
+                    s.hits,
+                    s.misses,
+                    s.stores,
+                    self.trace_dir
+                );
+            }
+            if let Some(reg) = &self.registry {
+                tc.stats().export(reg);
+            }
+        }
+        let Some(reg) = &self.registry else { return };
+        if let Some(pt) = &self.pool_telemetry {
+            pt.export(reg);
+        }
+        let snap = reg.snapshot();
+        if self.profile {
+            eprint!("{}", render_profile(&snap, campaign.elapsed()));
+        }
+        let full = snap.to_json();
+        match Json::parse(&full) {
+            Ok(j) => campaign.set_telemetry(j),
+            Err(e) => eprintln!("{}: malformed metrics snapshot: {e:?}", self.bin),
+        }
+        let path = self
+            .metrics_out
+            .clone()
+            .unwrap_or_else(|| format!("{}/{}.metrics.json", gdp_runner::RESULTS_DIR, self.bin));
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        match std::fs::write(&path, &full) {
+            Ok(()) => log_info!("[{}] wrote {path}", self.bin),
+            Err(e) => eprintln!("{}: cannot write metrics to {path}: {e}", self.bin),
         }
     }
 

@@ -7,7 +7,7 @@ use gdp_metrics::ErrorSeries;
 use gdp_workloads::Workload;
 
 use crate::config::ExperimentConfig;
-use crate::private::{run_private, PrivateRun};
+use crate::private::PrivateRun;
 use crate::shared::{run_shared, SharedRun};
 pub use crate::techniques::{transparent_subset, Technique};
 
@@ -210,11 +210,23 @@ impl WorkloadEval {
     /// The private ground-truth run for `core` (the expensive inner
     /// loop; pure and independent across cores).
     pub fn run_private_for(&self, core: usize) -> PrivateRun {
-        run_private(
+        self.run_private_for_metered(core, None)
+    }
+
+    /// [`WorkloadEval::run_private_for`] with an optional metrics
+    /// registry: the run's `engine.*` counters accumulate into it (see
+    /// [`run_private_metered`](crate::private::run_private_metered)).
+    pub fn run_private_for_metered(
+        &self,
+        core: usize,
+        metrics: Option<&gdp_telemetry::MetricsRegistry>,
+    ) -> PrivateRun {
+        crate::private::run_private_metered(
             &self.benchmarks[core],
             private_base(core),
             &self.xcfg,
             &self.checkpoints_for(core),
+            metrics,
         )
     }
 

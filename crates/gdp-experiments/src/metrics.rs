@@ -1,0 +1,44 @@
+//! Binding glue between simulator-side counters and the telemetry
+//! registry.
+//!
+//! `gdp-sim` stays dependency-free: the engine exposes its activity as a
+//! plain [`EngineCounters`] struct, and this module folds one into a
+//! [`MetricsRegistry`] under the `engine.*` namespace. The export *adds*
+//! into the counters, so every simulation of a campaign — shared
+//! sessions and private ground-truth runs alike — accumulates into one
+//! campaign-wide total that is independent of job scheduling order.
+
+use gdp_sim::EngineCounters;
+use gdp_telemetry::MetricsRegistry;
+
+/// Accumulate a finished simulator's [`EngineCounters`] into `registry`
+/// as `engine.*` counters.
+///
+/// Sums are order-independent, so campaign totals are deterministic for
+/// any `--jobs N` (every job exports once, whatever worker ran it).
+pub fn export_engine_counters(registry: &MetricsRegistry, c: &EngineCounters) {
+    registry.counter("engine.cycles").add(c.cycles);
+    registry.counter("engine.cycles_skipped").add(c.cycles_skipped);
+    registry.counter("engine.cycles_stepped").add(c.cycles_stepped);
+    registry.counter("engine.advance_calls").add(c.advance_calls);
+    registry.counter("engine.bulk_jumps").add(c.bulk_jumps);
+    registry.counter("engine.quiet_windows").add(c.quiet_windows);
+    registry.counter("engine.oracle_steps").add(c.oracle_steps);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_accumulates_across_runs() {
+        let reg = MetricsRegistry::new();
+        let c = EngineCounters { cycles: 10, cycles_skipped: 4, ..Default::default() };
+        export_engine_counters(&reg, &c);
+        export_engine_counters(&reg, &c);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("engine.cycles"), Some(20));
+        assert_eq!(snap.counter("engine.cycles_skipped"), Some(8));
+        assert_eq!(snap.counter("engine.oracle_steps"), Some(0), "zero counters still appear");
+    }
+}

@@ -11,9 +11,11 @@
 use gdp_core::GdpUnit;
 use gdp_sim::stats::CoreStats;
 use gdp_sim::System;
+use gdp_telemetry::MetricsRegistry;
 use gdp_workloads::Benchmark;
 
 use crate::config::ExperimentConfig;
+use crate::metrics::export_engine_counters;
 
 /// Cumulative private-mode state at one instruction checkpoint.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +62,20 @@ pub fn run_private(
     xcfg: &ExperimentConfig,
     checkpoints: &[u64],
 ) -> PrivateRun {
+    run_private_metered(bench, base, xcfg, checkpoints, None)
+}
+
+/// [`run_private`] with an optional metrics registry: the finished
+/// simulator's `engine.*` counters accumulate into `metrics`, so
+/// campaign-wide engine totals cover the private ground-truth runs too.
+/// The run itself is bit-identical with or without metrics.
+pub fn run_private_metered(
+    bench: &Benchmark,
+    base: u64,
+    xcfg: &ExperimentConfig,
+    checkpoints: &[u64],
+    metrics: Option<&MetricsRegistry>,
+) -> PrivateRun {
     debug_assert!(checkpoints.windows(2).all(|w| w[0] <= w[1]), "checkpoints must be sorted");
     let mut sys = System::new(xcfg.sim.clone(), vec![bench.stream(base)]);
     // Unbounded PRB: the reference CPL computation (paper §VII-B compares
@@ -89,6 +105,9 @@ pub fn run_private(
             stats: *sys.core_stats(0),
             cpl,
         });
+    }
+    if let Some(reg) = metrics {
+        export_engine_counters(reg, &sys.engine_counters());
     }
     PrivateRun { checkpoints: out, total: *sys.core_stats(0) }
 }

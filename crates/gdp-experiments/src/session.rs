@@ -21,6 +21,8 @@
 //! simulator. A host system embeds the same session to consume live
 //! interference-free estimates online (see `examples/quickstart.rs`).
 
+use std::sync::Arc;
+
 use gdp_core::model::{estimate_all, observe_subscribed, PrivateModeEstimator};
 use gdp_core::state::{EstimatorState, StateError};
 use gdp_dief::Dief;
@@ -28,13 +30,98 @@ use gdp_runner::Pool;
 use gdp_sim::stats::CoreStats;
 use gdp_sim::types::{CoreId, Cycle};
 use gdp_sim::System;
+use gdp_telemetry::{log_info, Counter, Gauge, MetricsRegistry, SpanHandle};
 use gdp_trace::{Boundary, CheckpointFile, SharedTrace, StateCheckpoint, TraceSink};
 use gdp_workloads::Workload;
 
 use crate::config::ExperimentConfig;
 use crate::interval::IntervalSchedule;
+use crate::metrics::export_engine_counters;
 use crate::shared::{CoreInterval, SharedRun};
 use crate::techniques::Technique;
+
+/// Telemetry handles a session resolves once at build time, so the
+/// per-interval loop touches only atomics (never the registry's name
+/// table). All `session.*` metrics are counters — sums over the
+/// observed stream, deterministic for any job schedule — except the
+/// spans, which measure wall-clock and live outside the deterministic
+/// snapshot.
+struct SessionMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// `session.events`: probe events fed to the estimator bank.
+    events: Counter,
+    /// `session.intervals`: accounting-interval rows emitted.
+    intervals: Counter,
+    /// `session.events.<id>`: events each subscribed technique observed
+    /// (zero for techniques that opt out of the probe stream).
+    tech_events: Vec<Counter>,
+    /// `session.advance`: time inside [`EstimationSession::advance_to`]
+    /// — engine stepping *plus* boundary estimation; subtract the
+    /// dief/observe/estimate sub-spans for pure engine time.
+    advance_span: SpanHandle,
+    /// `session.dief`: time feeding DIEF.
+    dief_span: SpanHandle,
+    /// `session.observe`: time feeding estimator `observe` hooks.
+    observe_span: SpanHandle,
+    /// `session.estimate.<id>`: per-technique estimate-phase time.
+    estimate_spans: Vec<SpanHandle>,
+}
+
+impl SessionMetrics {
+    fn new(registry: Arc<MetricsRegistry>, techniques: &[Technique]) -> SessionMetrics {
+        SessionMetrics {
+            events: registry.counter("session.events"),
+            intervals: registry.counter("session.intervals"),
+            tech_events: techniques
+                .iter()
+                .map(|t| registry.counter(&format!("session.events.{}", t.id())))
+                .collect(),
+            advance_span: registry.span("session.advance"),
+            dief_span: registry.span("session.dief"),
+            observe_span: registry.span("session.observe"),
+            estimate_spans: techniques
+                .iter()
+                .map(|t| registry.span(&format!("session.estimate.{}", t.id())))
+                .collect(),
+            registry,
+        }
+    }
+
+    /// Count a drained event batch against the session and every
+    /// subscribed technique.
+    fn count_events(&self, n: usize, subscribed: &[bool]) {
+        self.events.add(n as u64);
+        for (c, &on) in self.tech_events.iter().zip(subscribed) {
+            if on {
+                c.add(n as u64);
+            }
+        }
+    }
+}
+
+/// Run the per-core estimate phase, timing each technique when metrics
+/// are attached. The metered path drives estimators in exactly the
+/// sequence [`estimate_all`] does, so attaching metrics never perturbs
+/// estimates (the determinism suite pins this).
+fn estimate_row_metered(
+    metrics: Option<&SessionMetrics>,
+    estimators: &mut [Box<dyn PrivateModeEstimator>],
+    core: CoreId,
+    m: &gdp_core::model::IntervalMeasurement,
+) -> Vec<gdp_core::model::PrivateEstimate> {
+    match metrics {
+        None => estimate_all(estimators, core, m),
+        Some(mx) => mx
+            .estimate_spans
+            .iter()
+            .zip(estimators)
+            .map(|(span, e)| {
+                let _g = span.enter();
+                e.estimate(core, m)
+            })
+            .collect(),
+    }
+}
 
 /// Builder for an [`EstimationSession`].
 ///
@@ -59,6 +146,7 @@ pub struct SessionBuilder<'s> {
     xcfg: ExperimentConfig,
     techniques: Vec<Technique>,
     sink: Option<&'s mut dyn TraceSink>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl SessionBuilder<'static> {
@@ -70,6 +158,7 @@ impl SessionBuilder<'static> {
             xcfg: xcfg.clone(),
             techniques: Technique::ALL.to_vec(),
             sink: None,
+            metrics: None,
         }
     }
 }
@@ -91,7 +180,18 @@ impl<'s> SessionBuilder<'s> {
             xcfg: self.xcfg,
             techniques: self.techniques,
             sink: Some(sink),
+            metrics: self.metrics,
         }
+    }
+
+    /// Attach a metrics registry: the session resolves `session.*`
+    /// counters and spans against it at build time and exports the
+    /// engine's `engine.*` counters when the run finishes. Estimates are
+    /// bit-identical with or without metrics attached; a host serving
+    /// multiple tenants attaches one registry per session.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> SessionBuilder<'s> {
+        self.metrics = Some(registry);
+        self
     }
 
     /// Build the session.
@@ -99,9 +199,10 @@ impl<'s> SessionBuilder<'s> {
     /// # Panics
     /// Panics if the workload's core count does not match the CMP.
     pub fn build(self) -> EstimationSession<'s> {
-        let SessionBuilder { workload, xcfg, techniques, sink } = self;
+        let SessionBuilder { workload, xcfg, techniques, sink, metrics } = self;
         assert_eq!(workload.cores(), xcfg.sim.cores, "workload size must match the CMP");
         let techniques = Technique::canonical(&techniques);
+        let metrics = metrics.map(|r| SessionMetrics::new(r, &techniques));
         let sys = System::new(xcfg.sim.clone(), workload.streams());
         let dief = Dief::new(&xcfg.sim, xcfg.sampled_sets);
         let tcfg = xcfg.technique_config();
@@ -127,6 +228,7 @@ impl<'s> SessionBuilder<'s> {
             intervals: Vec::new(),
             fresh: 0,
             sink,
+            metrics,
         }
     }
 }
@@ -147,6 +249,7 @@ pub struct EstimationSession<'s> {
     intervals: Vec<Vec<CoreInterval>>,
     fresh: usize,
     sink: Option<&'s mut dyn TraceSink>,
+    metrics: Option<SessionMetrics>,
 }
 
 impl EstimationSession<'_> {
@@ -177,6 +280,14 @@ impl EstimationSession<'_> {
     /// cycle-indexed obligation (interval boundaries, invasive priority
     /// epochs) clamps the advance exactly as the batch loop did.
     pub fn advance_to(&mut self, target: Cycle) -> usize {
+        // One span per call, not per engine step: the cycle-skipping
+        // engine returns once per event, so a per-iteration guard would
+        // pay two clock reads on every event (tens of millions per
+        // campaign). `session.advance` therefore covers the whole call,
+        // boundary emission included; pure engine time is
+        // `session.advance` minus the dief/observe/estimate sub-spans.
+        let advance_span = self.metrics.as_ref().map(|mx| mx.advance_span.clone());
+        let _g = advance_span.as_ref().map(|h| h.enter());
         let before = self.intervals.len();
         while !self.done() && self.sys.now() < target {
             if let Some(epoch) = self.mc_epoch {
@@ -211,14 +322,23 @@ impl EstimationSession<'_> {
     fn emit_boundary_row(&mut self) {
         self.sys.finalize(); // close open stall runs at the boundary
         let events = self.sys.drain_probes();
-        for ev in &events {
-            self.dief.observe(ev);
+        if let Some(mx) = &self.metrics {
+            mx.count_events(events.len(), &self.needs_probe);
+        }
+        {
+            let _g = self.metrics.as_ref().map(|mx| mx.dief_span.enter());
+            for ev in &events {
+                self.dief.observe(ev);
+            }
         }
         // Estimators observe through the shared driving helper — the
         // same call sequence the replay session reproduces. Techniques
         // whose descriptor declares `needs_probe_stream: false` are
         // skipped, so the capability flag is enforced, not advisory.
-        observe_subscribed(&mut self.estimators, &self.needs_probe, &events);
+        {
+            let _g = self.metrics.as_ref().map(|mx| mx.observe_span.enter());
+            observe_subscribed(&mut self.estimators, &self.needs_probe, &events);
+        }
         if let Some(sink) = self.sink.as_deref_mut() {
             sink.record_events(&events);
         }
@@ -237,7 +357,8 @@ impl EstimationSession<'_> {
                 shared_latency: delta.avg_sms_latency(),
             };
             let m = boundary.measurement();
-            let estimates = estimate_all(&mut self.estimators, core, &m);
+            let estimates =
+                estimate_row_metered(self.metrics.as_ref(), &mut self.estimators, core, &m);
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.record_boundary(boundary);
             }
@@ -252,6 +373,9 @@ impl EstimationSession<'_> {
             self.last_snapshot[c] = cum;
         }
         self.intervals.push(row);
+        if let Some(mx) = &self.metrics {
+            mx.intervals.inc();
+        }
     }
 
     /// Run to the end condition (the batch mode).
@@ -297,6 +421,9 @@ impl EstimationSession<'_> {
         if let Some(sink) = self.sink.as_deref_mut() {
             sink.record_final(self.sys.now(), &final_stats);
         }
+        if let Some(mx) = &self.metrics {
+            export_engine_counters(&mx.registry, &self.sys.engine_counters());
+        }
         SharedRun {
             techniques: self.techniques,
             intervals: self.intervals,
@@ -322,6 +449,7 @@ pub struct ReplaySession<'t> {
     next: usize,
     intervals: Vec<Vec<CoreInterval>>,
     fresh: usize,
+    metrics: Option<SessionMetrics>,
 }
 
 impl<'t> ReplaySession<'t> {
@@ -353,7 +481,17 @@ impl<'t> ReplaySession<'t> {
             next: 0,
             intervals: Vec::new(),
             fresh: 0,
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics registry: the replayed stream feeds the same
+    /// `session.*` counters and estimate spans a live session would
+    /// (there is no `session.advance`/`engine.*` activity — replay never
+    /// touches a simulator). Estimates are unaffected.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> ReplaySession<'t> {
+        self.metrics = Some(SessionMetrics::new(registry, &self.techniques));
+        self
     }
 
     /// The canonical technique set under replay.
@@ -378,7 +516,13 @@ impl<'t> ReplaySession<'t> {
         // pin from both ends.
         while self.next < upto {
             let iv = &self.trace.intervals[self.next];
-            observe_subscribed(&mut self.estimators, &self.needs_probe, &iv.events);
+            if let Some(mx) = &self.metrics {
+                mx.count_events(iv.events.len(), &self.needs_probe);
+            }
+            {
+                let _g = self.metrics.as_ref().map(|mx| mx.observe_span.enter());
+                observe_subscribed(&mut self.estimators, &self.needs_probe, &iv.events);
+            }
             let mut row = Vec::with_capacity(iv.boundaries.len());
             for (c, b) in iv.boundaries.iter().enumerate() {
                 assert!(
@@ -386,8 +530,12 @@ impl<'t> ReplaySession<'t> {
                     "boundary for core {c} in a {}-core trace",
                     self.trace.cores
                 );
-                let estimates =
-                    estimate_all(&mut self.estimators, CoreId(c as u8), &b.measurement());
+                let estimates = estimate_row_metered(
+                    self.metrics.as_ref(),
+                    &mut self.estimators,
+                    CoreId(c as u8),
+                    &b.measurement(),
+                );
                 row.push(CoreInterval {
                     instr_start: b.instr_start,
                     instr_end: b.instr_end,
@@ -399,6 +547,9 @@ impl<'t> ReplaySession<'t> {
             }
             self.intervals.push(row);
             self.next += 1;
+            if let Some(mx) = &self.metrics {
+                mx.intervals.inc();
+            }
         }
         done
     }
@@ -482,6 +633,7 @@ pub struct ParallelReplaySession<'t> {
     xcfg: ExperimentConfig,
     techniques: Vec<Technique>,
     pool: Pool,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<'t> ParallelReplaySession<'t> {
@@ -501,7 +653,20 @@ impl<'t> ParallelReplaySession<'t> {
             xcfg: xcfg.clone(),
             techniques: Technique::canonical(techniques),
             pool,
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics registry. Parallel replay reports its shape as
+    /// `replay.*` **gauges** — segment count, restore failures and
+    /// serial fallbacks all vary with the `--replay-jobs` fan-out, so
+    /// they stay out of the deterministic counters-only snapshot. It
+    /// deliberately does *not* meter the inner per-segment sessions:
+    /// segment warm-up replays events redundantly, which would make
+    /// `session.*` counters depend on the fan-out.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> ParallelReplaySession<'t> {
+        self.metrics = Some(registry);
+        self
     }
 
     /// The canonical technique set under replay.
@@ -542,6 +707,14 @@ impl<'t> ParallelReplaySession<'t> {
     pub fn into_report(self) -> SharedRun {
         let n = self.trace.intervals.len();
         let starts = self.plan();
+        let restore_failures = self.metrics.as_ref().map(|reg| {
+            reg.gauge("replay.segments").add(starts.len() as u64);
+            let fallbacks = reg.gauge("replay.serial_fallbacks");
+            if starts.len() <= 1 && self.pool.workers() > 1 {
+                fallbacks.add(1);
+            }
+            reg.gauge("replay.restore_failures")
+        });
         if starts.len() <= 1 {
             return ReplaySession::new(self.trace, &self.xcfg, &self.techniques).into_report();
         }
@@ -549,11 +722,12 @@ impl<'t> ParallelReplaySession<'t> {
         let trace = self.trace;
         let xcfg = &self.xcfg;
         let techniques = &self.techniques;
+        let rf = restore_failures.as_ref();
         let jobs: Vec<_> = starts
             .iter()
             .zip(ends)
             .map(|(&(start, cp), end)| {
-                move || replay_segment(trace, xcfg, techniques, start, end, cp)
+                move || replay_segment(trace, xcfg, techniques, start, end, cp, rf)
             })
             .collect();
         let segments = self.pool.run(jobs);
@@ -575,7 +749,10 @@ impl<'t> ParallelReplaySession<'t> {
             return None;
         }
         let cp = self.checkpoints.and_then(|c| c.nearest_at_or_before(k as u64));
-        Some(replay_segment(self.trace, &self.xcfg, &self.techniques, k, k + 1, cp).remove(0))
+        let rf = self.metrics.as_ref().map(|reg| reg.gauge("replay.restore_failures"));
+        let rows =
+            replay_segment(self.trace, &self.xcfg, &self.techniques, k, k + 1, cp, rf.as_ref());
+        Some(rows.into_iter().next().expect("one replayed row"))
     }
 }
 
@@ -590,6 +767,7 @@ fn replay_segment(
     start: usize,
     end: usize,
     cp: Option<&StateCheckpoint>,
+    restore_failures: Option<&Gauge>,
 ) -> Vec<Vec<CoreInterval>> {
     let mut s = ReplaySession::new(trace, xcfg, techniques);
     let mut from = 0;
@@ -597,10 +775,13 @@ fn replay_segment(
         match s.restore_checkpoint(cp) {
             Ok(()) => from = cp.at as usize,
             Err(e) => {
-                eprintln!(
+                log_info!(
                     "gdp: checkpoint at interval {} unusable ({e}); replaying from the start",
                     cp.at
                 );
+                if let Some(g) = restore_failures {
+                    g.add(1);
+                }
                 s = ReplaySession::new(trace, xcfg, techniques);
             }
         }
@@ -718,6 +899,70 @@ mod tests {
         assert!(report.intervals.is_empty(), "all rows were taken");
         assert_eq!(report.cycles, reference.cycles, "run identity is unaffected");
         assert_eq!(report.final_stats, reference.final_stats);
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_estimates_and_count_the_stream() {
+        let w = &paper_workloads(2, 5)[0];
+        let x = xcfg();
+        let techniques = [Technique::GDP, Technique::GDP_O];
+        let plain = SessionBuilder::new(w, &x).techniques(&techniques).build().into_report();
+        let reg = MetricsRegistry::shared();
+        let metered = SessionBuilder::new(w, &x)
+            .techniques(&techniques)
+            .with_metrics(Arc::clone(&reg))
+            .build()
+            .into_report();
+        assert_eq!(plain.cycles, metered.cycles);
+        assert_eq!(plain.final_stats, metered.final_stats);
+        for (a, b) in plain.intervals.iter().flatten().zip(metered.intervals.iter().flatten()) {
+            for (ea, eb) in a.estimates.iter().zip(&b.estimates) {
+                assert_eq!(ea.cpi.to_bits(), eb.cpi.to_bits());
+                assert_eq!(ea.sigma_sms.to_bits(), eb.sigma_sms.to_bits());
+            }
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("session.intervals"), Some(plain.intervals.len() as u64));
+        let events = snap.counter("session.events").unwrap();
+        assert!(events > 0, "a real run observes probe events");
+        assert_eq!(snap.counter("session.events.gdp"), Some(events), "GDP subscribes");
+        assert_eq!(snap.counter("engine.cycles"), Some(plain.cycles));
+        assert!(snap.counter("engine.advance_calls").unwrap() > 0);
+    }
+
+    #[test]
+    fn metered_replay_matches_live_and_reports_gauges() {
+        let w = &paper_workloads(2, 5)[1];
+        let x = xcfg();
+        let techniques = [Technique::GDP];
+        let (live, trace) = crate::trace::record_shared(w, &x, &techniques);
+        let reg = MetricsRegistry::shared();
+        let replayed = ReplaySession::new(&trace, &x, &techniques)
+            .with_metrics(Arc::clone(&reg))
+            .into_report();
+        for (a, b) in live.intervals.iter().flatten().zip(replayed.intervals.iter().flatten()) {
+            assert_eq!(a.estimates[0].cpi.to_bits(), b.estimates[0].cpi.to_bits());
+        }
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("session.intervals"),
+            Some(live.intervals.len() as u64),
+            "replay counts the same interval stream"
+        );
+        assert_eq!(snap.counter("engine.cycles"), None, "replay never touches a simulator");
+
+        // The parallel session reports its shape as replay.* gauges.
+        let cks = crate::trace::summarize_checkpoints(&trace, &x);
+        let preg = MetricsRegistry::shared();
+        let parallel =
+            ParallelReplaySession::new(&trace, &x, &techniques, Some(&cks), Pool::new(2))
+                .with_metrics(Arc::clone(&preg))
+                .into_report();
+        assert_eq!(parallel.intervals.len(), live.intervals.len());
+        let psnap = preg.snapshot();
+        let segments = psnap.gauges.iter().find(|(k, _)| k == "replay.segments").unwrap().1;
+        assert!(segments >= 1);
+        assert!(psnap.gauges.iter().any(|(k, _)| k == "replay.restore_failures"));
     }
 
     #[test]

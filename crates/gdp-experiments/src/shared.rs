@@ -6,8 +6,11 @@
 //! the full report. Hosts that want per-interval estimates online use the
 //! session API directly.
 
+use std::sync::Arc;
+
 use gdp_core::model::PrivateEstimate;
 use gdp_sim::stats::CoreStats;
+use gdp_telemetry::MetricsRegistry;
 use gdp_trace::{NullSink, TraceSink};
 use gdp_workloads::Workload;
 
@@ -84,6 +87,24 @@ pub fn run_shared_with_sink(
     sink: &mut dyn TraceSink,
 ) -> SharedRun {
     SessionBuilder::new(workload, xcfg).techniques(techniques).sink(sink).build().into_report()
+}
+
+/// [`run_shared_with_sink`] with an optional metrics registry attached:
+/// the session feeds `session.*` counters/spans and exports `engine.*`
+/// counters when it finishes. Estimates are bit-identical with or
+/// without metrics.
+pub fn run_shared_metered(
+    workload: &Workload,
+    xcfg: &ExperimentConfig,
+    techniques: &[Technique],
+    sink: &mut dyn TraceSink,
+    metrics: Option<Arc<MetricsRegistry>>,
+) -> SharedRun {
+    let mut b = SessionBuilder::new(workload, xcfg).techniques(techniques).sink(sink);
+    if let Some(reg) = metrics {
+        b = b.with_metrics(reg);
+    }
+    b.build().into_report()
 }
 
 #[cfg(test)]

@@ -13,8 +13,11 @@
 //!   flags: shared and private jobs route through it and transparently
 //!   hit the cache instead of the simulator.
 
+use std::sync::Arc;
+
 use gdp_runner::Pool;
 use gdp_sim::{CacheConfig, SimConfig};
+use gdp_telemetry::{log_info, MetricsRegistry};
 use gdp_trace::{
     CacheKey, CacheStatsSnapshot, CheckpointFile, PrivateTrace, Recorder, SharedTrace,
     StateCheckpoint, TraceCache, TraceCheckpoint, FORMAT_VERSION,
@@ -25,7 +28,7 @@ use crate::accuracy::{private_base, Technique, WorkloadEval};
 use crate::config::ExperimentConfig;
 use crate::private::{PrivateCheckpoint, PrivateRun};
 use crate::session::{ParallelReplaySession, ReplaySession};
-use crate::shared::{run_shared, run_shared_with_sink, SharedRun};
+use crate::shared::{run_shared_metered, SharedRun};
 
 /// Run `workload` in shared mode with a recorder attached; returns the
 /// live run plus the trace that replays it.
@@ -34,8 +37,20 @@ pub fn record_shared(
     xcfg: &ExperimentConfig,
     techniques: &[Technique],
 ) -> (SharedRun, SharedTrace) {
+    record_shared_metered(workload, xcfg, techniques, None)
+}
+
+/// [`record_shared`] with an optional metrics registry attached to the
+/// recording session (see
+/// [`run_shared_metered`](crate::shared::run_shared_metered)).
+pub fn record_shared_metered(
+    workload: &Workload,
+    xcfg: &ExperimentConfig,
+    techniques: &[Technique],
+    metrics: Option<Arc<MetricsRegistry>>,
+) -> (SharedRun, SharedTrace) {
     let mut rec = Recorder::new(xcfg.sim.cores, &workload.name);
-    let run = run_shared_with_sink(workload, xcfg, techniques, &mut rec);
+    let run = run_shared_metered(workload, xcfg, techniques, &mut rec, metrics);
     (run, rec.into_trace())
 }
 
@@ -255,6 +270,7 @@ pub struct CampaignTraces {
     record: bool,
     replay: bool,
     replay_jobs: usize,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl CampaignTraces {
@@ -262,7 +278,25 @@ impl CampaignTraces {
     /// `replay` consults the cache before simulating (both may be set:
     /// replay what exists, record what does not).
     pub fn new(dir: impl Into<std::path::PathBuf>, record: bool, replay: bool) -> CampaignTraces {
-        CampaignTraces { cache: TraceCache::new(dir), record, replay, replay_jobs: 1 }
+        CampaignTraces {
+            cache: TraceCache::new(dir),
+            record,
+            replay,
+            replay_jobs: 1,
+            metrics: None,
+        }
+    }
+
+    /// Attach a campaign-wide metrics registry: every session and
+    /// private run routed through this policy feeds it (`session.*`,
+    /// `engine.*`, `replay.*`), and callers fold the cache's own
+    /// counters in via [`CacheStatsSnapshot::export`]. The registry is
+    /// shared across parallel campaign jobs — counters accumulate
+    /// order-independently, so totals stay deterministic for any
+    /// `--jobs N`.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> CampaignTraces {
+        self.metrics = Some(registry);
+        self
     }
 
     /// Set the parallel-replay fan-out: warm replays of cached traces
@@ -308,34 +342,50 @@ impl CampaignTraces {
                     // missing, so corruption costs time, not the run.
                     let cks =
                         self.cache.load_checkpoints(&checkpoint_key(xcfg, workload, invasive));
-                    return ParallelReplaySession::new(
+                    let mut s = ParallelReplaySession::new(
                         &trace,
                         xcfg,
                         techniques,
                         cks.as_ref(),
                         Pool::new(self.replay_jobs),
-                    )
-                    .into_report();
+                    );
+                    if let Some(reg) = &self.metrics {
+                        s = s.with_metrics(Arc::clone(reg));
+                    }
+                    return s.into_report();
                 }
-                return replay_shared(&trace, xcfg, techniques);
+                let mut s = ReplaySession::new(&trace, xcfg, techniques);
+                if let Some(reg) = &self.metrics {
+                    s = s.with_metrics(Arc::clone(reg));
+                }
+                return s.into_report();
             }
         }
         if self.record {
-            let (run, trace) = record_shared(workload, xcfg, techniques);
+            let (run, trace) =
+                record_shared_metered(workload, xcfg, techniques, self.metrics.clone());
             if let Err(e) = self.cache.store_shared(&key, &trace) {
-                eprintln!("gdp-trace: cannot store shared trace: {e}");
+                log_info!("gdp-trace: cannot store shared trace: {e}");
             }
             // Summarize checkpoints next to the stored trace so warm
-            // replays can fan out immediately.
+            // replays can fan out immediately. Deliberately unmetered:
+            // its full-registry replay would double-count the stream in
+            // `session.*`.
             let cks = summarize_checkpoints(&trace, xcfg);
             if let Err(e) =
                 self.cache.store_checkpoints(&checkpoint_key(xcfg, workload, invasive), &cks)
             {
-                eprintln!("gdp-trace: cannot store checkpoint file: {e}");
+                log_info!("gdp-trace: cannot store checkpoint file: {e}");
             }
             run
         } else {
-            run_shared(workload, xcfg, techniques)
+            run_shared_metered(
+                workload,
+                xcfg,
+                techniques,
+                &mut gdp_trace::NullSink,
+                self.metrics.clone(),
+            )
         }
     }
 
@@ -351,10 +401,10 @@ impl CampaignTraces {
                 return private_from_trace(&trace);
             }
         }
-        let run = eval.run_private_for(core);
+        let run = eval.run_private_for_metered(core, self.metrics.as_deref());
         if self.record {
             if let Err(e) = self.cache.store_private(&key, &private_to_trace(&run, bench, base)) {
-                eprintln!("gdp-trace: cannot store private trace: {e}");
+                log_info!("gdp-trace: cannot store private trace: {e}");
             }
         }
         run
@@ -394,6 +444,7 @@ pub fn evaluate_workload_traced(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shared::run_shared;
     use gdp_workloads::paper_workloads;
 
     fn xcfg() -> ExperimentConfig {

@@ -13,6 +13,10 @@
 //! --trace-dir DIR             trace cache location (default results/traces)
 //! --techniques a,b,c          registry-backed technique selection (ids
 //!                             validated downstream against the registry)
+//! --metrics                   collect telemetry; write results/<name>.metrics.json
+//! --metrics-out PATH          write the full metrics snapshot to PATH
+//! --profile                   span-profile table on stderr after the run
+//! --quiet                     suppress stderr diagnostics (GDP_LOG=quiet)
 //! --help | -h                 usage
 //! ```
 //!
@@ -76,6 +80,16 @@ pub struct RunnerArgs {
     /// dependency-free, so validation against the technique registry
     /// happens in the binaries (which exit 2 listing the valid ids).
     pub techniques: Option<String>,
+    /// Collect telemetry and write `results/<name>.metrics.json`.
+    pub metrics: bool,
+    /// `--metrics-out PATH`: write the full metrics snapshot to an
+    /// explicit path (implies metrics collection).
+    pub metrics_out: Option<String>,
+    /// Print the span-profile table (top spans by total time) to stderr
+    /// after the run (implies telemetry collection).
+    pub profile: bool,
+    /// Suppress stderr diagnostics (equivalent to `GDP_LOG=quiet`).
+    pub quiet: bool,
 }
 
 impl RunnerArgs {
@@ -93,6 +107,12 @@ impl RunnerArgs {
     /// A [`Pool`] sized by [`RunnerArgs::jobs`].
     pub fn pool(&self) -> Pool {
         Pool::new(self.jobs())
+    }
+
+    /// Whether any flag requested telemetry collection
+    /// (`--metrics`, `--metrics-out`, or `--profile`).
+    pub fn wants_telemetry(&self) -> bool {
+        self.metrics || self.metrics_out.is_some() || self.profile
     }
 }
 
@@ -112,6 +132,8 @@ pub enum CliError {
     MissingTraceDir,
     /// `--techniques` without a value.
     MissingTechniques,
+    /// `--metrics-out` without a value.
+    MissingMetricsOut,
 }
 
 impl std::fmt::Display for CliError {
@@ -127,6 +149,7 @@ impl std::fmt::Display for CliError {
             CliError::MissingTechniques => {
                 f.write_str("--techniques expects a comma-separated id list")
             }
+            CliError::MissingMetricsOut => f.write_str("--metrics-out expects a file path"),
         }
     }
 }
@@ -137,6 +160,7 @@ pub fn usage(bin: &str) -> String {
         "usage: {bin} [--tiny|--quick|--full] [--jobs N] [--json]\n\
          \x20            [--list] [--record] [--replay] [--replay-jobs N]\n\
          \x20            [--trace-dir DIR] [--techniques a,b,c]\n\
+         \x20            [--metrics] [--metrics-out PATH] [--profile] [--quiet]\n\
          \n\
          \x20 --tiny          smallest meaningful sweep (CI smoke; minutes)\n\
          \x20 --quick         reduced workload counts (default)\n\
@@ -157,6 +181,15 @@ pub fn usage(bin: &str) -> String {
          \x20 --techniques L  comma-separated technique ids to evaluate\n\
          \x20                 (registry-validated; unknown ids exit 2 and\n\
          \x20                 list the valid ids)\n\
+         \x20 --metrics       collect telemetry; write the full snapshot to\n\
+         \x20                 results/{bin}.metrics.json and a `telemetry`\n\
+         \x20                 object into the run record (never the data\n\
+         \x20                 sections: output stays byte-identical)\n\
+         \x20 --metrics-out P write the full metrics snapshot to P instead\n\
+         \x20                 (implies --metrics)\n\
+         \x20 --profile       print the span-profile table (top spans by\n\
+         \x20                 total time) to stderr after the run\n\
+         \x20 --quiet         suppress stderr diagnostics (GDP_LOG=quiet)\n\
          \x20 --help          this text"
     )
 }
@@ -176,6 +209,10 @@ where
         replay_jobs: None,
         trace_dir: DEFAULT_TRACE_DIR.to_string(),
         techniques: None,
+        metrics: false,
+        metrics_out: None,
+        profile: false,
+        quiet: false,
     };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -187,6 +224,13 @@ where
             "--list" => out.list = true,
             "--record" => out.record = true,
             "--replay" => out.replay = true,
+            "--metrics" => out.metrics = true,
+            "--profile" => out.profile = true,
+            "--quiet" => out.quiet = true,
+            "--metrics-out" => {
+                let v = it.next().filter(|v| !v.starts_with("--") && !v.is_empty());
+                out.metrics_out = Some(v.ok_or(CliError::MissingMetricsOut)?);
+            }
             "--help" | "-h" => return Err(CliError::Help),
             "--jobs" => {
                 let v = it.next().ok_or_else(|| CliError::BadJobs("<missing>".into()))?;
@@ -222,6 +266,11 @@ where
                         return Err(CliError::MissingTechniques);
                     }
                     out.techniques = Some(v.to_string());
+                } else if let Some(v) = s.strip_prefix("--metrics-out=") {
+                    if v.is_empty() {
+                        return Err(CliError::MissingMetricsOut);
+                    }
+                    out.metrics_out = Some(v.to_string());
                 } else {
                     return Err(CliError::Unknown(a));
                 }
@@ -249,7 +298,12 @@ fn parse_replay_jobs(v: &str) -> Result<usize, CliError> {
 /// on a bad command line print the error and usage to stderr and exit 2.
 pub fn parse_or_exit(bin: &str) -> RunnerArgs {
     match parse(std::env::args().skip(1)) {
-        Ok(args) => args,
+        Ok(args) => {
+            if args.quiet {
+                gdp_telemetry::log::set_level(gdp_telemetry::log::Level::Quiet);
+            }
+            args
+        }
         Err(CliError::Help) => {
             println!("{}", usage(bin));
             std::process::exit(0);
@@ -381,6 +435,36 @@ mod tests {
         assert_eq!(p(&["--techniques="]), Err(CliError::MissingTechniques));
         // A following flag must not be swallowed as the id list.
         assert_eq!(p(&["--techniques", "--json"]), Err(CliError::MissingTechniques));
+    }
+
+    #[test]
+    fn metrics_flags_parse() {
+        let a = p(&[]).unwrap();
+        assert!(!a.metrics && !a.profile && !a.quiet && a.metrics_out.is_none());
+        assert!(!a.wants_telemetry());
+        let a = p(&["--metrics"]).unwrap();
+        assert!(a.metrics && a.wants_telemetry());
+        let a = p(&["--profile", "--quiet"]).unwrap();
+        assert!(a.profile && a.quiet && a.wants_telemetry());
+        assert_eq!(p(&["--metrics-out", "m.json"]).unwrap().metrics_out, Some("m.json".into()));
+        assert_eq!(p(&["--metrics-out=n.json"]).unwrap().metrics_out, Some("n.json".into()));
+        assert!(p(&["--metrics-out", "x"]).unwrap().wants_telemetry());
+    }
+
+    #[test]
+    fn metrics_out_requires_a_value() {
+        assert_eq!(p(&["--metrics-out"]), Err(CliError::MissingMetricsOut));
+        assert_eq!(p(&["--metrics-out="]), Err(CliError::MissingMetricsOut));
+        // A following flag must not be swallowed as the path.
+        assert_eq!(p(&["--metrics-out", "--json"]), Err(CliError::MissingMetricsOut));
+    }
+
+    #[test]
+    fn usage_mentions_metrics_flags() {
+        let u = usage("fig3");
+        for flag in ["--metrics", "--metrics-out", "--profile", "--quiet"] {
+            assert!(u.contains(flag), "usage must mention {flag}");
+        }
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod report;
 
 pub use cli::{parse_or_exit, usage, CliError, RunnerArgs, ScaleFlag, DEFAULT_TRACE_DIR};
 pub use json::{Json, JsonError};
-pub use pool::{default_parallelism, Pool};
-pub use progress::Progress;
+pub use pool::{default_parallelism, Pool, PoolTelemetry};
+pub use progress::{summary_line, Progress};
 pub use report::{summary_json, write_results_in, CacheCounters, Campaign, RESULTS_DIR};

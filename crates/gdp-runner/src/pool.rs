@@ -15,25 +15,110 @@
 //! seconds-long simulations they execute.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use gdp_telemetry::{Histogram, MetricsRegistry};
+
+/// Scheduling telemetry accumulated across [`Pool::run`] calls.
+///
+/// `jobs` and total job time are deterministic for a given campaign;
+/// steals, per-worker job counts and the queue high-water mark depend on
+/// worker count and OS scheduling and are exported as **gauges** (kept
+/// out of the deterministic counters-only snapshot).
+#[derive(Debug, Default)]
+pub struct PoolTelemetry {
+    jobs: AtomicU64,
+    job_ns: AtomicU64,
+    steals: AtomicU64,
+    depth_hwm: AtomicU64,
+    worker_jobs: Mutex<Vec<u64>>,
+    job_hist: Histogram,
+}
+
+impl PoolTelemetry {
+    /// A fresh sink behind an `Arc` (the shape [`Pool::with_telemetry`]
+    /// takes).
+    pub fn shared() -> Arc<PoolTelemetry> {
+        Arc::new(PoolTelemetry::default())
+    }
+
+    /// Jobs executed so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock spent inside jobs (summed across workers, so it
+    /// exceeds elapsed time on parallel runs).
+    pub fn total_job_time(&self) -> Duration {
+        Duration::from_nanos(self.job_ns.load(Ordering::Relaxed))
+    }
+
+    /// Jobs taken from another worker's deque.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    fn record_job(&self, elapsed: Duration) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        self.job_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.job_hist.record_duration(elapsed);
+    }
+
+    fn record_worker_jobs(&self, worker: usize, jobs: u64) {
+        let mut per = self.worker_jobs.lock().expect("pool telemetry poisoned");
+        if per.len() <= worker {
+            per.resize(worker + 1, 0);
+        }
+        per[worker] += jobs;
+    }
+
+    /// Export the accumulated telemetry into `registry` under the
+    /// `pool.*` names (see the README metric glossary).
+    pub fn export(&self, registry: &MetricsRegistry) {
+        registry.counter("pool.jobs").add(self.jobs());
+        registry.gauge("pool.steals").add(self.steals());
+        registry.gauge("pool.queue_depth_hwm").set_max(self.depth_hwm.load(Ordering::Relaxed));
+        registry.span("pool.job").add(self.jobs(), self.total_job_time());
+        registry.adopt_histogram("pool.job_ns", &self.job_hist);
+        let per = self.worker_jobs.lock().expect("pool telemetry poisoned");
+        for (w, n) in per.iter().enumerate() {
+            registry.gauge(&format!("pool.worker.{w}.jobs")).add(*n);
+        }
+    }
+}
 
 /// Execution context for a batch of independent jobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Pool {
     workers: usize,
+    telemetry: Option<Arc<PoolTelemetry>>,
 }
 
 impl Pool {
     /// A pool with `workers` parallel workers (clamped to at least 1).
     pub fn new(workers: usize) -> Pool {
-        Pool { workers: workers.max(1) }
+        Pool { workers: workers.max(1), telemetry: None }
     }
 
     /// A pool sized by [`std::thread::available_parallelism`] (1 if the
     /// runtime cannot tell).
     pub fn from_available_parallelism() -> Pool {
         Pool::new(default_parallelism())
+    }
+
+    /// Attach a telemetry sink; every subsequent [`Pool::run`] times its
+    /// jobs and counts steals into it.
+    pub fn with_telemetry(mut self, t: Arc<PoolTelemetry>) -> Pool {
+        self.telemetry = Some(t);
+        self
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&Arc<PoolTelemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Number of workers.
@@ -59,7 +144,22 @@ impl Pool {
         let n = jobs.len();
         let workers = self.workers.min(n);
         if workers <= 1 {
-            return jobs.into_iter().map(|f| f()).collect();
+            return match &self.telemetry {
+                None => jobs.into_iter().map(|f| f()).collect(),
+                Some(t) => {
+                    let out = jobs
+                        .into_iter()
+                        .map(|f| {
+                            let start = Instant::now();
+                            let v = f();
+                            t.record_job(start.elapsed());
+                            v
+                        })
+                        .collect();
+                    t.record_worker_jobs(0, n as u64);
+                    out
+                }
+            };
         }
 
         // Deal jobs round-robin onto per-worker deques, tagged with
@@ -69,6 +169,11 @@ impl Pool {
         for (i, f) in jobs.into_iter().enumerate() {
             queues[i % workers].lock().expect("queue poisoned").push_back((i, f));
         }
+        if let Some(t) = &self.telemetry {
+            // Deques only shrink once dealing is done, so the high-water
+            // mark is the post-deal depth of the fullest deque.
+            t.depth_hwm.fetch_max(n.div_ceil(workers) as u64, Ordering::Relaxed);
+        }
 
         let (tx, rx) = mpsc::channel::<(usize, T)>();
         let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -76,11 +181,25 @@ impl Pool {
             for w in 0..workers {
                 let tx = tx.clone();
                 let queues = &queues;
+                let telemetry = self.telemetry.as_deref();
                 s.spawn(move || {
-                    while let Some((i, f)) = take(queues, w) {
-                        if tx.send((i, f())).is_err() {
+                    let mut ran = 0u64;
+                    while let Some((stolen, (i, f))) = take(queues, w) {
+                        let start = Instant::now();
+                        let v = f();
+                        if let Some(t) = telemetry {
+                            t.record_job(start.elapsed());
+                            if stolen {
+                                t.steals.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        ran += 1;
+                        if tx.send((i, v)).is_err() {
                             break;
                         }
+                    }
+                    if let Some(t) = telemetry {
+                        t.record_worker_jobs(w, ran);
                     }
                 });
             }
@@ -112,15 +231,16 @@ pub fn default_parallelism() -> usize {
 }
 
 /// Pop from our own deque's front, else steal from the back of the
-/// nearest non-empty neighbour.
-fn take<J>(queues: &[Mutex<VecDeque<J>>], me: usize) -> Option<J> {
+/// nearest non-empty neighbour. The flag reports whether the job was
+/// stolen rather than popped locally.
+fn take<J>(queues: &[Mutex<VecDeque<J>>], me: usize) -> Option<(bool, J)> {
     if let Some(j) = queues[me].lock().expect("queue poisoned").pop_front() {
-        return Some(j);
+        return Some((false, j));
     }
     let n = queues.len();
     for off in 1..n {
         if let Some(j) = queues[(me + off) % n].lock().expect("queue poisoned").pop_back() {
-            return Some(j);
+            return Some((true, j));
         }
     }
     None
@@ -186,6 +306,43 @@ mod tests {
     fn worker_count_is_clamped() {
         assert_eq!(Pool::new(0).workers(), 1);
         assert!(Pool::from_available_parallelism().workers() >= 1);
+    }
+
+    #[test]
+    fn telemetry_counts_jobs_and_time() {
+        let t = PoolTelemetry::shared();
+        let pool = Pool::new(4).with_telemetry(t.clone());
+        // Uneven jobs so the fast workers must steal.
+        let jobs: Vec<_> = (0..16u64)
+            .map(|i| {
+                move || {
+                    let spin = if i % 4 == 0 { 400_000 } else { 100 };
+                    let mut acc = 0u64;
+                    for k in 0..spin {
+                        acc = acc.wrapping_add(k * k);
+                    }
+                    acc
+                }
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(t.jobs(), 16);
+        assert!(t.total_job_time() > Duration::ZERO);
+        let per: u64 = t.worker_jobs.lock().unwrap().iter().sum();
+        assert_eq!(per, 16, "per-worker counts must cover every job");
+
+        // Export shape: pool.jobs is a counter, scheduling facts are gauges.
+        let reg = MetricsRegistry::new();
+        t.export(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pool.jobs"), Some(16));
+        assert!(snap.gauges.iter().any(|(k, _)| k == "pool.queue_depth_hwm"));
+        assert!(snap.spans.iter().any(|s| s.name == "pool.job" && s.count == 16));
+
+        // Serial pool with telemetry still times jobs.
+        let t1 = PoolTelemetry::shared();
+        Pool::new(1).with_telemetry(t1.clone()).run(vec![|| 1u32, || 2]);
+        assert_eq!(t1.jobs(), 2);
     }
 
     #[test]

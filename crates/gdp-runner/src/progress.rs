@@ -5,7 +5,11 @@
 //! after reassembly and is byte-identical for every `--jobs N`.
 
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use gdp_telemetry::log_info;
+
+use crate::pool::PoolTelemetry;
 
 /// Thread-safe completed-jobs counter that reports to stderr.
 #[derive(Debug)]
@@ -45,7 +49,7 @@ impl Progress {
         let mut done = self.done.lock().expect("progress poisoned");
         *done += 1;
         if self.enabled {
-            eprintln!("[{}] {}/{} done: {item}", self.label, *done, self.total);
+            log_info!("[{}] {}/{} done: {item}", self.label, *done, self.total);
         }
     }
 
@@ -53,13 +57,22 @@ impl Progress {
     /// in X.Ys`. Stdout stays untouched, so campaign output remains
     /// byte-identical with or without the summary.
     pub fn campaign_done(&self) {
+        self.campaign_done_with(None);
+    }
+
+    /// Like [`Progress::campaign_done`], but when pool telemetry is
+    /// supplied the summary also reports the aggregate time spent inside
+    /// jobs (summed across workers — on a parallel run it exceeds
+    /// wall-clock, and the ratio is the realized speedup).
+    pub fn campaign_done_with(&self, telemetry: Option<&PoolTelemetry>) {
         if self.enabled {
-            eprintln!(
-                "[{}] done: {} jobs in {:.1}s",
-                self.label,
+            let line = summary_line(
+                &self.label,
                 self.completed(),
-                self.started.elapsed().as_secs_f64()
+                self.started.elapsed(),
+                telemetry.map(|t| t.total_job_time()),
             );
+            log_info!("{line}");
         }
     }
 
@@ -71,6 +84,25 @@ impl Progress {
     /// Total jobs expected.
     pub fn total(&self) -> usize {
         self.total
+    }
+}
+
+/// The final campaign summary line. Without `job_time` it is exactly the
+/// historic `[label] done: N jobs in X.Ys`; with per-job span data from
+/// the pool it appends the aggregate in-job time and the mean per job.
+pub fn summary_line(
+    label: &str,
+    jobs: usize,
+    wall: Duration,
+    job_time: Option<Duration>,
+) -> String {
+    let base = format!("[{label}] done: {jobs} jobs in {:.1}s", wall.as_secs_f64());
+    match job_time {
+        None => base,
+        Some(jt) => {
+            let mean = if jobs > 0 { jt.as_secs_f64() / jobs as f64 } else { 0.0 };
+            format!("{base} (job time {:.1}s, mean {:.2}s/job)", jt.as_secs_f64(), mean)
+        }
     }
 }
 
@@ -92,5 +124,30 @@ mod tests {
         assert_eq!(p.completed(), 8);
         assert_eq!(p.total(), 8);
         p.campaign_done(); // silent: must not print or panic
+    }
+
+    #[test]
+    fn summary_line_without_job_time_is_the_historic_format() {
+        let line = summary_line("fig3", 12, Duration::from_millis(3_450), None);
+        assert_eq!(line, "[fig3] done: 12 jobs in 3.5s");
+    }
+
+    #[test]
+    fn summary_line_reports_aggregate_and_mean_job_time() {
+        let line =
+            summary_line("fig3", 4, Duration::from_secs(3), Some(Duration::from_millis(10_000)));
+        assert_eq!(line, "[fig3] done: 4 jobs in 3.0s (job time 10.0s, mean 2.50s/job)");
+        // Zero jobs must not divide by zero.
+        let line = summary_line("x", 0, Duration::ZERO, Some(Duration::ZERO));
+        assert_eq!(line, "[x] done: 0 jobs in 0.0s (job time 0.0s, mean 0.00s/job)");
+    }
+
+    #[test]
+    fn campaign_done_with_pool_telemetry_does_not_panic() {
+        let t = crate::pool::PoolTelemetry::shared();
+        crate::pool::Pool::new(1).with_telemetry(t.clone()).run(vec![|| 1u8]);
+        let p = Progress::silent(1);
+        p.finish_item("only");
+        p.campaign_done_with(Some(&t));
     }
 }

@@ -42,6 +42,10 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Traces written.
     pub stores: u64,
+    /// Corrupt cache files quarantined (removed) on load.
+    pub quarantines: u64,
+    /// Checkpoint records dropped by the salvage decoder on load.
+    pub salvage_dropped: u64,
 }
 
 /// An in-flight campaign: identity plus a wall-clock timer.
@@ -53,6 +57,7 @@ pub struct Campaign {
     jobs: usize,
     started: Instant,
     cache: Option<CacheCounters>,
+    telemetry: Option<Json>,
 }
 
 impl Campaign {
@@ -65,13 +70,27 @@ impl Campaign {
             jobs,
             started: Instant::now(),
             cache: None,
+            telemetry: None,
         }
+    }
+
+    /// Elapsed wall-clock since the campaign started.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
     }
 
     /// Attach trace-cache counters; the run record then carries a
     /// `cache` object (campaigns without a trace cache omit it).
     pub fn set_cache(&mut self, counters: CacheCounters) {
         self.cache = Some(counters);
+    }
+
+    /// Attach a telemetry snapshot; the run record then carries a
+    /// `telemetry` object. Lives in `run`, **not** `data`: metrics
+    /// include wall-clock measurements and must stay outside the
+    /// byte-diffed sections.
+    pub fn set_telemetry(&mut self, snapshot: Json) {
+        self.telemetry = Some(snapshot);
     }
 
     /// Assemble the result document around deterministic `data`.
@@ -88,8 +107,13 @@ impl Campaign {
                     ("hits", Json::from(c.hits)),
                     ("misses", Json::from(c.misses)),
                     ("stores", Json::from(c.stores)),
+                    ("quarantines", Json::from(c.quarantines)),
+                    ("salvage_dropped", Json::from(c.salvage_dropped)),
                 ]),
             ));
+        }
+        if let Some(t) = &self.telemetry {
+            run.push(("telemetry", t.clone()));
         }
         Json::obj(vec![
             ("figure", Json::from(self.figure.as_str())),
@@ -144,12 +168,29 @@ mod tests {
     #[test]
     fn cache_counters_appear_in_the_run_record() {
         let mut c = Campaign::new("figX", "tiny", 2018, 1);
-        c.set_cache(CacheCounters { hits: 5, misses: 2, stores: 3 });
+        c.set_cache(CacheCounters {
+            hits: 5,
+            misses: 2,
+            stores: 3,
+            quarantines: 1,
+            salvage_dropped: 4,
+        });
         let doc = c.document(7, Json::Null);
         let cache = doc.get("run").unwrap().get("cache").expect("cache object");
         assert_eq!(cache.get("hits").unwrap().as_f64(), Some(5.0));
         assert_eq!(cache.get("misses").unwrap().as_f64(), Some(2.0));
         assert_eq!(cache.get("stores").unwrap().as_f64(), Some(3.0));
+        assert_eq!(cache.get("quarantines").unwrap().as_f64(), Some(1.0));
+        assert_eq!(cache.get("salvage_dropped").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn telemetry_lands_in_run_not_data() {
+        let mut c = Campaign::new("figX", "tiny", 2018, 1);
+        c.set_telemetry(Json::obj(vec![("counters", Json::obj(vec![("a", Json::from(1u64))]))]));
+        let doc = c.document(1, Json::obj(vec![("cells", Json::Arr(vec![]))]));
+        assert!(doc.get("run").unwrap().get("telemetry").is_some());
+        assert!(doc.get("data").unwrap().get("telemetry").is_none());
     }
 
     #[test]

@@ -46,5 +46,5 @@ pub mod types;
 pub use config::{CacheConfig, CoreConfig, DramConfig, DramKind, RingConfig, SimConfig};
 pub use probe::{ProbeEvent, StallCause};
 pub use stats::{CoreStats, MemStats};
-pub use system::System;
+pub use system::{EngineCounters, System};
 pub use types::{Addr, CoreId, Cycle, ReqId};

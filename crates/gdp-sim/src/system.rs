@@ -28,6 +28,32 @@ use crate::probe::ProbeEvent;
 use crate::stats::{CoreStats, Snapshot};
 use crate::types::{CoreId, Cycle};
 
+/// Engine activity counters accumulated by [`System::advance`] /
+/// [`System::step`]. Plain integers (no atomics, no dependencies): the
+/// simulator is single-threaded, and sessions export these into a
+/// telemetry registry at interval boundaries.
+///
+/// All fields are deterministic for a given configuration and workload —
+/// they count simulated work, not wall-clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Cycles the clock has advanced in total (`now`).
+    pub cycles: u64,
+    /// Dead cycles crossed in bulk by the event-driven engine.
+    pub cycles_skipped: u64,
+    /// Cycles executed one-by-one (`cycles - cycles_skipped`).
+    pub cycles_stepped: u64,
+    /// Calls into [`System::advance`].
+    pub advance_calls: u64,
+    /// Bulk clock jumps taken (quiescent stretches actually crossed).
+    pub bulk_jumps: u64,
+    /// Per-core quiet windows installed (`set_quiet` cache fills).
+    pub quiet_windows: u64,
+    /// Steps taken under `GDP_SIM_ENGINE=step` (oracle mode); non-zero
+    /// only when the reference engine is forced.
+    pub oracle_steps: u64,
+}
+
 /// A complete simulated CMP.
 #[derive(Debug)]
 pub struct System {
@@ -42,6 +68,8 @@ pub struct System {
     /// step-by-1 reference engine — the end-to-end A/B hook CI uses to
     /// byte-diff campaign output between the engines.
     force_step: bool,
+    /// Engine activity counts (advance calls, jumps, quiet windows).
+    engine: EngineCounters,
 }
 
 impl System {
@@ -65,7 +93,16 @@ impl System {
             .collect();
         let mem = MemorySystem::new(&cfg);
         let force_step = std::env::var_os("GDP_SIM_ENGINE").is_some_and(|v| v == "step");
-        System { cfg, cores, mem, now: 0, probes: Vec::new(), skipped: 0, force_step }
+        System {
+            cfg,
+            cores,
+            mem,
+            now: 0,
+            probes: Vec::new(),
+            skipped: 0,
+            force_step,
+            engine: EngineCounters::default(),
+        }
     }
 
     /// The configuration this system was built with.
@@ -163,7 +200,9 @@ impl System {
         // strictly future bound (the run loops re-derive theirs after
         // every advance for exactly this reason).
         debug_assert!(limit > self.now, "advance limit {limit} is not past cycle {}", self.now);
+        self.engine.advance_calls += 1;
         if self.force_step {
+            self.engine.oracle_steps += 1;
             self.step();
             return;
         }
@@ -205,6 +244,7 @@ impl System {
                             continue;
                         }
                         self.cores[i].set_quiet(until, retry);
+                        self.engine.quiet_windows += 1;
                     }
                 }
             }
@@ -242,6 +282,7 @@ impl System {
             // cycle; replay their counter effects in bulk.
             self.mem.replay_blocked_retries(skipped);
             self.skipped += skipped;
+            self.engine.bulk_jumps += 1;
             self.now = target;
         }
     }
@@ -250,6 +291,18 @@ impl System {
     /// cycles a step-by-1 engine would have burned real work on.
     pub fn skipped_cycles(&self) -> u64 {
         self.skipped
+    }
+
+    /// Engine activity counters at the current cycle (see
+    /// [`EngineCounters`]); the cycle totals are filled in from the live
+    /// clock so the snapshot is always self-consistent.
+    pub fn engine_counters(&self) -> EngineCounters {
+        EngineCounters {
+            cycles: self.now,
+            cycles_skipped: self.skipped,
+            cycles_stepped: self.now - self.skipped,
+            ..self.engine
+        }
     }
 
     /// The engine's activity predictions at the current cycle: per-core
@@ -420,6 +473,24 @@ mod tests {
         assert_eq!(a.drain_probes(), b.drain_probes(), "probe streams diverged");
         assert!(b.skipped_cycles() > 0, "memory-bound run must skip dead cycles");
         assert_eq!(a.skipped_cycles(), 0, "step() never skips");
+    }
+
+    #[test]
+    fn engine_counters_track_jumps_and_windows() {
+        let cfg = SimConfig::scaled(2);
+        let mut sys = System::new(cfg, vec![InstrStream::cyclic(streaming_program(0, 8192))]);
+        sys.run_cycles(40_000);
+        let c = sys.engine_counters();
+        assert_eq!(c.cycles, 40_000);
+        assert_eq!(c.cycles_skipped, sys.skipped_cycles());
+        assert_eq!(c.cycles_stepped + c.cycles_skipped, c.cycles);
+        assert!(c.advance_calls > 0);
+        assert!(c.bulk_jumps > 0, "memory-bound run must jump");
+        // A cached quiet window can be reused across several jumps, so
+        // no ordering holds between the two; both just have to fire.
+        assert!(c.quiet_windows > 0);
+        assert_eq!(c.oracle_steps, 0, "oracle mode not forced");
+        assert!(c.advance_calls >= c.bulk_jumps);
     }
 
     #[test]

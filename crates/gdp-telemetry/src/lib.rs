@@ -1,0 +1,39 @@
+//! # gdp-telemetry — deterministic metrics + span profiling + logging
+//!
+//! A std-only, dependency-free observability layer for the estimation
+//! stack. Three pieces:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges, histograms and span
+//!   timers behind cheap atomic handles. **Counters are the
+//!   deterministic class**: everything registered as a counter counts a
+//!   quantity that is identical for every `--jobs N` (events observed,
+//!   intervals emitted, cycles skipped, cache hits), so the
+//!   counters-only snapshot ([`Snapshot::counters_json`]) is
+//!   byte-stable and CI-diffable. Gauges, histograms and spans carry
+//!   scheduling- and wall-clock-dependent measurements and only appear
+//!   in the full snapshot ([`Snapshot::to_json`]).
+//! * [`Span`] — lightweight manual profiling: `registry.span(name)`
+//!   once, then [`SpanHandle::enter`] around a phase; durations are
+//!   aggregated per name (total + count), never allocated per event.
+//! * [`log`] — a tiny leveled stderr logger (`GDP_LOG=quiet|info|debug`
+//!   or [`log::set_level`]) replacing the scattered `eprintln!`
+//!   diagnostics; default level `info` keeps output byte-identical to
+//!   the pre-logger tree.
+//!
+//! Instrumentation compiles out entirely with the `telemetry-off`
+//! feature ([`COMPILED_IN`]); at runtime it costs nothing unless a
+//! registry is attached (hot paths hold `Option` handles).
+
+pub mod log;
+pub mod profile;
+pub mod registry;
+
+pub use profile::render_profile;
+pub use registry::{
+    Counter, Gauge, Histogram, MetricsRegistry, Snapshot, Span, SpanHandle, SpanSnapshot,
+};
+
+/// `false` when the `telemetry-off` feature compiled the instrumentation
+/// layer out; every handle method early-returns on this constant, so the
+/// optimizer removes the calls entirely.
+pub const COMPILED_IN: bool = !cfg!(feature = "telemetry-off");

@@ -1,0 +1,101 @@
+//! A tiny leveled stderr logger.
+//!
+//! Three levels: `Quiet` (suppress everything), `Info` (the default —
+//! exactly the diagnostics the tree printed before this logger existed,
+//! so transcripts don't churn), `Debug` (extra detail). The level comes
+//! from the `GDP_LOG` environment variable (`quiet|info|debug`), read
+//! once on first use; [`set_level`] overrides it (the `--quiet` flag).
+//!
+//! Use the [`log_info!`](crate::log_info) / [`log_debug!`](crate::log_debug)
+//! macros; they format nothing unless the level is enabled.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log verbosity, ordered: `Quiet < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Suppress all diagnostics.
+    Quiet = 1,
+    /// Default: the pre-logger diagnostic set, byte-identical.
+    Info = 2,
+    /// Extra detail (cache keys, per-segment notes).
+    Debug = 3,
+}
+
+/// 0 = uninitialized (read `GDP_LOG` on first query).
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn level_from_env() -> Level {
+    match std::env::var("GDP_LOG").ok().as_deref() {
+        Some("quiet") => Level::Quiet,
+        Some("debug") => Level::Debug,
+        _ => Level::Info,
+    }
+}
+
+/// The current level, initializing from `GDP_LOG` on first call.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        1 => Level::Quiet,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => {
+            let l = level_from_env();
+            // A racing set_level wins: only replace the 0 sentinel.
+            let _ = LEVEL.compare_exchange(0, l as u8, Ordering::Relaxed, Ordering::Relaxed);
+            level()
+        }
+    }
+}
+
+/// Override the level (e.g. from a `--quiet` flag); takes precedence
+/// over `GDP_LOG`.
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether messages at `l` are currently emitted.
+pub fn enabled(l: Level) -> bool {
+    level() >= l
+}
+
+/// Emit a diagnostic at [`Level::Info`] (the default level — replaces a
+/// bare `eprintln!`).
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Emit a diagnostic at [`Level::Debug`] (hidden unless `GDP_LOG=debug`).
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_override() {
+        // Tests share the process-global level; drive it explicitly.
+        set_level(Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Quiet);
+        assert!(!enabled(Level::Info));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        assert!(enabled(Level::Info));
+        set_level(Level::Info);
+    }
+}

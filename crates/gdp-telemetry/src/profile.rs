@@ -1,0 +1,79 @@
+//! The `--profile` stderr table: top spans by total time.
+
+use std::time::Duration;
+
+use crate::registry::Snapshot;
+
+/// Render the span-profile table for a finished run: spans sorted by
+/// total time (descending, name as tie-break), with share of `wall`,
+/// entry count and mean duration. Returns the table as a string for the
+/// caller to print to stderr.
+pub fn render_profile(snapshot: &Snapshot, wall: Duration) -> String {
+    let mut spans = snapshot.spans.clone();
+    spans.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.name.cmp(&b.name)));
+    let name_w = spans.iter().map(|s| s.name.len()).max().unwrap_or(4).max("span".len());
+    let wall_s = wall.as_secs_f64();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:>10}  {:>6}  {:>8}  {:>10}\n",
+        "span", "total", "%wall", "count", "mean"
+    ));
+    let mut attributed = 0.0;
+    for s in &spans {
+        let total_s = s.total.as_secs_f64();
+        // Nested spans overlap their parents; only top-level phases
+        // (single-dot names) count toward the attribution line.
+        if s.name.matches('.').count() <= 1 {
+            attributed += total_s;
+        }
+        let pct = if wall_s > 0.0 { 100.0 * total_s / wall_s } else { 0.0 };
+        let mean_s = if s.count > 0 { total_s / s.count as f64 } else { 0.0 };
+        out.push_str(&format!(
+            "{:<name_w$}  {:>9.3}s  {:>5.1}%  {:>8}  {:>9.3}ms\n",
+            s.name,
+            total_s,
+            pct,
+            s.count,
+            mean_s * 1e3,
+        ));
+    }
+    let pct = if wall_s > 0.0 { 100.0 * attributed / wall_s } else { 0.0 };
+    out.push_str(&format!(
+        "wall-clock {wall_s:.3}s, attributed {attributed:.3}s ({pct:.1}% in top-level spans)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::SpanSnapshot;
+
+    fn span(name: &str, count: u64, ms: u64) -> SpanSnapshot {
+        SpanSnapshot { name: name.to_string(), count, total: Duration::from_millis(ms) }
+    }
+
+    #[test]
+    fn sorts_by_total_and_attributes_top_level_only() {
+        let snap = Snapshot {
+            spans: vec![
+                span("session.estimate.gdp", 10, 100), // nested: excluded from attribution
+                span("sweep.shared", 4, 700),
+                span("sweep.private", 4, 200),
+            ],
+            ..Snapshot::default()
+        };
+        let table = render_profile(&snap, Duration::from_millis(1000));
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[1].starts_with("sweep.shared"), "largest span first: {table}");
+        assert!(lines[2].starts_with("sweep.private"));
+        assert!(table.contains("attributed 0.900s (90.0% in top-level spans)"), "{table}");
+    }
+
+    #[test]
+    fn zero_wall_does_not_divide_by_zero() {
+        let snap = Snapshot { spans: vec![span("a.b", 1, 5)], ..Snapshot::default() };
+        let table = render_profile(&snap, Duration::ZERO);
+        assert!(table.contains("0.0%"), "{table}");
+    }
+}

@@ -15,6 +15,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use gdp_telemetry::{log_info, MetricsRegistry};
+
 use crate::format::{
     decode_checkpoints_salvage, decode_private, decode_shared, encode_checkpoints, encode_private,
     encode_shared,
@@ -97,6 +99,23 @@ pub struct CacheStatsSnapshot {
     pub misses: u64,
     /// Traces written.
     pub stores: u64,
+    /// Corrupt entries quarantined (removed) on load.
+    pub quarantines: u64,
+    /// Checkpoint records dropped by the salvage decoder on load.
+    pub salvage_dropped: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Export the counters into `registry` under the `cache.*` names.
+    /// All five are deterministic for a given campaign + cache state, so
+    /// they register as counters.
+    pub fn export(&self, registry: &MetricsRegistry) {
+        registry.counter("cache.hits").add(self.hits);
+        registry.counter("cache.misses").add(self.misses);
+        registry.counter("cache.stores").add(self.stores);
+        registry.counter("cache.quarantines").add(self.quarantines);
+        registry.counter("cache.salvage_dropped").add(self.salvage_dropped);
+    }
 }
 
 /// The content-addressed trace store. Thread-safe: campaign jobs share
@@ -107,6 +126,8 @@ pub struct TraceCache {
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    quarantines: AtomicU64,
+    salvage_dropped: AtomicU64,
 }
 
 impl TraceCache {
@@ -117,6 +138,8 @@ impl TraceCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            salvage_dropped: AtomicU64::new(0),
         }
     }
 
@@ -131,6 +154,8 @@ impl TraceCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            salvage_dropped: self.salvage_dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -166,7 +191,17 @@ impl TraceCache {
     /// replay then degrades to the nearest earlier good restore point,
     /// which costs time but never correctness.
     pub fn load_checkpoints(&self, key: &CacheKey) -> Option<CheckpointFile> {
-        self.load(&self.path("state", key), |b| decode_checkpoints_salvage(b).map(|(f, _)| f))
+        self.load(&self.path("state", key), |b| {
+            decode_checkpoints_salvage(b).map(|(f, dropped)| {
+                if dropped > 0 {
+                    self.salvage_dropped.fetch_add(dropped as u64, Ordering::Relaxed);
+                    log_info!(
+                        "gdp-trace: salvaged checkpoint file dropped {dropped} corrupt record(s)"
+                    );
+                }
+                f
+            })
+        })
     }
 
     /// Store a checkpoint file; returns the entry path.
@@ -186,7 +221,7 @@ impl TraceCache {
                 // Permission problems, I/O failures etc. are worth a
                 // diagnostic: silently treating them as misses hides a
                 // misconfigured cache from the operator.
-                eprintln!("gdp-trace: cannot read cache entry {}: {e}", path.display());
+                log_info!("gdp-trace: cannot read cache entry {}: {e}", path.display());
                 None
             }
         };
@@ -208,9 +243,13 @@ impl TraceCache {
                     // same-size race merely costs one extra re-simulate.
                     let replaced = std::fs::metadata(path).map(|m| m.len() != len).unwrap_or(true);
                     if !replaced {
-                        if let Err(e) = std::fs::remove_file(path) {
-                            if e.kind() != io::ErrorKind::NotFound {
-                                eprintln!(
+                        match std::fs::remove_file(path) {
+                            Ok(()) => {
+                                self.quarantines.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                            Err(e) => {
+                                log_info!(
                                     "gdp-trace: cannot quarantine corrupt cache entry {}: {e}",
                                     path.display()
                                 );
@@ -331,12 +370,14 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         assert!(cache.load_shared(&key).is_none());
         assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().quarantines, 1, "quarantine must be counted");
         // The corrupt entry must be quarantined (deleted), so the next
         // load is a plain absent-entry miss instead of a re-decode of
         // the same bad bytes.
         assert!(!path.exists(), "corrupt entry must be deleted");
         assert!(cache.load_shared(&key).is_none());
         assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().quarantines, 1, "absent-entry misses are not quarantines");
         // And a re-store heals the entry for good.
         cache.store_shared(&key, &SharedTrace::default()).expect("stores");
         assert!(cache.load_shared(&key).is_some());
@@ -404,6 +445,7 @@ mod tests {
         let got = cache.load_checkpoints(&key).expect("salvaged");
         assert_eq!(got.checkpoints, f.checkpoints[..1]);
         assert!(path.exists(), "partially-salvaged entries are kept, not quarantined");
+        assert_eq!(cache.stats().salvage_dropped, 1, "dropped records must be counted");
 
         // A corrupt header is beyond salvage: counted miss + quarantine.
         bytes[0] ^= 0xFF;
@@ -446,6 +488,26 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stats_export_registers_cache_counters() {
+        let snap = CacheStatsSnapshot {
+            hits: 3,
+            misses: 1,
+            stores: 2,
+            quarantines: 1,
+            salvage_dropped: 5,
+        };
+        let reg = MetricsRegistry::new();
+        snap.export(&reg);
+        let s = reg.snapshot();
+        assert_eq!(s.counter("cache.hits"), Some(3));
+        assert_eq!(s.counter("cache.misses"), Some(1));
+        assert_eq!(s.counter("cache.stores"), Some(2));
+        assert_eq!(s.counter("cache.quarantines"), Some(1));
+        assert_eq!(s.counter("cache.salvage_dropped"), Some(5));
+        assert!(s.gauges.is_empty(), "cache counters are all deterministic");
     }
 
     #[test]
