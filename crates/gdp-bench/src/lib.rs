@@ -32,7 +32,7 @@ use gdp_metrics::{mean, Summary};
 use gdp_runner::{
     cli, summary_json, CacheCounters, Campaign, Json, Pool, PoolTelemetry, Progress, ScaleFlag,
 };
-use gdp_telemetry::{log_info, render_profile, MetricsRegistry};
+use gdp_telemetry::{log_info, render_profile, MetricsRegistry, TraceRecorder};
 use gdp_workloads::{generate_workloads, LlcClass, Workload};
 
 /// Sweep scale selected on the command line.
@@ -123,6 +123,10 @@ pub struct BenchArgs {
     /// `--metrics-out PATH`: write the snapshot to an explicit path
     /// (implies collection).
     pub metrics_out: Option<String>,
+    /// `--trace-out PATH`: write the Chrome trace-event / Perfetto
+    /// timeline (one lane per pool worker; wall-clock, outside every
+    /// byte-compared surface) to PATH after the run.
+    pub trace_out: Option<String>,
     /// `--profile`: print the span-profile table to stderr after the
     /// run (implies collection).
     pub profile: bool,
@@ -131,6 +135,7 @@ pub struct BenchArgs {
     pub quiet: bool,
     registry: Option<Arc<MetricsRegistry>>,
     pool_telemetry: Option<Arc<PoolTelemetry>>,
+    tracer: Option<Arc<TraceRecorder>>,
 }
 
 impl BenchArgs {
@@ -145,7 +150,20 @@ impl BenchArgs {
                 std::process::exit(2);
             }
         });
+        // Fail fast on unwritable output paths: create missing parent
+        // directories now and exit 2 with a clear message instead of
+        // discarding a finished campaign on the final write.
+        for out in [a.metrics_out.as_deref(), a.trace_out.as_deref()].into_iter().flatten() {
+            ensure_writable_or_exit(bin, out);
+        }
         let wants = a.wants_telemetry();
+        let registry = wants.then(MetricsRegistry::shared);
+        let tracer = a.trace_out.as_ref().map(|_| TraceRecorder::shared());
+        if let (Some(reg), Some(tr)) = (&registry, &tracer) {
+            // Before any session resolves its span handles, so every
+            // span lands on the timeline.
+            reg.set_tracer(Arc::clone(tr));
+        }
         BenchArgs {
             bin,
             scale: a.scale.into(),
@@ -159,10 +177,12 @@ impl BenchArgs {
             techniques,
             metrics: a.metrics,
             metrics_out: a.metrics_out,
+            trace_out: a.trace_out,
             profile: a.profile,
             quiet: a.quiet,
-            registry: wants.then(MetricsRegistry::shared),
+            registry,
             pool_telemetry: wants.then(PoolTelemetry::shared),
+            tracer,
         }
     }
 
@@ -178,13 +198,17 @@ impl BenchArgs {
     }
 
     /// The job pool for this invocation (with the scheduling-telemetry
-    /// sink attached when telemetry is on).
+    /// sink attached when telemetry is on, and the trace recorder when
+    /// `--trace-out` asked for a timeline).
     pub fn pool(&self) -> Pool {
-        let p = Pool::new(self.jobs);
-        match &self.pool_telemetry {
-            Some(t) => p.with_telemetry(Arc::clone(t)),
-            None => p,
+        let mut p = Pool::new(self.jobs);
+        if let Some(t) = &self.pool_telemetry {
+            p = p.with_telemetry(Arc::clone(t));
         }
+        if let Some(tr) = &self.tracer {
+            p = p.with_tracer(Arc::clone(tr));
+        }
+        p
     }
 
     /// Start the campaign clock/identity for this invocation.
@@ -259,6 +283,16 @@ impl BenchArgs {
                 tc.stats().export(reg);
             }
         }
+        if let (Some(tr), Some(path)) = (&self.tracer, &self.trace_out) {
+            match tr.write_json(path) {
+                Ok(()) => log_info!(
+                    "[{}] wrote {path} ({} slices; load it in ui.perfetto.dev)",
+                    self.bin,
+                    tr.len()
+                ),
+                Err(e) => eprintln!("{}: cannot write trace to {path}: {e}", self.bin),
+            }
+        }
         let Some(reg) = &self.registry else { return };
         if let Some(pt) = &self.pool_telemetry {
             pt.export(reg);
@@ -271,6 +305,11 @@ impl BenchArgs {
         match Json::parse(&full) {
             Ok(j) => campaign.set_telemetry(j),
             Err(e) => eprintln!("{}: malformed metrics snapshot: {e:?}", self.bin),
+        }
+        // `--trace-out` alone wants a timeline, not a metrics file: the
+        // snapshot file is written only when a metrics flag asked for it.
+        if !(self.metrics || self.metrics_out.is_some() || self.profile) {
+            return;
         }
         let path = self
             .metrics_out
@@ -300,6 +339,27 @@ impl BenchArgs {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// Verify `path` will be writable at the end of the run: create missing
+/// parent directories, then open the file for appending (which creates
+/// it without truncating an existing one). Returns the first error.
+fn ensure_writable(path: &str) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::OpenOptions::new().append(true).create(true).open(path).map(|_| ())
+}
+
+/// Exit 2 with a clear message when an `--metrics-out`/`--trace-out`
+/// path cannot be written (checked up front, not after the campaign).
+fn ensure_writable_or_exit(bin: &str, path: &str) {
+    if let Err(e) = ensure_writable(path) {
+        eprintln!("{bin}: cannot write to {path}: {e}");
+        std::process::exit(2);
     }
 }
 
@@ -699,6 +759,23 @@ mod tests {
             let has_asm = labels.iter().any(|l| l.contains("(ASM)"));
             assert_eq!(has_asm, techniques.contains(&Technique::ASM));
         }
+    }
+
+    #[test]
+    fn ensure_writable_creates_parents_and_rejects_bad_paths() {
+        let dir = std::env::temp_dir().join(format!("gdp-bench-writable-{}", std::process::id()));
+        let nested = dir.join("a/b/out.json");
+        let nested = nested.to_str().unwrap();
+        assert!(ensure_writable(nested).is_ok(), "missing parents are created");
+        assert!(dir.join("a/b").is_dir());
+        // Probing must not truncate an existing file.
+        std::fs::write(nested, b"keep").unwrap();
+        assert!(ensure_writable(nested).is_ok());
+        assert_eq!(std::fs::read(nested).unwrap(), b"keep");
+        // A path through a *file* cannot gain a parent directory.
+        let through_file = dir.join("a/b/out.json/x.json");
+        assert!(ensure_writable(through_file.to_str().unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -85,4 +85,39 @@ fn metered_campaign_data_is_byte_identical_and_counters_are_jobs_invariant() {
         let v = doc.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("missing {key}"));
         assert!(v > 0.0, "{key} must be non-zero, got {v}");
     }
+
+    // The flight recorder's deterministic `timeseries` group obeys the
+    // same contract: interval-indexed bins are order-free sums over
+    // session-local indices, so the sink is byte-identical across pool
+    // sizes.
+    let ts_1 = reg_1.snapshot().timeseries_json();
+    let ts_4 = reg_4.snapshot().timeseries_json();
+    assert!(
+        ts_1 == ts_4,
+        "timeseries varied with --jobs\n--- jobs 1 ---\n{ts_1}\n--- jobs 4 ---\n{ts_4}"
+    );
+    for key in [
+        "\"ts.session.events\"",
+        "\"ts.session.intervals\"",
+        "\"ts.engine.cycles\"",
+        "\"ts.engine.cycles_skipped\"",
+        "\"ts.llc.accesses\"",
+        "\"ts.llc.misses\"",
+    ] {
+        assert!(ts_1.contains(key), "missing {key} in timeseries sink:\n{ts_1}");
+    }
+    // Wall-clock series exist but stay out of the deterministic sink.
+    assert!(!ts_1.contains("tsw."), "wall series leaked into the deterministic sink:\n{ts_1}");
+    let snap = reg_1.snapshot();
+    assert!(
+        snap.timeseries_wall.iter().any(|(k, _)| k.starts_with("tsw.session.estimate.")),
+        "per-technique estimate time-series missing from the wall group"
+    );
+    // The series carry real samples, not empty rings.
+    let (_, events) = snap
+        .timeseries
+        .iter()
+        .find(|(k, _)| k == "ts.session.events")
+        .expect("event series present");
+    assert!(events.samples > 0 && events.bins.iter().sum::<u64>() > 0);
 }

@@ -29,8 +29,8 @@ use gdp_dief::Dief;
 use gdp_runner::Pool;
 use gdp_sim::stats::CoreStats;
 use gdp_sim::types::{CoreId, Cycle};
-use gdp_sim::System;
-use gdp_telemetry::{log_info, Counter, Gauge, MetricsRegistry, SpanHandle};
+use gdp_sim::{EngineCounters, System};
+use gdp_telemetry::{log_info, Counter, Gauge, MetricsRegistry, SpanHandle, TimeSeries};
 use gdp_trace::{Boundary, CheckpointFile, SharedTrace, StateCheckpoint, TraceSink};
 use gdp_workloads::Workload;
 
@@ -65,6 +65,26 @@ struct SessionMetrics {
     observe_span: SpanHandle,
     /// `session.estimate.<id>`: per-technique estimate-phase time.
     estimate_spans: Vec<SpanHandle>,
+    /// `ts.session.events`: probe events per interval index — the
+    /// flight recorder's deterministic event-rate series. Indices are
+    /// *session-local* (each session counts its own boundaries from 0),
+    /// so concurrent campaign jobs fold order-free and the series is
+    /// byte-identical for every `--jobs N`.
+    ts_events: TimeSeries,
+    /// `ts.session.intervals`: rows per interval index (the number of
+    /// sessions that reached that boundary).
+    ts_rows: TimeSeries,
+    /// `ts.engine.cycles`: simulated cycles crossed per interval.
+    ts_cycles: TimeSeries,
+    /// `ts.engine.cycles_skipped`: dead cycles bulk-skipped per interval.
+    ts_cycles_skipped: TimeSeries,
+    /// `ts.llc.accesses`: LLC accesses per interval (summed over cores).
+    ts_llc_accesses: TimeSeries,
+    /// `ts.llc.misses`: LLC misses per interval (summed over cores).
+    ts_llc_misses: TimeSeries,
+    /// `tsw.session.estimate.<id>`: per-technique estimate-phase
+    /// nanoseconds per interval — wall-clock, `timeseries_wall` group.
+    estimate_ts: Vec<TimeSeries>,
 }
 
 impl SessionMetrics {
@@ -83,19 +103,40 @@ impl SessionMetrics {
                 .iter()
                 .map(|t| registry.span(&format!("session.estimate.{}", t.id())))
                 .collect(),
+            ts_events: registry.time_series("ts.session.events"),
+            ts_rows: registry.time_series("ts.session.intervals"),
+            ts_cycles: registry.time_series("ts.engine.cycles"),
+            ts_cycles_skipped: registry.time_series("ts.engine.cycles_skipped"),
+            ts_llc_accesses: registry.time_series("ts.llc.accesses"),
+            ts_llc_misses: registry.time_series("ts.llc.misses"),
+            estimate_ts: techniques
+                .iter()
+                .map(|t| registry.wall_time_series(&format!("tsw.session.estimate.{}", t.id())))
+                .collect(),
             registry,
         }
     }
 
     /// Count a drained event batch against the session and every
-    /// subscribed technique.
-    fn count_events(&self, n: usize, subscribed: &[bool]) {
+    /// subscribed technique, and fold it into the interval-`index` bin
+    /// of the event-rate series.
+    fn count_events(&self, n: usize, subscribed: &[bool], index: u64) {
         self.events.add(n as u64);
+        self.ts_events.record(index, n as u64);
         for (c, &on) in self.tech_events.iter().zip(subscribed) {
             if on {
                 c.add(n as u64);
             }
         }
+    }
+
+    /// Record one emitted boundary row at interval `index`, with the
+    /// interval's summed LLC access/miss deltas.
+    fn record_boundary(&self, index: u64, llc_accesses: u64, llc_misses: u64) {
+        self.intervals.inc();
+        self.ts_rows.record(index, 1);
+        self.ts_llc_accesses.record(index, llc_accesses);
+        self.ts_llc_misses.record(index, llc_misses);
     }
 }
 
@@ -108,16 +149,21 @@ fn estimate_row_metered(
     estimators: &mut [Box<dyn PrivateModeEstimator>],
     core: CoreId,
     m: &gdp_core::model::IntervalMeasurement,
+    index: u64,
 ) -> Vec<gdp_core::model::PrivateEstimate> {
     match metrics {
         None => estimate_all(estimators, core, m),
         Some(mx) => mx
             .estimate_spans
             .iter()
+            .zip(&mx.estimate_ts)
             .zip(estimators)
-            .map(|(span, e)| {
+            .map(|((span, ts), e)| {
                 let _g = span.enter();
-                e.estimate(core, m)
+                let start = std::time::Instant::now();
+                let est = e.estimate(core, m);
+                ts.record(index, start.elapsed().as_nanos() as u64);
+                est
             })
             .collect(),
     }
@@ -213,6 +259,7 @@ impl<'s> SessionBuilder<'s> {
         let mc_epoch = techniques.iter().find_map(|t| t.mc_priority_epoch());
         let n = xcfg.sim.cores;
         let last_snapshot = (0..n).map(|c| *sys.core_stats(c)).collect();
+        let last_engine = sys.engine_counters();
         EstimationSession {
             sys,
             dief,
@@ -222,10 +269,12 @@ impl<'s> SessionBuilder<'s> {
             schedule: IntervalSchedule::new(xcfg.interval_cycles),
             mc_epoch,
             last_snapshot,
+            last_engine,
             cores: n,
             cap: xcfg.cycle_cap(),
             sample_instrs: xcfg.sample_instrs,
             intervals: Vec::new(),
+            emitted: 0,
             fresh: 0,
             sink,
             metrics,
@@ -243,10 +292,17 @@ pub struct EstimationSession<'s> {
     schedule: IntervalSchedule,
     mc_epoch: Option<u64>,
     last_snapshot: Vec<CoreStats>,
+    /// Engine counters at the previous boundary, so the flight recorder
+    /// can record per-interval deltas (cycles, cycles skipped).
+    last_engine: EngineCounters,
     cores: usize,
     cap: Cycle,
     sample_instrs: u64,
     intervals: Vec<Vec<CoreInterval>>,
+    /// Boundary rows emitted over the session's lifetime — the flight
+    /// recorder's interval index. Monotonic even when
+    /// [`EstimationSession::take_estimates`] drains `intervals`.
+    emitted: u64,
     fresh: usize,
     sink: Option<&'s mut dyn TraceSink>,
     metrics: Option<SessionMetrics>,
@@ -320,10 +376,19 @@ impl EstimationSession<'_> {
     /// probe batch to DIEF and every estimator (and the capture sink),
     /// then produce one estimate row across all cores.
     fn emit_boundary_row(&mut self) {
+        // The flight recorder's interval index: session-local, counted
+        // from 0 — deterministic regardless of job scheduling.
+        let idx = self.emitted;
+        self.emitted += 1;
         self.sys.finalize(); // close open stall runs at the boundary
         let events = self.sys.drain_probes();
         if let Some(mx) = &self.metrics {
-            mx.count_events(events.len(), &self.needs_probe);
+            mx.count_events(events.len(), &self.needs_probe, idx);
+            let engine = self.sys.engine_counters();
+            mx.ts_cycles.record(idx, engine.cycles - self.last_engine.cycles);
+            mx.ts_cycles_skipped
+                .record(idx, engine.cycles_skipped - self.last_engine.cycles_skipped);
+            self.last_engine = engine;
         }
         {
             let _g = self.metrics.as_ref().map(|mx| mx.dief_span.enter());
@@ -344,10 +409,13 @@ impl EstimationSession<'_> {
         }
         let n = self.cores;
         let mut row = Vec::with_capacity(n);
+        let (mut llc_accesses, mut llc_misses) = (0u64, 0u64);
         for c in 0..n {
             let core = CoreId(c as u8);
             let cum = *self.sys.core_stats(c);
             let delta = cum.delta(&self.last_snapshot[c]);
+            llc_accesses += delta.llc_accesses;
+            llc_misses += delta.llc_misses;
             let lat = self.dief.interval_estimate(core);
             let boundary = Boundary {
                 instr_start: self.last_snapshot[c].committed_instrs,
@@ -358,7 +426,7 @@ impl EstimationSession<'_> {
             };
             let m = boundary.measurement();
             let estimates =
-                estimate_row_metered(self.metrics.as_ref(), &mut self.estimators, core, &m);
+                estimate_row_metered(self.metrics.as_ref(), &mut self.estimators, core, &m, idx);
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.record_boundary(boundary);
             }
@@ -374,7 +442,7 @@ impl EstimationSession<'_> {
         }
         self.intervals.push(row);
         if let Some(mx) = &self.metrics {
-            mx.intervals.inc();
+            mx.record_boundary(idx, llc_accesses, llc_misses);
         }
     }
 
@@ -515,26 +583,34 @@ impl<'t> ReplaySession<'t> {
         // in core order) — the bit-exactness contract the replay tests
         // pin from both ends.
         while self.next < upto {
+            // Replay's flight-recorder interval index is the position in
+            // the recorded trace — the same session-local index the live
+            // run used, so live and replay series line up bin-for-bin.
+            let idx = self.next as u64;
             let iv = &self.trace.intervals[self.next];
             if let Some(mx) = &self.metrics {
-                mx.count_events(iv.events.len(), &self.needs_probe);
+                mx.count_events(iv.events.len(), &self.needs_probe, idx);
             }
             {
                 let _g = self.metrics.as_ref().map(|mx| mx.observe_span.enter());
                 observe_subscribed(&mut self.estimators, &self.needs_probe, &iv.events);
             }
             let mut row = Vec::with_capacity(iv.boundaries.len());
+            let (mut llc_accesses, mut llc_misses) = (0u64, 0u64);
             for (c, b) in iv.boundaries.iter().enumerate() {
                 assert!(
                     c < self.trace.cores,
                     "boundary for core {c} in a {}-core trace",
                     self.trace.cores
                 );
+                llc_accesses += b.stats.llc_accesses;
+                llc_misses += b.stats.llc_misses;
                 let estimates = estimate_row_metered(
                     self.metrics.as_ref(),
                     &mut self.estimators,
                     CoreId(c as u8),
                     &b.measurement(),
+                    idx,
                 );
                 row.push(CoreInterval {
                     instr_start: b.instr_start,
@@ -548,7 +624,7 @@ impl<'t> ReplaySession<'t> {
             self.intervals.push(row);
             self.next += 1;
             if let Some(mx) = &self.metrics {
-                mx.intervals.inc();
+                mx.record_boundary(idx, llc_accesses, llc_misses);
             }
         }
         done

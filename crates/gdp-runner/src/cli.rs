@@ -15,6 +15,7 @@
 //!                             validated downstream against the registry)
 //! --metrics                   collect telemetry; write results/<name>.metrics.json
 //! --metrics-out PATH          write the full metrics snapshot to PATH
+//! --trace-out PATH            write a Chrome trace-event / Perfetto timeline
 //! --profile                   span-profile table on stderr after the run
 //! --quiet                     suppress stderr diagnostics (GDP_LOG=quiet)
 //! --help | -h                 usage
@@ -85,6 +86,12 @@ pub struct RunnerArgs {
     /// `--metrics-out PATH`: write the full metrics snapshot to an
     /// explicit path (implies metrics collection).
     pub metrics_out: Option<String>,
+    /// `--trace-out PATH`: write a Chrome trace-event / Perfetto
+    /// timeline of the run (one lane per pool worker, jobs as top-level
+    /// slices with session spans nested inside). The timeline is
+    /// **wall-clock** — it never participates in byte-compared `data`
+    /// sections or stdout, which stay identical with or without it.
+    pub trace_out: Option<String>,
     /// Print the span-profile table (top spans by total time) to stderr
     /// after the run (implies telemetry collection).
     pub profile: bool,
@@ -109,10 +116,11 @@ impl RunnerArgs {
         Pool::new(self.jobs())
     }
 
-    /// Whether any flag requested telemetry collection
-    /// (`--metrics`, `--metrics-out`, or `--profile`).
+    /// Whether any flag requested telemetry collection (`--metrics`,
+    /// `--metrics-out`, `--trace-out`, or `--profile`). `--trace-out`
+    /// needs the registry because span slices are recorded through it.
     pub fn wants_telemetry(&self) -> bool {
-        self.metrics || self.metrics_out.is_some() || self.profile
+        self.metrics || self.metrics_out.is_some() || self.trace_out.is_some() || self.profile
     }
 }
 
@@ -134,6 +142,8 @@ pub enum CliError {
     MissingTechniques,
     /// `--metrics-out` without a value.
     MissingMetricsOut,
+    /// `--trace-out` without a value.
+    MissingTraceOut,
 }
 
 impl std::fmt::Display for CliError {
@@ -150,6 +160,7 @@ impl std::fmt::Display for CliError {
                 f.write_str("--techniques expects a comma-separated id list")
             }
             CliError::MissingMetricsOut => f.write_str("--metrics-out expects a file path"),
+            CliError::MissingTraceOut => f.write_str("--trace-out expects a file path"),
         }
     }
 }
@@ -160,7 +171,8 @@ pub fn usage(bin: &str) -> String {
         "usage: {bin} [--tiny|--quick|--full] [--jobs N] [--json]\n\
          \x20            [--list] [--record] [--replay] [--replay-jobs N]\n\
          \x20            [--trace-dir DIR] [--techniques a,b,c]\n\
-         \x20            [--metrics] [--metrics-out PATH] [--profile] [--quiet]\n\
+         \x20            [--metrics] [--metrics-out PATH] [--trace-out PATH]\n\
+         \x20            [--profile] [--quiet]\n\
          \n\
          \x20 --tiny          smallest meaningful sweep (CI smoke; minutes)\n\
          \x20 --quick         reduced workload counts (default)\n\
@@ -187,6 +199,11 @@ pub fn usage(bin: &str) -> String {
          \x20                 sections: output stays byte-identical)\n\
          \x20 --metrics-out P write the full metrics snapshot to P instead\n\
          \x20                 (implies --metrics)\n\
+         \x20 --trace-out P   write a Chrome trace-event / Perfetto timeline\n\
+         \x20                 to P (load it in ui.perfetto.dev): one lane per\n\
+         \x20                 pool worker, jobs as top-level slices, session\n\
+         \x20                 spans nested inside. Wall-clock only; the data\n\
+         \x20                 sections stay byte-identical\n\
          \x20 --profile       print the span-profile table (top spans by\n\
          \x20                 total time) to stderr after the run\n\
          \x20 --quiet         suppress stderr diagnostics (GDP_LOG=quiet)\n\
@@ -211,6 +228,7 @@ where
         techniques: None,
         metrics: false,
         metrics_out: None,
+        trace_out: None,
         profile: false,
         quiet: false,
     };
@@ -230,6 +248,10 @@ where
             "--metrics-out" => {
                 let v = it.next().filter(|v| !v.starts_with("--") && !v.is_empty());
                 out.metrics_out = Some(v.ok_or(CliError::MissingMetricsOut)?);
+            }
+            "--trace-out" => {
+                let v = it.next().filter(|v| !v.starts_with("--") && !v.is_empty());
+                out.trace_out = Some(v.ok_or(CliError::MissingTraceOut)?);
             }
             "--help" | "-h" => return Err(CliError::Help),
             "--jobs" => {
@@ -271,6 +293,11 @@ where
                         return Err(CliError::MissingMetricsOut);
                     }
                     out.metrics_out = Some(v.to_string());
+                } else if let Some(v) = s.strip_prefix("--trace-out=") {
+                    if v.is_empty() {
+                        return Err(CliError::MissingTraceOut);
+                    }
+                    out.trace_out = Some(v.to_string());
                 } else {
                     return Err(CliError::Unknown(a));
                 }
@@ -460,9 +487,27 @@ mod tests {
     }
 
     #[test]
+    fn trace_out_parses_and_implies_telemetry() {
+        assert_eq!(p(&[]).unwrap().trace_out, None);
+        let a = p(&["--trace-out", "results/t.json"]).unwrap();
+        assert_eq!(a.trace_out, Some("results/t.json".into()));
+        assert!(a.wants_telemetry(), "span slices flow through the registry");
+        assert_eq!(p(&["--trace-out=u.json"]).unwrap().trace_out, Some("u.json".into()));
+        assert!(!p(&["--trace-out=u.json"]).unwrap().metrics);
+    }
+
+    #[test]
+    fn trace_out_requires_a_value() {
+        assert_eq!(p(&["--trace-out"]), Err(CliError::MissingTraceOut));
+        assert_eq!(p(&["--trace-out="]), Err(CliError::MissingTraceOut));
+        // A following flag must not be swallowed as the path.
+        assert_eq!(p(&["--trace-out", "--json"]), Err(CliError::MissingTraceOut));
+    }
+
+    #[test]
     fn usage_mentions_metrics_flags() {
         let u = usage("fig3");
-        for flag in ["--metrics", "--metrics-out", "--profile", "--quiet"] {
+        for flag in ["--metrics", "--metrics-out", "--trace-out", "--profile", "--quiet"] {
             assert!(u.contains(flag), "usage must mention {flag}");
         }
     }

@@ -20,7 +20,8 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use gdp_telemetry::{Histogram, MetricsRegistry};
+use gdp_telemetry::trace_event::set_lane;
+use gdp_telemetry::{Histogram, MetricsRegistry, TraceRecorder};
 
 /// Scheduling telemetry accumulated across [`Pool::run`] calls.
 ///
@@ -95,12 +96,13 @@ impl PoolTelemetry {
 pub struct Pool {
     workers: usize,
     telemetry: Option<Arc<PoolTelemetry>>,
+    tracer: Option<Arc<TraceRecorder>>,
 }
 
 impl Pool {
     /// A pool with `workers` parallel workers (clamped to at least 1).
     pub fn new(workers: usize) -> Pool {
-        Pool { workers: workers.max(1), telemetry: None }
+        Pool { workers: workers.max(1), telemetry: None, tracer: None }
     }
 
     /// A pool sized by [`std::thread::available_parallelism`] (1 if the
@@ -119,6 +121,20 @@ impl Pool {
     /// The attached telemetry sink, if any.
     pub fn telemetry(&self) -> Option<&Arc<PoolTelemetry>> {
         self.telemetry.as_ref()
+    }
+
+    /// Attach a trace recorder; every subsequent [`Pool::run`] records
+    /// each job as a `job#<index>` slice on its worker's timeline lane
+    /// (lane `w + 1`; spans entered inside the job nest under the slice
+    /// by time containment on the same lane).
+    pub fn with_tracer(mut self, t: Arc<TraceRecorder>) -> Pool {
+        self.tracer = Some(t);
+        self
+    }
+
+    /// The attached trace recorder, if any.
+    pub fn tracer(&self) -> Option<&Arc<TraceRecorder>> {
+        self.tracer.as_ref()
     }
 
     /// Number of workers.
@@ -144,22 +160,38 @@ impl Pool {
         let n = jobs.len();
         let workers = self.workers.min(n);
         if workers <= 1 {
-            return match &self.telemetry {
-                None => jobs.into_iter().map(|f| f()).collect(),
-                Some(t) => {
-                    let out = jobs
-                        .into_iter()
-                        .map(|f| {
-                            let start = Instant::now();
-                            let v = f();
-                            t.record_job(start.elapsed());
-                            v
-                        })
-                        .collect();
-                    t.record_worker_jobs(0, n as u64);
-                    out
-                }
-            };
+            if self.telemetry.is_none() && self.tracer.is_none() {
+                return jobs.into_iter().map(|f| f()).collect();
+            }
+            // An inline serial run still executes on the "worker 0"
+            // lane, so trace consumers always see at least one worker
+            // lane regardless of `--jobs`.
+            if self.tracer.is_some() {
+                set_lane(1);
+            }
+            let out = jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    let start = Instant::now();
+                    let v = f();
+                    let elapsed = start.elapsed();
+                    if let Some(t) = &self.telemetry {
+                        t.record_job(elapsed);
+                    }
+                    if let Some(tr) = &self.tracer {
+                        tr.record_complete(&format!("job#{i}"), 1, start, elapsed);
+                    }
+                    v
+                })
+                .collect();
+            if self.tracer.is_some() {
+                set_lane(0);
+            }
+            if let Some(t) = &self.telemetry {
+                t.record_worker_jobs(0, n as u64);
+            }
+            return out;
         }
 
         // Deal jobs round-robin onto per-worker deques, tagged with
@@ -182,16 +214,26 @@ impl Pool {
                 let tx = tx.clone();
                 let queues = &queues;
                 let telemetry = self.telemetry.as_deref();
+                let tracer = self.tracer.as_deref();
                 s.spawn(move || {
+                    // Publish this worker's timeline lane so spans
+                    // entered inside jobs land on it.
+                    if tracer.is_some() {
+                        set_lane(w as u32 + 1);
+                    }
                     let mut ran = 0u64;
                     while let Some((stolen, (i, f))) = take(queues, w) {
                         let start = Instant::now();
                         let v = f();
+                        let elapsed = start.elapsed();
                         if let Some(t) = telemetry {
-                            t.record_job(start.elapsed());
+                            t.record_job(elapsed);
                             if stolen {
                                 t.steals.fetch_add(1, Ordering::Relaxed);
                             }
+                        }
+                        if let Some(tr) = tracer {
+                            tr.record_complete(&format!("job#{i}"), w as u32 + 1, start, elapsed);
                         }
                         ran += 1;
                         if tx.send((i, v)).is_err() {
@@ -343,6 +385,39 @@ mod tests {
         let t1 = PoolTelemetry::shared();
         Pool::new(1).with_telemetry(t1.clone()).run(vec![|| 1u32, || 2]);
         assert_eq!(t1.jobs(), 2);
+    }
+
+    #[test]
+    fn tracer_records_job_slices_on_worker_lanes() {
+        if !gdp_telemetry::COMPILED_IN {
+            return;
+        }
+        // A 2-participant barrier inside the first job of each worker's
+        // deque guarantees both workers execute at least one job.
+        let tr = TraceRecorder::shared();
+        let barrier = std::sync::Barrier::new(2);
+        let jobs: Vec<_> = (0..2)
+            .map(|_| {
+                let b = &barrier;
+                move || {
+                    b.wait();
+                    1u8
+                }
+            })
+            .collect();
+        Pool::new(2).with_tracer(tr.clone()).run(jobs);
+        assert_eq!(tr.len(), 2);
+        let j = tr.to_json();
+        assert!(j.contains("\"worker 0\"") && j.contains("\"worker 1\""), "{j}");
+        assert!(j.contains("job#0") && j.contains("job#1"), "{j}");
+
+        // A serial (inline) run still lands its jobs on the worker-0
+        // lane and restores the main lane afterwards.
+        let tr1 = TraceRecorder::shared();
+        Pool::new(1).with_tracer(tr1.clone()).run(vec![|| 1u8]);
+        assert!(tr1.to_json().contains("\"worker 0\""));
+        assert!(tr1.to_json().contains("job#0"));
+        assert_eq!(gdp_telemetry::trace_event::current_lane(), 0);
     }
 
     #[test]

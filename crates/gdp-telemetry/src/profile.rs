@@ -1,13 +1,24 @@
-//! The `--profile` stderr table: top spans by total time.
+//! The `--profile` stderr table: top spans by total time, with
+//! self-time (nested spans subtracted) and histogram percentiles.
 
 use std::time::Duration;
 
 use crate::registry::Snapshot;
 
 /// Render the span-profile table for a finished run: spans sorted by
-/// total time (descending, name as tie-break), with share of `wall`,
-/// entry count and mean duration. Returns the table as a string for the
-/// caller to print to stderr.
+/// total time (descending, name as tie-break), with **self-time**
+/// (total minus time spent in spans nested inside at runtime), share of
+/// `wall`, entry count and mean duration; followed by a percentile
+/// table (p50/p90/p99 from the power-of-two histograms) when the
+/// snapshot carries any. Returns the table as a string for the caller
+/// to print to stderr.
+///
+/// The attribution line sums *self*-times, so nesting between
+/// stack-entered spans no longer double counts. Two things still push
+/// it above 100%: genuine parallelism (workers run concurrently), and
+/// pre-aggregated envelope spans ([`crate::SpanHandle::add`] folds a
+/// measured total without entering the stack, so children cannot
+/// subtract from it — `pool.job` is the canonical example).
 pub fn render_profile(snapshot: &Snapshot, wall: Duration) -> String {
     let mut spans = snapshot.spans.clone();
     spans.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.name.cmp(&b.name)));
@@ -15,23 +26,24 @@ pub fn render_profile(snapshot: &Snapshot, wall: Duration) -> String {
     let wall_s = wall.as_secs_f64();
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<name_w$}  {:>10}  {:>6}  {:>8}  {:>10}\n",
-        "span", "total", "%wall", "count", "mean"
+        "{:<name_w$}  {:>10}  {:>10}  {:>6}  {:>8}  {:>10}\n",
+        "span", "total", "self", "%wall", "count", "mean"
     ));
     let mut attributed = 0.0;
     for s in &spans {
         let total_s = s.total.as_secs_f64();
-        // Nested spans overlap their parents; only top-level phases
-        // (single-dot names) count toward the attribution line.
-        if s.name.matches('.').count() <= 1 {
-            attributed += total_s;
-        }
+        let self_s = s.self_time().as_secs_f64();
+        // Self-time already excludes nested spans, so summing it over
+        // *all* spans attributes each nanosecond exactly once per
+        // thread that spent it.
+        attributed += self_s;
         let pct = if wall_s > 0.0 { 100.0 * total_s / wall_s } else { 0.0 };
         let mean_s = if s.count > 0 { total_s / s.count as f64 } else { 0.0 };
         out.push_str(&format!(
-            "{:<name_w$}  {:>9.3}s  {:>5.1}%  {:>8}  {:>9.3}ms\n",
+            "{:<name_w$}  {:>9.3}s  {:>9.3}s  {:>5.1}%  {:>8}  {:>9.3}ms\n",
             s.name,
             total_s,
+            self_s,
             pct,
             s.count,
             mean_s * 1e3,
@@ -39,27 +51,68 @@ pub fn render_profile(snapshot: &Snapshot, wall: Duration) -> String {
     }
     let pct = if wall_s > 0.0 { 100.0 * attributed / wall_s } else { 0.0 };
     out.push_str(&format!(
-        "wall-clock {wall_s:.3}s, attributed {attributed:.3}s ({pct:.1}% in top-level spans)\n"
+        "wall-clock {wall_s:.3}s, attributed {attributed:.3}s self-time \
+         ({pct:.1}% of wall; >100% means parallel workers or enveloping spans)\n"
     ));
+    if !snapshot.histograms.is_empty() {
+        let hname_w = snapshot
+            .histograms
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(9)
+            .max("histogram".len());
+        out.push_str(&format!(
+            "\n{:<hname_w$}  {:>8}  {:>10}  {:>10}  {:>10}\n",
+            "histogram", "count", "p50", "p90", "p99"
+        ));
+        for (name, h) in &snapshot.histograms {
+            let (p50, p90, p99) = h.percentiles();
+            out.push_str(&format!(
+                "{name:<hname_w$}  {:>8}  {:>10}  {:>10}  {:>10}\n",
+                h.count,
+                fmt_ns(p50),
+                fmt_ns(p90),
+                fmt_ns(p99)
+            ));
+        }
+        out.push_str("(percentiles are power-of-two bucket ceilings: upper bounds within 2x)\n");
+    }
     out
+}
+
+/// Format a nanosecond quantity with a unit suffix (the histograms all
+/// record durations in ns; bucket ceilings span 1ns..2^47ns ≈ 39h).
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{}us", ns / 1_000),
+        10_000_000..=9_999_999_999 => format!("{}ms", ns / 1_000_000),
+        _ => format!("{}s", ns / 1_000_000_000),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::SpanSnapshot;
+    use crate::registry::{HistogramSnapshot, SpanSnapshot};
 
-    fn span(name: &str, count: u64, ms: u64) -> SpanSnapshot {
-        SpanSnapshot { name: name.to_string(), count, total: Duration::from_millis(ms) }
+    fn span(name: &str, count: u64, ms: u64, child_ms: u64) -> SpanSnapshot {
+        SpanSnapshot {
+            name: name.to_string(),
+            count,
+            total: Duration::from_millis(ms),
+            child: Duration::from_millis(child_ms),
+        }
     }
 
     #[test]
-    fn sorts_by_total_and_attributes_top_level_only() {
+    fn sorts_by_total_and_attributes_self_time() {
         let snap = Snapshot {
             spans: vec![
-                span("session.estimate.gdp", 10, 100), // nested: excluded from attribution
-                span("sweep.shared", 4, 700),
-                span("sweep.private", 4, 200),
+                span("session.estimate.gdp", 10, 100, 0),
+                span("sweep.shared", 4, 700, 100), // 100ms spent in the nested span
+                span("sweep.private", 4, 200, 0),
             ],
             ..Snapshot::default()
         };
@@ -67,13 +120,40 @@ mod tests {
         let lines: Vec<&str> = table.lines().collect();
         assert!(lines[1].starts_with("sweep.shared"), "largest span first: {table}");
         assert!(lines[2].starts_with("sweep.private"));
-        assert!(table.contains("attributed 0.900s (90.0% in top-level spans)"), "{table}");
+        // Self-times: 600 + 200 + 100 = 900ms — each ns counted once.
+        assert!(table.contains("attributed 0.900s self-time (90.0% of wall"), "{table}");
+        assert!(lines[1].contains("0.600s"), "shared self-time column: {table}");
     }
 
     #[test]
     fn zero_wall_does_not_divide_by_zero() {
-        let snap = Snapshot { spans: vec![span("a.b", 1, 5)], ..Snapshot::default() };
+        let snap = Snapshot { spans: vec![span("a.b", 1, 5, 0)], ..Snapshot::default() };
         let table = render_profile(&snap, Duration::ZERO);
         assert!(table.contains("0.0%"), "{table}");
+    }
+
+    #[test]
+    fn histograms_render_a_percentile_table() {
+        let snap = Snapshot {
+            histograms: vec![(
+                "pool.job_ns".to_string(),
+                HistogramSnapshot { count: 10, sum: 0, buckets: vec![(1 << 20, 9), (1 << 30, 1)] },
+            )],
+            ..Snapshot::default()
+        };
+        let table = render_profile(&snap, Duration::from_secs(1));
+        assert!(table.contains("histogram"), "{table}");
+        assert!(table.contains("pool.job_ns"), "{table}");
+        assert!(table.contains("1048us"), "p50 = 2^20 ns: {table}");
+        assert!(table.contains("1073ms"), "p99 = 2^30 ns: {table}");
+    }
+
+    #[test]
+    fn fmt_ns_picks_readable_units() {
+        assert_eq!(fmt_ns(0), "0ns");
+        assert_eq!(fmt_ns(512), "512ns");
+        assert_eq!(fmt_ns(1 << 14), "16us");
+        assert_eq!(fmt_ns(1 << 24), "16ms");
+        assert_eq!(fmt_ns(1 << 34), "17s");
     }
 }

@@ -1,4 +1,5 @@
-//! The metrics registry: named counters, gauges, histograms and spans.
+//! The metrics registry: named counters, gauges, histograms, spans and
+//! interval-indexed time-series.
 //!
 //! Registration interns a name into the registry map and returns a
 //! cloneable atomic handle; the hot path only ever touches the handle
@@ -14,14 +15,25 @@
 //!   per-worker job counts); excluded from the deterministic snapshot;
 //! * **histogram** — a distribution over power-of-two buckets
 //!   (wall-clock per job, etc.); full snapshot only;
-//! * **span** — aggregated wall-clock of a named phase (total + count);
-//!   full snapshot only.
+//! * **span** — aggregated wall-clock of a named phase (total + count +
+//!   time spent inside *nested* spans, so profiles can report
+//!   self-time); full snapshot only;
+//! * **time-series** — a counter decomposed over accounting-interval
+//!   indices ([`TimeSeries`]; deterministic, `timeseries` group) or a
+//!   wall-clock per-interval measurement (`timeseries_wall` group).
+//!
+//! When a [`TraceRecorder`] is attached ([`MetricsRegistry::set_tracer`]
+//! before any span is resolved), every entered span additionally lands
+//! as a slice on the wall-clock trace timeline (`--trace-out`).
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::timeseries::{TimeSeries, TimeSeriesSnapshot};
+use crate::trace_event::{current_lane, TraceRecorder};
 use crate::COMPILED_IN;
 
 /// Number of power-of-two buckets a [`Histogram`] keeps (bucket `i`
@@ -164,59 +176,99 @@ impl Histogram {
 struct SpanStat {
     total_ns: AtomicU64,
     count: AtomicU64,
+    /// Wall-clock spent inside spans entered while this one was the
+    /// innermost open span on its thread — the subtrahend of self-time.
+    child_ns: AtomicU64,
 }
 
-/// A handle to one named span's aggregate (total wall-clock + count).
+thread_local! {
+    /// The stack of currently-open spans on this thread: a dropped span
+    /// attributes its elapsed time to the span below it, so profiles
+    /// know each span's *self*-time regardless of metric names.
+    static SPAN_STACK: RefCell<Vec<Arc<SpanStat>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A handle to one named span's aggregate (total wall-clock + count +
+/// child time), plus the trace-slice context when a recorder is
+/// attached to the owning registry.
 #[derive(Debug, Clone, Default)]
-pub struct SpanHandle(Arc<SpanStat>);
+pub struct SpanHandle {
+    stat: Arc<SpanStat>,
+    trace: Option<(Arc<str>, Arc<TraceRecorder>)>,
+}
 
 impl SpanHandle {
-    /// Enter the span: returns a guard that adds the elapsed wall-clock
-    /// to the aggregate on drop. Never allocates.
+    /// Enter the span: returns a guard that, on drop, adds the elapsed
+    /// wall-clock to the aggregate, attributes it as child time to the
+    /// enclosing open span on this thread, and (with a tracer attached)
+    /// records a timeline slice.
     #[inline]
-    pub fn enter(&self) -> Span<'_> {
-        Span { stat: &self.0, start: COMPILED_IN.then(Instant::now) }
+    pub fn enter(&self) -> Span {
+        let start = COMPILED_IN.then(Instant::now);
+        if start.is_some() {
+            SPAN_STACK.with(|s| s.borrow_mut().push(Arc::clone(&self.stat)));
+        }
+        Span { stat: Arc::clone(&self.stat), trace: self.trace.clone(), start }
     }
 
     /// Fold a pre-measured duration (and `count` entries) into the
     /// aggregate — the export path for subsystems that time themselves
-    /// with plain atomics (e.g. the job pool).
+    /// with plain atomics (e.g. the job pool). No child attribution, no
+    /// trace slice: the measurement happened outside any span scope.
     pub fn add(&self, count: u64, total: Duration) {
         if COMPILED_IN {
-            self.0.total_ns.fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
-            self.0.count.fetch_add(count, Ordering::Relaxed);
+            self.stat.total_ns.fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+            self.stat.count.fetch_add(count, Ordering::Relaxed);
         }
     }
 
     /// Total recorded wall-clock.
     pub fn total(&self) -> Duration {
-        Duration::from_nanos(self.0.total_ns.load(Ordering::Relaxed))
+        Duration::from_nanos(self.stat.total_ns.load(Ordering::Relaxed))
+    }
+
+    /// Wall-clock attributed to spans nested inside this one.
+    pub fn child_total(&self) -> Duration {
+        Duration::from_nanos(self.stat.child_ns.load(Ordering::Relaxed))
     }
 
     /// Number of recorded entries.
     pub fn count(&self) -> u64 {
-        self.0.count.load(Ordering::Relaxed)
+        self.stat.count.load(Ordering::Relaxed)
     }
 }
 
 /// An entered span; leaving scope (or [`Span::exit`]) records the
-/// elapsed monotonic-clock duration into the handle's aggregate.
+/// elapsed monotonic-clock duration into the handle's aggregate (and
+/// the enclosing span's child time, and the trace timeline).
 #[derive(Debug)]
-pub struct Span<'a> {
-    stat: &'a SpanStat,
+pub struct Span {
+    stat: Arc<SpanStat>,
+    trace: Option<(Arc<str>, Arc<TraceRecorder>)>,
     start: Option<Instant>,
 }
 
-impl Span<'_> {
+impl Span {
     /// Explicitly end the span (equivalent to dropping it).
     pub fn exit(self) {}
 }
 
-impl Drop for Span<'_> {
+impl Drop for Span {
     fn drop(&mut self) {
-        if let Some(start) = self.start {
-            self.stat.total_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            self.stat.count.fetch_add(1, Ordering::Relaxed);
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed();
+        let ns = elapsed.as_nanos() as u64;
+        self.stat.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.stat.count.fetch_add(1, Ordering::Relaxed);
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.pop(); // this span's own frame (guards drop LIFO)
+            if let Some(parent) = stack.last() {
+                parent.child_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+        });
+        if let Some((name, tracer)) = &self.trace {
+            tracer.record_complete(name, current_lane(), start, elapsed);
         }
     }
 }
@@ -227,6 +279,7 @@ enum Slot {
     Gauge(Gauge),
     Histogram(Histogram),
     Span(SpanHandle),
+    TimeSeries(TimeSeries),
 }
 
 /// The registry of named metrics (see the module docs).
@@ -239,6 +292,7 @@ enum Slot {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     slots: Mutex<BTreeMap<String, Slot>>,
+    tracer: Mutex<Option<Arc<TraceRecorder>>>,
 }
 
 impl MetricsRegistry {
@@ -251,6 +305,19 @@ impl MetricsRegistry {
     /// point takes).
     pub fn shared() -> Arc<MetricsRegistry> {
         Arc::new(MetricsRegistry::new())
+    }
+
+    /// Attach a trace recorder: every span resolved *after* this call
+    /// additionally records a timeline slice per entry. Attach before
+    /// handing the registry to any session — handles resolved earlier
+    /// keep aggregating without tracing.
+    pub fn set_tracer(&self, tracer: Arc<TraceRecorder>) {
+        *self.tracer.lock().expect("metrics registry poisoned") = Some(tracer);
+    }
+
+    /// The attached trace recorder, if any.
+    pub fn tracer(&self) -> Option<Arc<TraceRecorder>> {
+        self.tracer.lock().expect("metrics registry poisoned").clone()
     }
 
     fn slot(&self, name: &str, mk: impl FnOnce() -> Slot) -> Slot {
@@ -296,9 +363,43 @@ impl MetricsRegistry {
     /// # Panics
     /// Panics if `name` is already registered as a different kind.
     pub fn span(&self, name: &str) -> SpanHandle {
-        match self.slot(name, || Slot::Span(SpanHandle::default())) {
+        let trace = self
+            .tracer
+            .lock()
+            .expect("metrics registry poisoned")
+            .as_ref()
+            .map(|t| (Arc::<str>::from(name), Arc::clone(t)));
+        match self.slot(name, || Slot::Span(SpanHandle { stat: Arc::default(), trace })) {
             Slot::Span(s) => s,
             _ => panic!("metric `{name}` is not a span"),
+        }
+    }
+
+    /// Get or create the **deterministic** time-series `name` (exported
+    /// in the `timeseries` group; samples must be simulated-work
+    /// quantities recorded at session-local interval indices).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn time_series(&self, name: &str) -> TimeSeries {
+        match self.slot(name, || Slot::TimeSeries(TimeSeries::new(false))) {
+            Slot::TimeSeries(ts) if !ts.is_wall() => ts,
+            Slot::TimeSeries(_) => panic!("metric `{name}` is a wall-clock time-series"),
+            _ => panic!("metric `{name}` is not a time-series"),
+        }
+    }
+
+    /// Get or create the **wall-clock** time-series `name` (exported in
+    /// the `timeseries_wall` group, outside every byte-compared
+    /// surface).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn wall_time_series(&self, name: &str) -> TimeSeries {
+        match self.slot(name, || Slot::TimeSeries(TimeSeries::new(true))) {
+            Slot::TimeSeries(ts) if ts.is_wall() => ts,
+            Slot::TimeSeries(_) => panic!("metric `{name}` is a deterministic time-series"),
+            _ => panic!("metric `{name}` is not a time-series"),
         }
     }
 
@@ -325,7 +426,13 @@ impl MetricsRegistry {
                     name: name.clone(),
                     count: sp.count(),
                     total: sp.total(),
+                    child: sp.child_total(),
                 }),
+                Slot::TimeSeries(ts) => {
+                    let dest =
+                        if ts.is_wall() { &mut s.timeseries_wall } else { &mut s.timeseries };
+                    dest.push((name.clone(), ts.snapshot()));
+                }
             }
         }
         s
@@ -341,6 +448,18 @@ pub struct SpanSnapshot {
     pub count: u64,
     /// Total wall-clock across entries.
     pub total: Duration,
+    /// Wall-clock spent inside nested spans (runtime nesting, not name
+    /// prefixes): `total - child` is this span's self-time.
+    pub child: Duration,
+}
+
+impl SpanSnapshot {
+    /// Wall-clock spent in this span itself, with nested spans
+    /// subtracted out (clamped at zero: child time measured by separate
+    /// clock reads can overshoot the parent's by nanoseconds).
+    pub fn self_time(&self) -> Duration {
+        self.total.saturating_sub(self.child)
+    }
 }
 
 /// One histogram's state in a [`Snapshot`].
@@ -354,6 +473,40 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// The `p`-th percentile (0 < p ≤ 100) as the **power-of-two label
+    /// of the bucket** holding the rank-⌈p/100·count⌉ observation
+    /// (bucket `2^i` counts values in `2^i..2^(i+1)`, so the result is
+    /// within 2× of the true value — the resolution the buckets carry).
+    /// `None` on an empty histogram. Observations beyond the last
+    /// bucket saturate into it, so the result never exceeds
+    /// `2^(HISTOGRAM_BUCKETS - 1)`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(ceiling, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(ceiling);
+            }
+        }
+        self.buckets.last().map(|&(ceiling, _)| ceiling)
+    }
+
+    /// The (p50, p90, p99) triple ((0, 0, 0) on an empty histogram) —
+    /// the shape the JSON sinks and the profile table print.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.percentile(50.0).unwrap_or(0),
+            self.percentile(90.0).unwrap_or(0),
+            self.percentile(99.0).unwrap_or(0),
+        )
+    }
+}
+
 /// A point-in-time copy of a registry, sorted by metric name.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Snapshot {
@@ -365,9 +518,13 @@ pub struct Snapshot {
     pub spans: Vec<SpanSnapshot>,
     /// Histograms.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Deterministic interval-indexed time-series.
+    pub timeseries: Vec<(String, TimeSeriesSnapshot)>,
+    /// Wall-clock interval-indexed time-series.
+    pub timeseries_wall: Vec<(String, TimeSeriesSnapshot)>,
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -400,6 +557,36 @@ fn push_pairs(out: &mut String, pairs: &[(String, u64)], indent: &str) {
     out.push('}');
 }
 
+fn push_timeseries(out: &mut String, series: &[(String, TimeSeriesSnapshot)], indent: &str) {
+    out.push('{');
+    for (i, (name, ts)) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(indent);
+        out.push_str("  ");
+        push_json_str(out, name);
+        let max_index = ts.max_index.map(|m| m.to_string()).unwrap_or_else(|| "null".to_string());
+        out.push_str(&format!(
+            ": {{\"samples\": {}, \"max_index\": {max_index}, \"capacity\": {}, \"bins\": [",
+            ts.samples, ts.capacity
+        ));
+        for (j, b) in ts.bins.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("]}");
+    }
+    if !series.is_empty() {
+        out.push('\n');
+        out.push_str(indent);
+    }
+    out.push('}');
+}
+
 impl Snapshot {
     /// The **deterministic sink**: counters only, stable (sorted) key
     /// order, integer values — byte-identical across `--jobs N` and
@@ -411,9 +598,23 @@ impl Snapshot {
         out
     }
 
-    /// The **full sink**: counters, gauges, span timings and histograms
-    /// (wall-clock-dependent — for `results/<figure>.metrics.json` and
-    /// the run record, never for byte-diffed `data` sections).
+    /// The deterministic **time-series sink**: the `timeseries` group
+    /// alone, stable key order — like [`Snapshot::counters_json`],
+    /// byte-identical across `--jobs N` (bins aggregate by
+    /// session-local interval index with order-free sums). The
+    /// wall-clock `timeseries_wall` group is deliberately absent.
+    pub fn timeseries_json(&self) -> String {
+        let mut out = String::new();
+        push_timeseries(&mut out, &self.timeseries, "");
+        out.push('\n');
+        out
+    }
+
+    /// The **full sink**: counters, gauges, span timings (total, child
+    /// and derived self-time), histograms with p50/p90/p99, and both
+    /// time-series groups (wall-clock-dependent — for
+    /// `results/<figure>.metrics.json` and the run record, never for
+    /// byte-diffed `data` sections).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": ");
         push_pairs(&mut out, &self.counters, "  ");
@@ -427,9 +628,10 @@ impl Snapshot {
             out.push_str("\n    ");
             push_json_str(&mut out, &s.name);
             out.push_str(&format!(
-                ": {{\"count\": {}, \"total_secs\": {:.6}}}",
+                ": {{\"count\": {}, \"total_secs\": {:.6}, \"self_secs\": {:.6}}}",
                 s.count,
-                s.total.as_secs_f64()
+                s.total.as_secs_f64(),
+                s.self_time().as_secs_f64()
             ));
         }
         if !self.spans.is_empty() {
@@ -442,8 +644,10 @@ impl Snapshot {
             }
             out.push_str("\n    ");
             push_json_str(&mut out, name);
+            let (p50, p90, p99) = h.percentiles();
             out.push_str(&format!(
-                ": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                ": {{\"count\": {}, \"sum\": {}, \"p50\": {p50}, \"p90\": {p90}, \
+                 \"p99\": {p99}, \"buckets\": [",
                 h.count, h.sum
             ));
             for (j, (ceil, n)) in h.buckets.iter().enumerate() {
@@ -457,7 +661,11 @@ impl Snapshot {
         if !self.histograms.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str("}\n}\n");
+        out.push_str("},\n  \"timeseries\": ");
+        push_timeseries(&mut out, &self.timeseries, "  ");
+        out.push_str(",\n  \"timeseries_wall\": ");
+        push_timeseries(&mut out, &self.timeseries_wall, "  ");
+        out.push_str("\n}\n");
         out
     }
 
@@ -535,6 +743,49 @@ mod tests {
     }
 
     #[test]
+    fn nested_spans_attribute_child_time_to_the_enclosing_span() {
+        let r = MetricsRegistry::new();
+        let outer = r.span("outer");
+        let inner = r.span("inner.work"); // no name relation required
+        {
+            let _o = outer.enter();
+            for _ in 0..4 {
+                let _i = inner.enter();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert_eq!(outer.child_total() > Duration::ZERO, COMPILED_IN);
+        assert!(outer.child_total() <= outer.total(), "child time nests inside the parent");
+        assert_eq!(inner.child_total(), Duration::ZERO, "leaf spans have no children");
+        let snap = r.snapshot();
+        let o = snap.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(o.self_time(), o.total - o.child);
+        // Sibling guards in one scope drop LIFO, matching the stack.
+        {
+            let _a = outer.enter();
+            let _b = inner.enter();
+        }
+        // A span measured outside any scope attributes nothing.
+        inner.add(1, Duration::from_millis(3));
+        assert_eq!(outer.child_total() <= outer.total(), true);
+    }
+
+    #[test]
+    fn spans_record_trace_slices_when_a_tracer_is_attached() {
+        let r = MetricsRegistry::new();
+        let tracer = TraceRecorder::shared();
+        r.set_tracer(Arc::clone(&tracer));
+        assert!(r.tracer().is_some());
+        {
+            let _g = r.span("traced.phase").enter();
+        }
+        assert_eq!(tracer.len(), usize::from(COMPILED_IN));
+        if COMPILED_IN {
+            assert!(tracer.to_json().contains("traced.phase"));
+        }
+    }
+
+    #[test]
     fn histograms_bucket_by_power_of_two() {
         let h = Histogram::new();
         h.record(0); // clamped into bucket 0 (ceiling 1)
@@ -548,6 +799,77 @@ mod tests {
         let r = MetricsRegistry::new();
         r.adopt_histogram("pool.job_ns", &h);
         assert_eq!(r.snapshot().histograms.len(), 1);
+    }
+
+    #[test]
+    fn percentiles_follow_bucket_boundaries() {
+        // 10 observations: 8 in bucket ceiling 2, 2 in ceiling 1024.
+        let h = Histogram::new();
+        for _ in 0..8 {
+            h.record(2);
+        }
+        h.record(600);
+        h.record(1000); // both land in bucket 512..1024
+        let snap = HistogramSnapshot { count: h.count(), sum: h.sum(), buckets: h.buckets() };
+        assert_eq!(snap.percentile(50.0), Some(2)); // rank 5 of 10
+        assert_eq!(snap.percentile(80.0), Some(2)); // rank 8: last in the low bucket
+        assert_eq!(snap.percentile(90.0), Some(512)); // rank 9 crosses into 512..1024
+        assert_eq!(snap.percentile(99.0), Some(512));
+        assert_eq!(snap.percentiles(), (2, 512, 512));
+    }
+
+    #[test]
+    fn percentile_of_an_empty_histogram_is_none() {
+        let snap = HistogramSnapshot { count: 0, sum: 0, buckets: vec![] };
+        assert_eq!(snap.percentile(50.0), None);
+        assert_eq!(snap.percentiles(), (0, 0, 0));
+    }
+
+    #[test]
+    fn percentile_of_a_single_sample_is_its_bucket_label() {
+        let h = Histogram::new();
+        h.record(300); // bucket 256..512: label 256
+        let snap = HistogramSnapshot { count: h.count(), sum: h.sum(), buckets: h.buckets() };
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(snap.percentile(p), Some(256), "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentile_saturates_at_the_top_bucket() {
+        let h = Histogram::new();
+        h.record(u64::MAX); // far past 2^47: clamps into the last bucket
+        h.record(u64::MAX / 2);
+        let snap = HistogramSnapshot { count: h.count(), sum: h.sum(), buckets: h.buckets() };
+        let top = 1u64 << (HISTOGRAM_BUCKETS - 1);
+        assert_eq!(snap.percentile(50.0), Some(top));
+        assert_eq!(snap.percentile(99.0), Some(top));
+    }
+
+    #[test]
+    fn time_series_kinds_are_enforced_and_snapshot_into_their_groups() {
+        let r = MetricsRegistry::new();
+        r.time_series("ts.a").record(0, 3);
+        r.wall_time_series("tsw.b").record(1, 7);
+        // Same name returns the same series.
+        r.time_series("ts.a").record(0, 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.timeseries.len(), 1);
+        assert_eq!(snap.timeseries[0].0, "ts.a");
+        assert_eq!(snap.timeseries[0].1.bins, vec![4]);
+        assert_eq!(snap.timeseries_wall.len(), 1);
+        assert_eq!(snap.timeseries_wall[0].1.max_index, Some(1));
+        let ts_json = snap.timeseries_json();
+        assert!(ts_json.contains("\"ts.a\""), "{ts_json}");
+        assert!(!ts_json.contains("tsw.b"), "wall series stay out of the deterministic sink");
+    }
+
+    #[test]
+    #[should_panic(expected = "is a wall-clock time-series")]
+    fn time_series_wall_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.wall_time_series("x");
+        r.time_series("x");
     }
 
     #[test]
@@ -575,8 +897,22 @@ mod tests {
         r.gauge("g").set(2);
         r.span("s").add(1, Duration::from_micros(10));
         r.histogram("h").record(7);
+        r.time_series("ts.x").record(0, 2);
+        r.wall_time_series("tsw.y").record(0, 9);
         let j = r.snapshot().to_json();
-        for key in ["\"counters\"", "\"gauges\"", "\"spans\"", "\"histograms\"", "total_secs"] {
+        for key in [
+            "\"counters\"",
+            "\"gauges\"",
+            "\"spans\"",
+            "\"histograms\"",
+            "total_secs",
+            "self_secs",
+            "\"p50\"",
+            "\"p99\"",
+            "\"timeseries\"",
+            "\"timeseries_wall\"",
+            "\"max_index\"",
+        ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
         // Escaping: a hostile name must not break the document.
