@@ -115,6 +115,17 @@ impl PrivateModeEstimator for Asm {
         }
     }
 
+    /// Strictly in-order: the completion arm reads the embedded DIEF's
+    /// mid-stream interference verdict, and for a solo estimator the
+    /// interleaved loop measures faster than a set-partitioned feed plus
+    /// a second query pass. The profit is devirtualization alone — one
+    /// virtual call per batch with direct inner dispatch.
+    fn observe_batch(&mut self, events: &[ProbeEvent]) {
+        for ev in events {
+            self.observe(ev);
+        }
+    }
+
     fn estimate(&mut self, core: CoreId, m: &IntervalMeasurement) -> PrivateEstimate {
         let acc = std::mem::take(&mut self.acc[core.idx()]);
         let _ = self.dief.interval_estimate(core);

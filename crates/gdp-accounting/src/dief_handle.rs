@@ -1,0 +1,190 @@
+//! Owned-or-shared handle to an embedded DIEF pipeline.
+//!
+//! ITCA and PTCA each embed a [`Dief`] and feed it the full probe stream;
+//! DIEF state evolution depends only on that stream, so when both run in
+//! one estimator bank the two embedded pipelines are bit-identical state
+//! machines and feeding both is pure duplication. [`shared_dief_pair`]
+//! puts one pipeline behind a mutex with sequence counters — the same
+//! first-arriver-does-the-work scheme as `gdp_core`'s fused GDP/GDP-O
+//! pair — so whichever estimator a dispatcher (serial or pooled) reaches
+//! first feeds the stream and takes the interval reset, and the other
+//! only advances its counters. Results are bit-identical to two owned
+//! pipelines and independent of dispatch order.
+//!
+//! Mid-stream queries ([`Dief::was_interference_miss`],
+//! [`Dief::interference_of`]) stay exact even though a sharer may read
+//! *after* the pipeline advanced past its own position: queries only ever
+//! target the completed-request table, a request completes exactly once
+//! (ids are globally unique), and the table is cleared only by the
+//! interval reset — so a completed request's record is immutable from its
+//! completion to the end of the interval, and every query targets a
+//! request whose completion precedes the query position in the stream
+//! (the memory system ticks before the cores, so a load's
+//! `LoadL1MissDone` always precedes any `Stall` that blames it).
+//!
+//! The one ordering this scheme *does* depend on is the bank's
+//! two-phase dispatch contract: all observes before any estimate.
+//! A view's [`DiefHandle::interval_estimate`] clears the shared
+//! completed-request table, so an estimate interleaved before the
+//! partner view's batched read phase would hand that partner an empty
+//! table (`dispatch_interval` in `gdp-experiments` upholds the
+//! contract under every execution shape).
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use gdp_core::state::{StateError, StateValue};
+use gdp_dief::{Dief, LatencyEstimate};
+use gdp_sim::probe::ProbeEvent;
+use gdp_sim::types::CoreId;
+use gdp_sim::SimConfig;
+
+/// An embedded DIEF pipeline: owned outright, or one view of a pipeline
+/// shared with a co-resident estimator.
+#[derive(Debug)]
+pub(crate) enum DiefHandle {
+    Owned(Dief),
+    Shared(SharedDief),
+}
+
+/// One view of a mutex-shared DIEF pipeline (see module docs).
+#[derive(Debug)]
+pub(crate) struct SharedDief {
+    state: Arc<Mutex<DiefFeed>>,
+    /// Dispatch steps (events in per-event mode, batches in batched mode)
+    /// this view has seen; compare with [`DiefFeed::fed`].
+    seen: u64,
+    /// Per-core interval resets this view has consumed; compare with
+    /// [`DiefFeed::est_seq`].
+    est_seen: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct DiefFeed {
+    dief: Dief,
+    /// Dispatch steps already applied to `dief`.
+    fed: u64,
+    /// Per-core count of interval estimates taken (each resets the
+    /// interval accumulators, so it must happen exactly once).
+    est_seq: Vec<u64>,
+    /// Most recent interval estimate per core, for the second view.
+    est_cache: Vec<LatencyEstimate>,
+}
+
+/// Build two views of one shared DIEF pipeline for `cfg`.
+pub(crate) fn shared_dief_pair(cfg: &SimConfig, sampled_sets: usize) -> (DiefHandle, DiefHandle) {
+    let cores = cfg.cores;
+    let state = Arc::new(Mutex::new(DiefFeed {
+        dief: Dief::new(cfg, sampled_sets),
+        fed: 0,
+        est_seq: vec![0; cores],
+        est_cache: vec![
+            LatencyEstimate { shared: 0.0, interference: 0.0, private: 0.0, loads: 0 };
+            cores
+        ],
+    }));
+    let view = |state| DiefHandle::Shared(SharedDief { state, seen: 0, est_seen: vec![0; cores] });
+    (view(Arc::clone(&state)), view(state))
+}
+
+impl SharedDief {
+    fn lock(&self) -> MutexGuard<'_, DiefFeed> {
+        self.state.lock().expect("shared dief state poisoned")
+    }
+}
+
+impl DiefHandle {
+    /// Whether this handle is a view of a shared pipeline (callers pick
+    /// the hoisted batch shape only when sharing pays for it).
+    pub(crate) fn is_shared(&self) -> bool {
+        matches!(self, DiefHandle::Shared(_))
+    }
+
+    /// Feed one probe event (one dispatch step in per-event mode).
+    pub(crate) fn observe(&mut self, ev: &ProbeEvent) {
+        match self {
+            DiefHandle::Owned(d) => d.observe(ev),
+            DiefHandle::Shared(s) => {
+                let mut st = s.state.lock().expect("shared dief state poisoned");
+                if s.seen == st.fed {
+                    st.dief.observe(ev);
+                    st.fed += 1;
+                }
+                s.seen += 1;
+            }
+        }
+    }
+
+    /// Feed one interval batch (one dispatch step in batched mode),
+    /// through DIEF's set-partitioned fast path.
+    pub(crate) fn observe_batch(&mut self, events: &[ProbeEvent]) {
+        match self {
+            DiefHandle::Owned(d) => d.observe_batch(events),
+            DiefHandle::Shared(s) => {
+                let mut st = s.state.lock().expect("shared dief state poisoned");
+                if s.seen == st.fed {
+                    st.dief.observe_batch(events);
+                    st.fed += 1;
+                }
+                s.seen += 1;
+            }
+        }
+    }
+
+    /// Run a read-only query phase against the pipeline (one lock for the
+    /// whole phase when shared).
+    pub(crate) fn read<R>(&self, f: impl FnOnce(&Dief) -> R) -> R {
+        match self {
+            DiefHandle::Owned(d) => f(d),
+            DiefHandle::Shared(s) => f(&s.lock().dief),
+        }
+    }
+
+    /// Take the interval estimate for `core`, resetting the interval
+    /// accumulators exactly once per (core, interval) across all views.
+    pub(crate) fn interval_estimate(&mut self, core: CoreId) -> LatencyEstimate {
+        match self {
+            DiefHandle::Owned(d) => d.interval_estimate(core),
+            DiefHandle::Shared(s) => {
+                let c = core.idx();
+                let mut st = s.state.lock().expect("shared dief state poisoned");
+                if s.est_seen[c] == st.est_seq[c] {
+                    st.est_cache[c] = st.dief.interval_estimate(core);
+                    st.est_seq[c] += 1;
+                }
+                let est = st.est_cache[c];
+                drop(st);
+                s.est_seen[c] += 1;
+                est
+            }
+        }
+    }
+
+    /// Serialize the pipeline state (identical to an owned pipeline's).
+    pub(crate) fn snapshot_value(&self) -> StateValue {
+        self.read(Dief::snapshot_value)
+    }
+
+    /// Restore the pipeline state and re-arm the sequence counters. Both
+    /// views of a shared pair are restored back-to-back with identical
+    /// trees and no observes in between, so the second restore is an
+    /// idempotent rewrite.
+    pub(crate) fn restore_value(&mut self, v: &StateValue) -> Result<(), StateError> {
+        match self {
+            DiefHandle::Owned(d) => d.restore_value(v),
+            DiefHandle::Shared(s) => {
+                let mut st = s.state.lock().expect("shared dief state poisoned");
+                st.dief.restore_value(v)?;
+                st.fed = 0;
+                for q in st.est_seq.iter_mut() {
+                    *q = 0;
+                }
+                drop(st);
+                s.seen = 0;
+                for q in s.est_seen.iter_mut() {
+                    *q = 0;
+                }
+                Ok(())
+            }
+        }
+    }
+}

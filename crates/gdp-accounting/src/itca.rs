@@ -21,6 +21,8 @@ use gdp_core::model::{
 };
 use gdp_core::state::{EstimatorState, StateError, StateValue};
 use gdp_dief::Dief;
+
+use crate::dief_handle::DiefHandle;
 use gdp_sim::probe::{ProbeEvent, StallCause};
 use gdp_sim::types::CoreId;
 use gdp_sim::SimConfig;
@@ -28,7 +30,7 @@ use gdp_sim::SimConfig;
 /// The ITCA estimator.
 #[derive(Debug)]
 pub struct Itca {
-    dief: Dief,
+    dief: DiefHandle,
     /// Per-core interference cycles discounted in this interval.
     discounted: Vec<u64>,
 }
@@ -36,7 +38,12 @@ pub struct Itca {
 impl Itca {
     /// Build ITCA with its own sampled ATDs.
     pub fn new(cfg: &SimConfig, sampled_sets: usize) -> Self {
-        Itca { dief: Dief::new(cfg, sampled_sets), discounted: vec![0; cfg.cores] }
+        Itca::with_handle(DiefHandle::Owned(Dief::new(cfg, sampled_sets)), cfg.cores)
+    }
+
+    /// Build ITCA over a caller-provided DIEF handle (shared pairing).
+    pub(crate) fn with_handle(dief: DiefHandle, cores: usize) -> Self {
+        Itca { dief, discounted: vec![0; cores] }
     }
 }
 
@@ -58,10 +65,48 @@ impl PrivateModeEstimator for Itca {
         } = ev
         {
             // Condition (1): the blocking load was an inter-task miss.
-            if self.dief.was_interference_miss(*core, *req) {
+            if self.dief.read(|d| d.was_interference_miss(*core, *req)) {
                 self.discounted[core.idx()] += end - start;
             }
         }
+    }
+
+    /// For a shared DIEF: feed the whole batch first (one lock, and the
+    /// sharer skips the feed entirely), then run the per-`Stall` verdict
+    /// queries hoisted after it. Hoisting is exact: a query targets the
+    /// completed-request table, whose records are immutable from a
+    /// request's completion (ids are unique) until the interval reset,
+    /// and a `Stall` always follows the `LoadL1MissDone` it blames (the
+    /// memory system ticks before the cores) — so the verdict a query
+    /// reads at end-of-batch is the one it would have read in stream
+    /// position. For an owned DIEF the interleaved in-order loop is
+    /// faster (no second pass over the batch), so keep it.
+    fn observe_batch(&mut self, events: &[ProbeEvent]) {
+        if !self.dief.is_shared() {
+            for ev in events {
+                self.observe(ev);
+            }
+            return;
+        }
+        self.dief.observe_batch(events);
+        self.dief.read(|d| {
+            for ev in events {
+                if let ProbeEvent::Stall {
+                    core,
+                    start,
+                    end,
+                    cause: StallCause::Load,
+                    blocking_sms: Some(true),
+                    blocking_req: Some(req),
+                    ..
+                } = ev
+                {
+                    if d.was_interference_miss(*core, *req) {
+                        self.discounted[core.idx()] += end - start;
+                    }
+                }
+            }
+        });
     }
 
     fn estimate(&mut self, core: CoreId, m: &IntervalMeasurement) -> PrivateEstimate {

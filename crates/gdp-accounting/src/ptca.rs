@@ -21,6 +21,8 @@ use gdp_core::model::{
 };
 use gdp_core::state::{EstimatorState, StateError, StateValue};
 use gdp_dief::Dief;
+
+use crate::dief_handle::DiefHandle;
 use gdp_sim::probe::{ProbeEvent, StallCause};
 use gdp_sim::types::CoreId;
 use gdp_sim::SimConfig;
@@ -28,7 +30,7 @@ use gdp_sim::SimConfig;
 /// The PTCA estimator (one instance covers all cores).
 #[derive(Debug)]
 pub struct Ptca {
-    dief: Dief,
+    dief: DiefHandle,
     /// Per-core σ̂_SMS accumulated over the interval.
     sigma: Vec<f64>,
 }
@@ -37,7 +39,12 @@ impl Ptca {
     /// Build PTCA for a configuration, with its own sampled ATDs
     /// (the paper notes ASM, ITCA and PTCA all use sampled ATDs).
     pub fn new(cfg: &SimConfig, sampled_sets: usize) -> Self {
-        Ptca { dief: Dief::new(cfg, sampled_sets), sigma: vec![0.0; cfg.cores] }
+        Ptca::with_handle(DiefHandle::Owned(Dief::new(cfg, sampled_sets)), cfg.cores)
+    }
+
+    /// Build PTCA over a caller-provided DIEF handle (shared pairing).
+    pub(crate) fn with_handle(dief: DiefHandle, cores: usize) -> Self {
+        Ptca { dief, sigma: vec![0.0; cores] }
     }
 }
 
@@ -63,11 +70,50 @@ impl PrivateModeEstimator for Ptca {
             // DIEF's view (includes ATD-detected interference misses),
             // falling back to the raw counters carried on the event.
             let interference = blocking_req
-                .and_then(|r| self.dief.interference_of(*core, r))
+                .and_then(|r| self.dief.read(|d| d.interference_of(*core, r)))
                 .or_else(|| blocking_interference.map(|i| i.total()))
                 .unwrap_or(0) as f64;
             self.sigma[core.idx()] += (stall - interference).max(0.0);
         }
+    }
+
+    /// For a shared DIEF: feed the whole batch (the sharer skips it),
+    /// then run the per-`Stall` interference queries hoisted after it —
+    /// exact for the same reason as ITCA's hoist: completed-request
+    /// records are immutable from completion to the interval reset, and
+    /// a `Stall` always follows the `LoadL1MissDone` it blames. For an
+    /// owned DIEF the interleaved in-order loop is faster (no second
+    /// pass over the batch), so keep it.
+    fn observe_batch(&mut self, events: &[ProbeEvent]) {
+        if !self.dief.is_shared() {
+            for ev in events {
+                self.observe(ev);
+            }
+            return;
+        }
+        self.dief.observe_batch(events);
+        self.dief.read(|d| {
+            for ev in events {
+                if let ProbeEvent::Stall {
+                    core,
+                    start,
+                    end,
+                    cause: StallCause::Load,
+                    blocking_sms: Some(true),
+                    blocking_req,
+                    blocking_interference,
+                    ..
+                } = ev
+                {
+                    let stall = (end - start) as f64;
+                    let interference = blocking_req
+                        .and_then(|r| d.interference_of(*core, r))
+                        .or_else(|| blocking_interference.map(|i| i.total()))
+                        .unwrap_or(0) as f64;
+                    self.sigma[core.idx()] += (stall - interference).max(0.0);
+                }
+            }
+        });
     }
 
     fn estimate(&mut self, core: CoreId, m: &IntervalMeasurement) -> PrivateEstimate {

@@ -49,6 +49,32 @@ fn bench_session(c: &mut Criterion) {
         });
     }
 
+    // The per-event oracle (`GDP_ESTIMATOR=per-event` hatch): identical
+    // output, pre-batch dispatch — one virtual call per estimator per
+    // event. The delta vs `replay/transparent4` is what batched
+    // dispatch buys.
+    c.bench_function("session/replay/transparent4/per-event", |b| {
+        b.iter_batched(
+            || {
+                ReplaySession::new(&trace, &xcfg, &transparent)
+                    .with_dispatch(gdp_core::DispatchMode::PerEvent)
+            },
+            |session| session.into_report(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Bank-parallel dispatch: each technique's observe_batch fanned
+    // across a 4-worker pool inside every interval (observe and
+    // estimate phases are separate fan-outs), bit-identical to serial.
+    c.bench_function("session/replay/transparent4/bank-parallel", |b| {
+        b.iter_batched(
+            || ReplaySession::new(&trace, &xcfg, &transparent).with_pool(Pool::new(4)),
+            |session| session.into_report(),
+            BatchSize::SmallInput,
+        );
+    });
+
     // Segmented parallel replay over summarized estimator-state
     // checkpoints (summarization is setup, as in a recorded campaign):
     // the same transparent4 work fanned across a 4-worker pool,

@@ -39,9 +39,9 @@ pub mod state;
 pub mod technique;
 pub mod unit;
 
-pub use estimator::{GdpEstimator, GdpHarvest, GdpVariant};
+pub use estimator::{shared_gdp_pair, GdpEstimator, GdpHarvest, GdpVariant, SharedGdpEstimator};
 pub use model::{
-    observe_subscribed, private_cpi, sigma_other, IntervalMeasurement, PrivateEstimate,
+    private_cpi, sigma_other, DispatchMode, EstimatorBank, IntervalMeasurement, PrivateEstimate,
     PrivateModeEstimator,
 };
 pub use state::{EstimatorState, StateError, StateValue, STATE_VERSION};

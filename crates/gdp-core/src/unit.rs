@@ -48,6 +48,10 @@ pub struct GdpUnit {
     stall_spans: Vec<(Cycle, Cycle)>,
     sms_spans: Vec<(Cycle, Cycle)>,
     interval_start: Cycle,
+    /// Swap buffer for the PCB child list, so completing a commit period
+    /// never reallocates (never snapshot state, always empty between
+    /// calls).
+    children_scratch: Vec<u64>,
     // ---- statistics ----
     /// PRB evictions due to capacity (diagnostics; §IV-A argues these are
     /// harmless because the oldest un-stalled load rarely grows the CPL).
@@ -70,6 +74,7 @@ impl GdpUnit {
             stall_spans: Vec::new(),
             sms_spans: Vec::new(),
             interval_start: 0,
+            children_scratch: Vec::new(),
             evictions: 0,
         }
     }
@@ -133,11 +138,13 @@ impl GdpUnit {
     fn load_completed(&mut self, addr: Addr, now: Cycle, sms: bool) {
         let Some(&uid) = self.by_addr.get(&addr) else { return };
         if sms {
+            let mut issued_at = now;
             if let Some(e) = self.entry_mut(uid) {
                 e.completed = true;
                 e.completed_at = now;
+                issued_at = e.issued_at;
             }
-            self.sms_spans.push((self.entry(uid).map(|e| e.issued_at).unwrap_or(now), now));
+            self.sms_spans.push((issued_at, now));
         } else {
             // PMS-load: invalidate and remove the PCB pointer.
             self.remove(uid);
@@ -154,47 +161,63 @@ impl GdpUnit {
         self.pcb.stalled_at = stall_start;
 
         // ---- Step 1: complete commit period l ----
+        //
+        // Both steps batch-remove with a single retain-compaction pass
+        // (k separate removals would each shift the deque), and skip the
+        // child-list pruning a one-off removal does: the child list is
+        // either emptied right below (step 1) or already empty (step 2),
+        // and a stale uid is inert — uids are never reused, so it can
+        // only fail every later lookup.
         let mut l_depth = self.pcb.depth;
-        let mut invalidate: Vec<u64> = Vec::new();
         for e in &self.entries {
-            if e.completed && e.completed_at < stall_start {
-                if e.depth > l_depth {
-                    l_depth = e.depth;
-                }
-                invalidate.push(e.uid);
+            if e.completed && e.completed_at < stall_start && e.depth > l_depth {
+                l_depth = e.depth;
             }
         }
         // Capture s's depth before any invalidation: the hardware clears
         // valid bits but the Depth field stays readable for step 2.
         let mut s_depth = self.entry(s_uid).map(|e| e.depth).unwrap_or(0);
         let s_is_child = self.pcb.children.contains(&s_uid);
-        for uid in invalidate {
-            self.remove(uid);
-        }
-        let children = std::mem::take(&mut self.pcb.children);
-        for uid in children {
+        let by_addr = &mut self.by_addr;
+        self.entries.retain(|e| {
+            let gone = e.completed && e.completed_at < stall_start;
+            if gone && by_addr.get(&e.addr) == Some(&e.uid) {
+                by_addr.remove(&e.addr);
+            }
+            !gone
+        });
+        // Swap, not take: both buffers keep their capacity forever.
+        std::mem::swap(&mut self.pcb.children, &mut self.children_scratch);
+        debug_assert!(self.pcb.children.is_empty());
+        for c in 0..self.children_scratch.len() {
+            let uid = self.children_scratch[c];
             if let Some(e) = self.entry_mut(uid) {
                 e.depth = l_depth + 1;
             }
         }
+        self.children_scratch.clear();
         if s_is_child {
             s_depth = l_depth + 1;
         }
 
         // ---- Step 2: initialize commit period p ----
         let mut p_depth = s_depth;
-        let mut invalidate: Vec<u64> = Vec::new();
         for e in &self.entries {
-            if e.completed {
-                if e.depth > p_depth {
-                    p_depth = e.depth;
-                }
-                invalidate.push(e.uid);
+            if e.completed && e.depth > p_depth {
+                p_depth = e.depth;
             }
         }
-        for uid in invalidate {
-            self.remove(uid);
-        }
+        let by_addr = &mut self.by_addr;
+        self.entries.retain(|e| {
+            if e.completed {
+                if by_addr.get(&e.addr) == Some(&e.uid) {
+                    by_addr.remove(&e.addr);
+                }
+                false
+            } else {
+                true
+            }
+        });
         self.pcb.depth = p_depth;
         self.pcb.started_at = now;
         self.pcb.stalled_at = 0;
@@ -218,13 +241,21 @@ impl GdpUnit {
     /// was committing (not stalled) while each completed SMS-load was
     /// pending. Clears the interval's span records.
     pub fn take_average_overlap(&mut self, now: Cycle) -> f64 {
-        let mut stalls = std::mem::take(&mut self.stall_spans);
-        let spans = std::mem::take(&mut self.sms_spans);
-        stalls.sort_unstable();
+        // In place, clearing (not taking) at the end: the span buffers
+        // keep their capacity across intervals.
+        self.stall_spans.sort_unstable();
+        let stalls = &self.stall_spans;
+        let spans = &self.sms_spans;
         let mut total = 0u64;
-        for &(issue, done) in &spans {
+        for &(issue, done) in spans {
             let mut stalled = 0u64;
-            for &(s, e) in &stalls {
+            // A core's stall spans are disjoint, so after the sort both
+            // endpoints are increasing and the spans ending at or before
+            // `issue` form a prefix: skip it in O(log S) instead of
+            // rescanning it for every SMS span. The in-loop guard keeps
+            // the summation identical even for degenerate span lists.
+            let first = stalls.partition_point(|&(_, e)| e <= issue);
+            for &(s, e) in &stalls[first..] {
                 if e <= issue {
                     continue;
                 }
@@ -237,6 +268,8 @@ impl GdpUnit {
             total += window.saturating_sub(stalled);
         }
         let n = spans.len() as f64;
+        self.stall_spans.clear();
+        self.sms_spans.clear();
         self.interval_start = now;
         if n == 0.0 {
             0.0
@@ -246,17 +279,26 @@ impl GdpUnit {
     }
 
     // ---- helpers -----------------------------------------------------
+    //
+    // Uids are allocated monotonically and the PRB only ever appends at
+    // the back, so `entries` is always sorted by uid — lookups are binary
+    // searches instead of linear scans (`restore_value` rejects trees
+    // violating the invariant).
+
+    fn position(&self, uid: u64) -> Option<usize> {
+        self.entries.binary_search_by(|e| e.uid.cmp(&uid)).ok()
+    }
 
     fn entry(&self, uid: u64) -> Option<&PrbEntry> {
-        self.entries.iter().find(|e| e.uid == uid)
+        self.position(uid).map(|p| &self.entries[p])
     }
 
     fn entry_mut(&mut self, uid: u64) -> Option<&mut PrbEntry> {
-        self.entries.iter_mut().find(|e| e.uid == uid)
+        self.position(uid).map(|p| &mut self.entries[p])
     }
 
     fn remove(&mut self, uid: u64) {
-        if let Some(pos) = self.entries.iter().position(|e| e.uid == uid) {
+        if let Some(pos) = self.position(uid) {
             let e = self.entries.remove(pos).expect("position valid");
             self.forget(&e);
         }
@@ -264,10 +306,16 @@ impl GdpUnit {
 
     /// Drop bookkeeping references to an entry leaving the PRB.
     fn forget(&mut self, e: &PrbEntry) {
+        self.forget_addr(e);
+        self.pcb.children.retain(|&u| u != e.uid);
+    }
+
+    /// The address-map half of [`GdpUnit::forget`], for removal paths
+    /// where the child list is about to be emptied anyway.
+    fn forget_addr(&mut self, e: &PrbEntry) {
         if self.by_addr.get(&e.addr) == Some(&e.uid) {
             self.by_addr.remove(&e.addr);
         }
-        self.pcb.children.retain(|&u| u != e.uid);
     }
 
     // ---- snapshot / restore ------------------------------------------
@@ -346,6 +394,11 @@ impl GdpUnit {
         }
         if entries.len() > self.capacity {
             return Err(StateError::Malformed("PRB overflow"));
+        }
+        // Uid-sorted lookups rely on the append-only order a live unit
+        // always produces; reject hand-edited trees that break it.
+        if entries.iter().zip(entries.iter().skip(1)).any(|(a, b)| a.uid >= b.uid) {
+            return Err(StateError::Malformed("PRB entries out of uid order"));
         }
         let mut by_addr = FxHashMap::default();
         for pair in f[2].as_list()? {

@@ -10,7 +10,7 @@
 //! kilobytes; counts are scaled back up by the sampling factor.
 
 use gdp_core::state::{StateError, StateValue};
-use gdp_sim::types::{Addr, FxHashMap, BLOCK_BYTES};
+use gdp_sim::types::{Addr, BLOCK_BYTES};
 
 /// Outcome of an ATD access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,14 +24,28 @@ pub enum AtdOutcome {
 }
 
 /// A sampled, per-core auxiliary tag directory.
+///
+/// Tag storage is structure-of-arrays: one dense `tags` array of
+/// `slots × ways` entries (each sampled set is a fixed-stride row,
+/// MRU-first) plus a parallel per-slot valid count — no per-set heap
+/// allocation or hashing on the probe path, and the whole directory is a
+/// few contiguous KB that stays resident in L1/L2 across a batch.
 #[derive(Debug, Clone)]
 pub struct Atd {
     ways: usize,
     /// Sample a set when `set % sample_interval == 0`.
     sample_interval: u64,
     total_sets: u64,
-    /// Sampled sets: set index → tags ordered MRU-first.
-    sets: FxHashMap<u64, Vec<u64>>,
+    /// SoA tag rows: `tags[slot*ways .. slot*ways + lens[slot]]` are the
+    /// valid tags of sampled set `slot * sample_interval`, MRU-first.
+    tags: Vec<u64>,
+    /// Valid-tag count per slot (`ways` fits in a u8 — asserted in `new`).
+    lens: Vec<u8>,
+    /// `log2(total_sets)` when the set count is a power of two — the
+    /// probe-path fast split (shift/mask instead of two divisions).
+    sets_shift: Option<u32>,
+    /// `log2(sample_interval)` when the interval is a power of two.
+    interval_shift: Option<u32>,
     /// Stack-distance histogram: `hits_at[r]` = hits at LRU position `r`.
     hits_at: Vec<u64>,
     /// Misses observed (sampled sets only, unscaled).
@@ -45,15 +59,22 @@ impl Atd {
     /// sampling `sampled_sets` of them (paper: 32).
     ///
     /// # Panics
-    /// Panics if `sampled_sets` is 0 or exceeds `total_sets`.
+    /// Panics if `sampled_sets` is 0 or exceeds `total_sets`, or if
+    /// `ways` is 0 or exceeds 255.
     pub fn new(total_sets: usize, sampled_sets: usize, ways: usize) -> Self {
         assert!(sampled_sets > 0 && sampled_sets <= total_sets);
+        assert!(ways > 0 && ways <= u8::MAX as usize, "associativity must fit a u8 and be > 0");
         let interval = (total_sets / sampled_sets).max(1) as u64;
+        let total = total_sets as u64;
+        let slots = total.div_ceil(interval) as usize;
         Atd {
             ways,
             sample_interval: interval,
-            total_sets: total_sets as u64,
-            sets: FxHashMap::with_capacity_and_hasher(sampled_sets, Default::default()),
+            total_sets: total,
+            tags: vec![0; slots * ways],
+            lens: vec![0; slots],
+            sets_shift: total.is_power_of_two().then(|| total.trailing_zeros()),
+            interval_shift: interval.is_power_of_two().then(|| interval.trailing_zeros()),
             hits_at: vec![0; ways],
             misses: 0,
             accesses: 0,
@@ -65,35 +86,63 @@ impl Atd {
         self.sample_interval
     }
 
-    /// Set index of a block address.
+    /// Number of sampled sets (dense slot rows).
+    pub fn slots(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Split a block address into its set's dense slot index (when
+    /// sampled) and its tag.
     #[inline]
-    fn set_of(&self, block: Addr) -> u64 {
-        (block / BLOCK_BYTES) % self.total_sets
+    fn split(&self, block: Addr) -> (Option<u64>, u64) {
+        let b = block / BLOCK_BYTES;
+        let (set, tag) = match self.sets_shift {
+            Some(s) => (b & (self.total_sets - 1), b >> s),
+            None => (b % self.total_sets, b / self.total_sets),
+        };
+        let slot = match self.interval_shift {
+            Some(s) => (set & (self.sample_interval - 1) == 0).then(|| set >> s),
+            None => (set % self.sample_interval == 0).then(|| set / self.sample_interval),
+        };
+        (slot, tag)
     }
 
     /// Whether the set holding `block` is sampled.
     pub fn is_sampled(&self, block: Addr) -> bool {
-        self.set_of(block) % self.sample_interval == 0
+        self.split(block).0.is_some()
+    }
+
+    /// The dense slot index of `block`'s sampled set, `None` when the
+    /// set is not sampled (the batch partitioner's bucket key).
+    #[inline]
+    pub fn sampled_slot(&self, block: Addr) -> Option<usize> {
+        self.split(block).0.map(|s| s as usize)
     }
 
     /// Record an access to `block`, returning the private-mode outcome.
     pub fn access(&mut self, block: Addr) -> AtdOutcome {
-        let set = self.set_of(block);
-        if set % self.sample_interval != 0 {
+        let (slot, tag) = self.split(block);
+        let Some(slot) = slot else {
             return AtdOutcome::Unsampled;
-        }
+        };
+        let slot = slot as usize;
         self.accesses += 1;
-        let tag = block / BLOCK_BYTES / self.total_sets;
-        let entry = self.sets.entry(set).or_default();
-        if let Some(pos) = entry.iter().position(|&t| t == tag) {
-            entry.remove(pos);
-            entry.insert(0, tag);
+        let len = self.lens[slot] as usize;
+        let base = slot * self.ways;
+        let row = &mut self.tags[base..base + self.ways];
+        if let Some(pos) = row[..len].iter().position(|&t| t == tag) {
+            // MRU promotion: shift positions 0..pos right by one.
+            row.copy_within(0..pos, 1);
+            row[0] = tag;
             self.hits_at[pos] += 1;
             AtdOutcome::Hit(pos)
         } else {
-            entry.insert(0, tag);
-            if entry.len() > self.ways {
-                entry.pop();
+            // Insert at MRU; the LRU tag falls off a full row.
+            let keep = len.min(self.ways - 1);
+            row.copy_within(0..keep, 1);
+            row[0] = tag;
+            if len < self.ways {
+                self.lens[slot] = (len + 1) as u8;
             }
             self.misses += 1;
             AtdOutcome::Miss
@@ -141,17 +190,20 @@ impl Atd {
 
     /// Capture the ATD's complete state (geometry, tag arrays, stack-
     /// distance histogram and counters) as a positional value tree.
-    /// Sampled sets are emitted in sorted set-index order so identical
-    /// ATD states always yield identical snapshots.
+    /// Only non-empty sampled sets are emitted, in sorted set-index
+    /// order, so identical ATD states always yield identical snapshots —
+    /// and the tree is byte-compatible with the historical per-set map
+    /// layout (a set appeared in the map exactly once accessed, i.e.
+    /// exactly when it holds at least one tag).
     pub fn snapshot_value(&self) -> StateValue {
-        let mut sets: Vec<(&u64, &Vec<u64>)> = self.sets.iter().collect();
-        sets.sort_unstable_by_key(|(set, _)| **set);
-        let sets = sets
-            .into_iter()
-            .map(|(&set, tags)| {
+        let sets = (0..self.slots())
+            .filter(|&slot| self.lens[slot] > 0)
+            .map(|slot| {
+                let len = self.lens[slot] as usize;
+                let row = &self.tags[slot * self.ways..slot * self.ways + len];
                 StateValue::List(vec![
-                    StateValue::U64(set),
-                    StateValue::List(tags.iter().map(|&t| StateValue::U64(t)).collect()),
+                    StateValue::U64(slot as u64 * self.sample_interval),
+                    StateValue::List(row.iter().map(|&t| StateValue::U64(t)).collect()),
                 ])
             })
             .collect();
@@ -167,7 +219,9 @@ impl Atd {
     }
 
     /// Restore the ATD from a [`Atd::snapshot_value`] tree. The geometry
-    /// (ways, sampling interval, total sets) must match this ATD's.
+    /// (ways, sampling interval, total sets) must match this ATD's, and
+    /// every listed set index must be a sampled set (snapshots only ever
+    /// contain sampled sets).
     pub fn restore_value(&mut self, v: &StateValue) -> Result<(), StateError> {
         let f = v.fields(7)?;
         if f[0].as_u64()? != self.ways as u64
@@ -176,22 +230,30 @@ impl Atd {
         {
             return Err(StateError::ConfigMismatch("ATD geometry"));
         }
-        let mut sets = FxHashMap::default();
+        let mut tags = vec![0u64; self.tags.len()];
+        let mut lens = vec![0u8; self.lens.len()];
         for entry in f[3].as_list()? {
             let ef = entry.fields(2)?;
-            let tags: Vec<u64> =
+            let set = ef[0].as_u64()?;
+            if set >= self.total_sets || set % self.sample_interval != 0 {
+                return Err(StateError::Malformed("ATD set index not sampled"));
+            }
+            let slot = (set / self.sample_interval) as usize;
+            let row: Vec<u64> =
                 ef[1].as_list()?.iter().map(|t| t.as_u64()).collect::<Result<_, _>>()?;
-            if tags.len() > self.ways {
+            if row.len() > self.ways {
                 return Err(StateError::Malformed("ATD set overflow"));
             }
-            sets.insert(ef[0].as_u64()?, tags);
+            tags[slot * self.ways..slot * self.ways + row.len()].copy_from_slice(&row);
+            lens[slot] = row.len() as u8;
         }
         let hits_at: Vec<u64> =
             f[4].as_list()?.iter().map(|h| h.as_u64()).collect::<Result<_, _>>()?;
         if hits_at.len() != self.ways {
             return Err(StateError::Malformed("ATD histogram length"));
         }
-        self.sets = sets;
+        self.tags = tags;
+        self.lens = lens;
         self.hits_at = hits_at;
         self.misses = f[5].as_u64()?;
         self.accesses = f[6].as_u64()?;

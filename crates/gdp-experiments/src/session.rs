@@ -23,10 +23,13 @@
 
 use std::sync::Arc;
 
-use gdp_core::model::{estimate_all, observe_subscribed, PrivateModeEstimator};
+use gdp_core::model::{
+    DispatchMode, EstimatorBank, IntervalMeasurement, PrivateEstimate, PrivateModeEstimator,
+};
 use gdp_core::state::{EstimatorState, StateError};
 use gdp_dief::Dief;
 use gdp_runner::Pool;
+use gdp_sim::probe::ProbeEvent;
 use gdp_sim::stats::CoreStats;
 use gdp_sim::types::{CoreId, Cycle};
 use gdp_sim::{EngineCounters, System};
@@ -38,7 +41,7 @@ use crate::config::ExperimentConfig;
 use crate::interval::IntervalSchedule;
 use crate::metrics::export_engine_counters;
 use crate::shared::{CoreInterval, SharedRun};
-use crate::techniques::Technique;
+use crate::techniques::{build_estimator_set, Technique};
 
 /// Telemetry handles a session resolves once at build time, so the
 /// per-interval loop touches only atomics (never the registry's name
@@ -61,6 +64,11 @@ struct SessionMetrics {
     advance_span: SpanHandle,
     /// `session.dief`: time feeding DIEF.
     dief_span: SpanHandle,
+    /// `session.batch`: the whole per-interval estimator dispatch —
+    /// observe *and* estimate across every technique. Its self-time
+    /// (total minus the observe/estimate child spans) is the dispatch
+    /// overhead `render_profile` separates from estimator self-time.
+    batch_span: SpanHandle,
     /// `session.observe`: time feeding estimator `observe` hooks.
     observe_span: SpanHandle,
     /// `session.estimate.<id>`: per-technique estimate-phase time.
@@ -82,6 +90,12 @@ struct SessionMetrics {
     ts_llc_accesses: TimeSeries,
     /// `ts.llc.misses`: LLC misses per interval (summed over cores).
     ts_llc_misses: TimeSeries,
+    /// `ts.session.batch_events`: estimator-observations dispatched per
+    /// interval index — events × subscribed techniques, the work the
+    /// batched dispatcher amortizes into one virtual call per technique.
+    /// Deterministic (a pure function of the observed stream), recorded
+    /// under both dispatch modes so A/B runs snapshot identically.
+    ts_batch_events: TimeSeries,
     /// `tsw.session.estimate.<id>`: per-technique estimate-phase
     /// nanoseconds per interval — wall-clock, `timeseries_wall` group.
     estimate_ts: Vec<TimeSeries>,
@@ -98,6 +112,7 @@ impl SessionMetrics {
                 .collect(),
             advance_span: registry.span("session.advance"),
             dief_span: registry.span("session.dief"),
+            batch_span: registry.span("session.batch"),
             observe_span: registry.span("session.observe"),
             estimate_spans: techniques
                 .iter()
@@ -109,6 +124,7 @@ impl SessionMetrics {
             ts_cycles_skipped: registry.time_series("ts.engine.cycles_skipped"),
             ts_llc_accesses: registry.time_series("ts.llc.accesses"),
             ts_llc_misses: registry.time_series("ts.llc.misses"),
+            ts_batch_events: registry.time_series("ts.session.batch_events"),
             estimate_ts: techniques
                 .iter()
                 .map(|t| registry.wall_time_series(&format!("tsw.session.estimate.{}", t.id())))
@@ -140,33 +156,146 @@ impl SessionMetrics {
     }
 }
 
-/// Run the per-core estimate phase, timing each technique when metrics
-/// are attached. The metered path drives estimators in exactly the
-/// sequence [`estimate_all`] does, so attaching metrics never perturbs
-/// estimates (the determinism suite pins this).
-fn estimate_row_metered(
+/// One accounting interval's estimator dispatch: feed the event batch
+/// and run the estimate phase for every technique in the bank, returning
+/// `rows[core]` = one estimate per technique in registry order.
+///
+/// Three execution shapes, all bit-identical. Every shape honours the
+/// same two-phase contract: **all** observes complete before **any**
+/// estimate runs. The ordering matters across estimators, not just
+/// within one — fused pairs ([`build_estimator_set`]) share interval
+/// state that the first member's estimate resets, so an estimate
+/// interleaved before a partner's observe/read phase would hand that
+/// partner a cleared table:
+///
+/// * **batched, serial** — one [`PrivateModeEstimator::observe_batch`]
+///   sweep over the bank, then one per-core estimate sweep; dispatch
+///   costs one virtual call per technique per phase;
+/// * **batched, pooled** — the same two phases as two pool fan-outs
+///   with a barrier between, results reassembled in registry order.
+///   Per-technique spans are skipped — wall-clock under a fan-out would
+///   depend on scheduling, the same reason [`ParallelReplaySession`]
+///   never meters its inner segments;
+/// * **per-event** (`GDP_ESTIMATOR=per-event`) — the retained oracle:
+///   the legacy events-outer loop and per-core metered estimates,
+///   exactly as the pre-batch dispatcher ran. CI A/B-diffs this shape
+///   against the batched default byte-for-byte.
+fn dispatch_interval(
     metrics: Option<&SessionMetrics>,
-    estimators: &mut [Box<dyn PrivateModeEstimator>],
-    core: CoreId,
-    m: &gdp_core::model::IntervalMeasurement,
+    bank: &mut EstimatorBank,
+    pool: Option<&Pool>,
+    events: &[ProbeEvent],
+    measurements: &[IntervalMeasurement],
     index: u64,
-) -> Vec<gdp_core::model::PrivateEstimate> {
-    match metrics {
-        None => estimate_all(estimators, core, m),
-        Some(mx) => mx
-            .estimate_spans
-            .iter()
-            .zip(&mx.estimate_ts)
-            .zip(estimators)
-            .map(|((span, ts), e)| {
-                let _g = span.enter();
-                let start = std::time::Instant::now();
-                let est = e.estimate(core, m);
-                ts.record(index, start.elapsed().as_nanos() as u64);
-                est
-            })
-            .collect(),
+) -> Vec<Vec<PrivateEstimate>> {
+    let cores = measurements.len();
+    let batch_guard = metrics.map(|mx| {
+        mx.ts_batch_events.record(index, events.len() as u64 * bank.subscribed_count() as u64);
+        mx.batch_span.enter()
+    });
+    let subs: Vec<bool> = bank.subscribed().to_vec();
+    let parallel = pool.is_some_and(|p| p.workers() > 1) && bank.len() > 1;
+    let per_tech: Vec<Vec<PrivateEstimate>> = match bank.mode() {
+        DispatchMode::Batched if parallel => {
+            // Two fan-outs with a barrier between: every estimator must
+            // finish its observe phase before any estimate runs, or a
+            // fused pair's first member could reset shared interval
+            // state its partner still has to read.
+            let pool = pool.expect("parallel implies a pool");
+            let observe_jobs: Vec<_> = bank
+                .estimators_mut()
+                .iter_mut()
+                .zip(&subs)
+                .map(|(e, sub)| {
+                    move || {
+                        if *sub {
+                            e.observe_batch(events);
+                        }
+                    }
+                })
+                .collect();
+            pool.run(observe_jobs);
+            let estimate_jobs: Vec<_> = bank
+                .estimators_mut()
+                .iter_mut()
+                .map(|e| {
+                    move || {
+                        measurements
+                            .iter()
+                            .enumerate()
+                            .map(|(c, m)| e.estimate(CoreId(c as u8), m))
+                            .collect::<Vec<_>>()
+                    }
+                })
+                .collect();
+            pool.run(estimate_jobs)
+        }
+        DispatchMode::Batched => {
+            for (e, sub) in bank.estimators_mut().iter_mut().zip(&subs) {
+                if *sub {
+                    let _g = metrics.map(|mx| mx.observe_span.enter());
+                    e.observe_batch(events);
+                }
+            }
+            bank.estimators_mut()
+                .iter_mut()
+                .enumerate()
+                .map(|(i, e)| {
+                    let _g = metrics.map(|mx| mx.estimate_spans[i].enter());
+                    let start = std::time::Instant::now();
+                    let row: Vec<PrivateEstimate> = measurements
+                        .iter()
+                        .enumerate()
+                        .map(|(c, m)| e.estimate(CoreId(c as u8), m))
+                        .collect();
+                    if let Some(mx) = metrics {
+                        mx.estimate_ts[i].record(index, start.elapsed().as_nanos() as u64);
+                    }
+                    row
+                })
+                .collect()
+        }
+        DispatchMode::PerEvent => {
+            {
+                let _g = metrics.map(|mx| mx.observe_span.enter());
+                for ev in events {
+                    for (e, sub) in bank.estimators_mut().iter_mut().zip(&subs) {
+                        if *sub {
+                            e.observe(ev);
+                        }
+                    }
+                }
+            }
+            let mut per_tech: Vec<Vec<PrivateEstimate>> =
+                (0..bank.len()).map(|_| Vec::with_capacity(cores)).collect();
+            for (c, m) in measurements.iter().enumerate() {
+                for (i, e) in bank.estimators_mut().iter_mut().enumerate() {
+                    let est = match metrics {
+                        None => e.estimate(CoreId(c as u8), m),
+                        Some(mx) => {
+                            let _g = mx.estimate_spans[i].enter();
+                            let start = std::time::Instant::now();
+                            let est = e.estimate(CoreId(c as u8), m);
+                            mx.estimate_ts[i].record(index, start.elapsed().as_nanos() as u64);
+                            est
+                        }
+                    };
+                    per_tech[i].push(est);
+                }
+            }
+            per_tech
+        }
+    };
+    drop(batch_guard);
+    // Transpose [technique][core] → [core][technique] rows.
+    let mut rows: Vec<Vec<PrivateEstimate>> =
+        (0..cores).map(|_| Vec::with_capacity(per_tech.len())).collect();
+    for tech_row in per_tech {
+        for (c, est) in tech_row.into_iter().enumerate() {
+            rows[c].push(est);
+        }
     }
+    rows
 }
 
 /// Builder for an [`EstimationSession`].
@@ -193,6 +322,8 @@ pub struct SessionBuilder<'s> {
     techniques: Vec<Technique>,
     sink: Option<&'s mut dyn TraceSink>,
     metrics: Option<Arc<MetricsRegistry>>,
+    pool: Option<Pool>,
+    dispatch: Option<DispatchMode>,
 }
 
 impl SessionBuilder<'static> {
@@ -205,6 +336,8 @@ impl SessionBuilder<'static> {
             techniques: Technique::ALL.to_vec(),
             sink: None,
             metrics: None,
+            pool: None,
+            dispatch: None,
         }
     }
 }
@@ -227,7 +360,27 @@ impl<'s> SessionBuilder<'s> {
             techniques: self.techniques,
             sink: Some(sink),
             metrics: self.metrics,
+            pool: self.pool,
+            dispatch: self.dispatch,
         }
+    }
+
+    /// Attach a worker pool: each boundary's estimator dispatch fans the
+    /// per-technique banks across the pool's workers (techniques share
+    /// no state), with estimates reassembled in registry order —
+    /// bit-identical to the serial dispatch for any worker count. With
+    /// one worker (or one technique) dispatch stays inline.
+    pub fn with_pool(mut self, pool: Pool) -> SessionBuilder<'s> {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Force a dispatch mode, overriding the `GDP_ESTIMATOR` environment
+    /// hatch — [`DispatchMode::PerEvent`] retains the pre-batch oracle
+    /// loop the equivalence suite and CI A/B-diff drive.
+    pub fn dispatch(mut self, mode: DispatchMode) -> SessionBuilder<'s> {
+        self.dispatch = Some(mode);
+        self
     }
 
     /// Attach a metrics registry: the session resolves `session.*`
@@ -245,7 +398,7 @@ impl<'s> SessionBuilder<'s> {
     /// # Panics
     /// Panics if the workload's core count does not match the CMP.
     pub fn build(self) -> EstimationSession<'s> {
-        let SessionBuilder { workload, xcfg, techniques, sink, metrics } = self;
+        let SessionBuilder { workload, xcfg, techniques, sink, metrics, pool, dispatch } = self;
         assert_eq!(workload.cores(), xcfg.sim.cores, "workload size must match the CMP");
         let techniques = Technique::canonical(&techniques);
         let metrics = metrics.map(|r| SessionMetrics::new(r, &techniques));
@@ -253,9 +406,13 @@ impl<'s> SessionBuilder<'s> {
         let dief = Dief::new(&xcfg.sim, xcfg.sampled_sets);
         let tcfg = xcfg.technique_config();
         let estimators: Vec<Box<dyn PrivateModeEstimator>> =
-            techniques.iter().map(|t| t.build(&tcfg)).collect();
+            build_estimator_set(&techniques, &tcfg);
         let needs_probe: Vec<bool> =
             techniques.iter().map(|t| t.caps().needs_probe_stream).collect();
+        let mut bank = EstimatorBank::new(estimators, needs_probe);
+        if let Some(mode) = dispatch {
+            bank = bank.with_mode(mode);
+        }
         let mc_epoch = techniques.iter().find_map(|t| t.mc_priority_epoch());
         let n = xcfg.sim.cores;
         let last_snapshot = (0..n).map(|c| *sys.core_stats(c)).collect();
@@ -264,8 +421,7 @@ impl<'s> SessionBuilder<'s> {
             sys,
             dief,
             techniques,
-            estimators,
-            needs_probe,
+            bank,
             schedule: IntervalSchedule::new(xcfg.interval_cycles),
             mc_epoch,
             last_snapshot,
@@ -278,6 +434,7 @@ impl<'s> SessionBuilder<'s> {
             fresh: 0,
             sink,
             metrics,
+            pool,
         }
     }
 }
@@ -287,8 +444,7 @@ pub struct EstimationSession<'s> {
     sys: System,
     dief: Dief,
     techniques: Vec<Technique>,
-    estimators: Vec<Box<dyn PrivateModeEstimator>>,
-    needs_probe: Vec<bool>,
+    bank: EstimatorBank,
     schedule: IntervalSchedule,
     mc_epoch: Option<u64>,
     last_snapshot: Vec<CoreStats>,
@@ -306,6 +462,7 @@ pub struct EstimationSession<'s> {
     fresh: usize,
     sink: Option<&'s mut dyn TraceSink>,
     metrics: Option<SessionMetrics>,
+    pool: Option<Pool>,
 }
 
 impl EstimationSession<'_> {
@@ -373,8 +530,15 @@ impl EstimationSession<'_> {
     }
 
     /// One accounting-interval boundary: close stall runs, feed the
-    /// probe batch to DIEF and every estimator (and the capture sink),
-    /// then produce one estimate row across all cores.
+    /// probe batch to DIEF (and the capture sink), compute every core's
+    /// boundary measurement, then run one batched estimator dispatch
+    /// over the whole interval ([`dispatch_interval`]).
+    ///
+    /// The sink sees exactly the old call sequence — `record_events`,
+    /// then one `record_boundary` per core in core order — and each
+    /// estimator sees exactly the old per-estimator call sequence, so
+    /// captured traces and estimates are byte-identical to the
+    /// pre-batch loop.
     fn emit_boundary_row(&mut self) {
         // The flight recorder's interval index: session-local, counted
         // from 0 — deterministic regardless of job scheduling.
@@ -383,7 +547,7 @@ impl EstimationSession<'_> {
         self.sys.finalize(); // close open stall runs at the boundary
         let events = self.sys.drain_probes();
         if let Some(mx) = &self.metrics {
-            mx.count_events(events.len(), &self.needs_probe, idx);
+            mx.count_events(events.len(), self.bank.subscribed(), idx);
             let engine = self.sys.engine_counters();
             mx.ts_cycles.record(idx, engine.cycles - self.last_engine.cycles);
             mx.ts_cycles_skipped
@@ -391,24 +555,27 @@ impl EstimationSession<'_> {
             self.last_engine = engine;
         }
         {
+            // The session's own DIEF batches too; the per-event oracle
+            // mode flips it back to the legacy loop so the A/B covers
+            // the λ feed as well as the estimator bank.
             let _g = self.metrics.as_ref().map(|mx| mx.dief_span.enter());
-            for ev in &events {
-                self.dief.observe(ev);
+            match self.bank.mode() {
+                DispatchMode::Batched => self.dief.observe_batch(&events),
+                DispatchMode::PerEvent => {
+                    for ev in &events {
+                        self.dief.observe(ev);
+                    }
+                }
             }
-        }
-        // Estimators observe through the shared driving helper — the
-        // same call sequence the replay session reproduces. Techniques
-        // whose descriptor declares `needs_probe_stream: false` are
-        // skipped, so the capability flag is enforced, not advisory.
-        {
-            let _g = self.metrics.as_ref().map(|mx| mx.observe_span.enter());
-            observe_subscribed(&mut self.estimators, &self.needs_probe, &events);
         }
         if let Some(sink) = self.sink.as_deref_mut() {
             sink.record_events(&events);
         }
+        // Pass 1: boundary measurements in core order (λ comes from the
+        // session DIEF's per-core interval estimate, reset per core).
         let n = self.cores;
-        let mut row = Vec::with_capacity(n);
+        let mut boundaries = Vec::with_capacity(n);
+        let mut measurements = Vec::with_capacity(n);
         let (mut llc_accesses, mut llc_misses) = (0u64, 0u64);
         for c in 0..n {
             let core = CoreId(c as u8);
@@ -424,22 +591,35 @@ impl EstimationSession<'_> {
                 lambda: lat.private,
                 shared_latency: delta.avg_sms_latency(),
             };
-            let m = boundary.measurement();
-            let estimates =
-                estimate_row_metered(self.metrics.as_ref(), &mut self.estimators, core, &m, idx);
+            measurements.push(boundary.measurement());
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.record_boundary(boundary);
             }
-            row.push(CoreInterval {
-                instr_start: boundary.instr_start,
-                instr_end: boundary.instr_end,
-                stats: delta,
-                lambda: lat.private,
-                shared_latency: m.shared_latency,
-                estimates,
-            });
+            boundaries.push(boundary);
             self.last_snapshot[c] = cum;
         }
+        // Pass 2: one estimator dispatch for the whole interval.
+        let estimates = dispatch_interval(
+            self.metrics.as_ref(),
+            &mut self.bank,
+            self.pool.as_ref(),
+            &events,
+            &measurements,
+            idx,
+        );
+        let row = boundaries
+            .iter()
+            .zip(&measurements)
+            .zip(estimates)
+            .map(|((b, m), estimates)| CoreInterval {
+                instr_start: b.instr_start,
+                instr_end: b.instr_end,
+                stats: b.stats,
+                lambda: b.lambda,
+                shared_latency: m.shared_latency,
+                estimates,
+            })
+            .collect();
         self.intervals.push(row);
         if let Some(mx) = &self.metrics {
             mx.record_boundary(idx, llc_accesses, llc_misses);
@@ -512,12 +692,12 @@ impl EstimationSession<'_> {
 pub struct ReplaySession<'t> {
     trace: &'t SharedTrace,
     techniques: Vec<Technique>,
-    estimators: Vec<Box<dyn PrivateModeEstimator>>,
-    needs_probe: Vec<bool>,
+    bank: EstimatorBank,
     next: usize,
     intervals: Vec<Vec<CoreInterval>>,
     fresh: usize,
     metrics: Option<SessionMetrics>,
+    pool: Option<Pool>,
 }
 
 impl<'t> ReplaySession<'t> {
@@ -539,18 +719,33 @@ impl<'t> ReplaySession<'t> {
     ) -> ReplaySession<'t> {
         let techniques = Technique::canonical(techniques);
         let tcfg = xcfg.technique_config();
-        let estimators = techniques.iter().map(|t| t.build(&tcfg)).collect();
+        let estimators = build_estimator_set(&techniques, &tcfg);
         let needs_probe = techniques.iter().map(|t| t.caps().needs_probe_stream).collect();
         ReplaySession {
             trace,
             techniques,
-            estimators,
-            needs_probe,
+            bank: EstimatorBank::new(estimators, needs_probe),
             next: 0,
             intervals: Vec::new(),
             fresh: 0,
             metrics: None,
+            pool: None,
         }
+    }
+
+    /// Attach a worker pool: each interval's estimator dispatch fans the
+    /// per-technique banks across the pool's workers, bit-identical to
+    /// serial replay (see [`SessionBuilder::with_pool`]).
+    pub fn with_pool(mut self, pool: Pool) -> ReplaySession<'t> {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Force a dispatch mode, overriding the `GDP_ESTIMATOR` hatch (see
+    /// [`SessionBuilder::dispatch`]).
+    pub fn with_dispatch(mut self, mode: DispatchMode) -> ReplaySession<'t> {
+        self.bank.set_mode(mode);
+        self
     }
 
     /// Attach a metrics registry: the replayed stream feeds the same
@@ -589,13 +784,9 @@ impl<'t> ReplaySession<'t> {
             let idx = self.next as u64;
             let iv = &self.trace.intervals[self.next];
             if let Some(mx) = &self.metrics {
-                mx.count_events(iv.events.len(), &self.needs_probe, idx);
+                mx.count_events(iv.events.len(), self.bank.subscribed(), idx);
             }
-            {
-                let _g = self.metrics.as_ref().map(|mx| mx.observe_span.enter());
-                observe_subscribed(&mut self.estimators, &self.needs_probe, &iv.events);
-            }
-            let mut row = Vec::with_capacity(iv.boundaries.len());
+            let mut measurements = Vec::with_capacity(iv.boundaries.len());
             let (mut llc_accesses, mut llc_misses) = (0u64, 0u64);
             for (c, b) in iv.boundaries.iter().enumerate() {
                 assert!(
@@ -605,22 +796,29 @@ impl<'t> ReplaySession<'t> {
                 );
                 llc_accesses += b.stats.llc_accesses;
                 llc_misses += b.stats.llc_misses;
-                let estimates = estimate_row_metered(
-                    self.metrics.as_ref(),
-                    &mut self.estimators,
-                    CoreId(c as u8),
-                    &b.measurement(),
-                    idx,
-                );
-                row.push(CoreInterval {
+                measurements.push(b.measurement());
+            }
+            let estimates = dispatch_interval(
+                self.metrics.as_ref(),
+                &mut self.bank,
+                self.pool.as_ref(),
+                &iv.events,
+                &measurements,
+                idx,
+            );
+            let row = iv
+                .boundaries
+                .iter()
+                .zip(estimates)
+                .map(|(b, estimates)| CoreInterval {
                     instr_start: b.instr_start,
                     instr_end: b.instr_end,
                     stats: b.stats,
                     lambda: b.lambda,
                     shared_latency: b.shared_latency,
                     estimates,
-                });
-            }
+                })
+                .collect();
             self.intervals.push(row);
             self.next += 1;
             if let Some(mx) = &self.metrics {
@@ -663,7 +861,7 @@ impl<'t> ReplaySession<'t> {
     pub fn snapshot_states(&self) -> Vec<(String, EstimatorState)> {
         self.techniques
             .iter()
-            .zip(&self.estimators)
+            .zip(self.bank.estimators())
             .map(|(t, e)| (t.id().to_string(), e.snapshot()))
             .collect()
     }
@@ -676,7 +874,7 @@ impl<'t> ReplaySession<'t> {
     /// the checkpoint lacks any attached technique's state or a state
     /// does not fit this configuration.
     pub fn restore_checkpoint(&mut self, cp: &StateCheckpoint) -> Result<(), StateError> {
-        for (t, e) in self.techniques.iter().zip(&mut self.estimators) {
+        for (t, e) in self.techniques.iter().zip(self.bank.estimators_mut()) {
             let state = cp
                 .state(t.id())
                 .ok_or(StateError::Malformed("checkpoint lacks a technique's state"))?;

@@ -161,6 +161,62 @@ pub fn transparent_subset(set: &[Technique]) -> Vec<Technique> {
     set.iter().copied().filter(|t| !t.is_invasive()).collect()
 }
 
+/// Build the estimator vector for a technique set, fusing estimators
+/// that would otherwise duplicate identical observation work:
+///
+/// * **GDP + GDP-O** share one dataflow-graph pipeline
+///   ([`gdp_core::shared_gdp_pair`]) — they observe identically and
+///   their harvests drain the same spans.
+/// * **ITCA + PTCA** share one embedded DIEF pipeline
+///   ([`gdp_accounting::shared_itca_ptca`]) — both feed it the identical
+///   probe stream and only differ in what they read back.
+///
+/// Each fused view is slotted at its technique's position, so bank
+/// order, estimates, snapshots and restores stay byte-identical to
+/// per-technique construction; any other technique (or either member of
+/// a pair on its own) goes through its registered factory unchanged.
+pub fn build_estimator_set(
+    techniques: &[Technique],
+    cfg: &TechniqueConfig,
+) -> Vec<Box<dyn PrivateModeEstimator>> {
+    let both = |a, b| techniques.contains(&a) && techniques.contains(&b);
+    let (mut gdp_view, mut gdp_o_view) = if both(Technique::GDP, Technique::GDP_O) {
+        let (g, o) = gdp_core::shared_gdp_pair(cfg.cores(), cfg.prb_entries);
+        (Some(g), Some(o))
+    } else {
+        (None, None)
+    };
+    let (mut itca_view, mut ptca_view) = if both(Technique::ITCA, Technique::PTCA) {
+        let (i, p) = gdp_accounting::shared_itca_ptca(&cfg.sim, cfg.sampled_sets);
+        (Some(i), Some(p))
+    } else {
+        (None, None)
+    };
+    techniques
+        .iter()
+        .map(|t| -> Box<dyn PrivateModeEstimator> {
+            if *t == Technique::GDP {
+                if let Some(v) = gdp_view.take() {
+                    return Box::new(v);
+                }
+            } else if *t == Technique::GDP_O {
+                if let Some(v) = gdp_o_view.take() {
+                    return Box::new(v);
+                }
+            } else if *t == Technique::ITCA {
+                if let Some(v) = itca_view.take() {
+                    return Box::new(v);
+                }
+            } else if *t == Technique::PTCA {
+                if let Some(v) = ptca_view.take() {
+                    return Box::new(v);
+                }
+            }
+            t.build(cfg)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

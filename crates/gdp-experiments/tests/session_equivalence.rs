@@ -7,15 +7,17 @@
 
 use proptest::prelude::*;
 
-use gdp_core::model::{estimate_all, observe_all, IntervalMeasurement, PrivateModeEstimator};
+use gdp_core::model::{DispatchMode, IntervalMeasurement, PrivateModeEstimator};
 use gdp_dief::Dief;
 use gdp_experiments::{
-    run_shared, CoreInterval, ExperimentConfig, IntervalSchedule, SessionBuilder, SharedRun,
-    Technique,
+    record_shared, run_shared, CoreInterval, ExperimentConfig, IntervalSchedule, ReplaySession,
+    SessionBuilder, SharedRun, Technique,
 };
+use gdp_runner::Pool;
 use gdp_sim::stats::CoreStats;
 use gdp_sim::types::CoreId;
 use gdp_sim::System;
+use gdp_trace::StateCheckpoint;
 use gdp_workloads::paper_workloads;
 
 /// The shared-mode run loop exactly as it existed before the session
@@ -58,7 +60,12 @@ fn legacy_run_shared(
             for ev in &events {
                 dief.observe(ev);
             }
-            observe_all(&mut estimators, &events);
+            // The historical events-outer observe loop, verbatim.
+            for ev in &events {
+                for e in estimators.iter_mut() {
+                    e.observe(ev);
+                }
+            }
             let mut row = Vec::with_capacity(n);
             for c in 0..n {
                 let core = CoreId(c as u8);
@@ -70,7 +77,8 @@ fn legacy_run_shared(
                     lambda: lat.private,
                     shared_latency: delta.avg_sms_latency(),
                 };
-                let estimates = estimate_all(&mut estimators, core, &m);
+                let estimates =
+                    estimators.iter_mut().map(|e| e.estimate(core, &m)).collect::<Vec<_>>();
                 row.push(CoreInterval {
                     instr_start: last_snapshot[c].committed_instrs,
                     instr_end: cum.committed_instrs,
@@ -188,4 +196,92 @@ proptest! {
 #[test]
 fn four_core_full_set_session_matches_legacy() {
     assert_session_matches_legacy(42, 4, 0b111111, 7_777);
+}
+
+/// Batched dispatch against the retained per-event oracle, over a
+/// recorded trace: random event mixes (workload seed), technique
+/// subsets and replay chunk sizes (batch-size boundaries land
+/// mid-trace), with a mid-replay snapshot out of the *batched* session
+/// restored into a fresh *per-event* session — states and estimates
+/// must be bit-for-bit interchangeable between the two dispatch paths.
+fn assert_batched_matches_per_event(seed: u64, cores: usize, mask: usize, chunks: &[usize]) {
+    let w = &paper_workloads(cores, seed)[0];
+    let x = xcfg(cores);
+    let set = subset_from_mask(mask);
+    let (live, trace) = record_shared(w, &x, &set);
+
+    // The oracle: one straight per-event replay.
+    let oracle =
+        ReplaySession::new(&trace, &x, &set).with_dispatch(DispatchMode::PerEvent).into_report();
+    assert_runs_bit_identical(&live, &oracle, "per-event replay vs live");
+
+    // Batched replay in awkward chunk sizes, snapshotting after the
+    // first processed chunk (mid-batch with respect to the trace).
+    let mut s = ReplaySession::new(&trace, &x, &set).with_dispatch(DispatchMode::Batched);
+    let mut done = 0usize;
+    let mut chunk_i = 0usize;
+    let mut checkpoint: Option<StateCheckpoint> = None;
+    while !s.done() {
+        done += s.advance_intervals(chunks[chunk_i % chunks.len()].max(1));
+        chunk_i += 1;
+        if checkpoint.is_none() && done > 0 {
+            checkpoint = Some(StateCheckpoint { at: done as u64, states: s.snapshot_states() });
+        }
+    }
+    let batched = s.into_report();
+    assert_runs_bit_identical(&oracle, &batched, "batched replay vs per-event oracle");
+
+    // Cross-path snapshot/restore: resume the per-event oracle from the
+    // batched session's mid-replay state; the suffix must line up
+    // bit-for-bit with the oracle's own rows.
+    let cp = checkpoint.expect("a recorded trace yields at least one interval");
+    let mut resumed = ReplaySession::new(&trace, &x, &set).with_dispatch(DispatchMode::PerEvent);
+    resumed.restore_checkpoint(&cp).expect("batched snapshot restores into per-event replay");
+    let resumed = resumed.into_report();
+    let suffix = &oracle.intervals[cp.at as usize..];
+    assert_eq!(resumed.intervals.len(), suffix.len(), "resumed suffix length");
+    for (i, (ra, rb)) in resumed.intervals.iter().zip(suffix).enumerate() {
+        for (c, (ca, cb)) in ra.iter().zip(rb).enumerate() {
+            for (ea, eb) in ca.estimates.iter().zip(&cb.estimates) {
+                assert_eq!(ea.cpi.to_bits(), eb.cpi.to_bits(), "resumed iv {i} core {c} cpi");
+                assert_eq!(ea.sigma_sms.to_bits(), eb.sigma_sms.to_bits(), "resumed iv {i} σ");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random event mixes × technique subsets × batch-size boundaries:
+    /// the batched dispatch path is bit-identical to the per-event
+    /// oracle, including snapshot/restore across the two paths.
+    #[test]
+    fn batched_dispatch_is_bit_identical_to_per_event_oracle(
+        seed in 0u64..1_000,
+        mask in 1usize..64,
+        chunk_a in 1usize..7,
+        chunk_b in 1usize..7,
+    ) {
+        assert_batched_matches_per_event(seed, 2, mask, &[chunk_a, chunk_b]);
+    }
+}
+
+/// Per-technique pool fan-out is bit-identical to serial dispatch, live
+/// and replayed, for a multi-technique bank.
+#[test]
+fn pooled_dispatch_is_bit_identical_to_serial() {
+    let cores = 2;
+    let w = &paper_workloads(cores, 7)[0];
+    let x = xcfg(cores);
+    let set = [Technique::ITCA, Technique::PTCA, Technique::GDP, Technique::GDP_O, Technique::DIEF];
+    let serial = SessionBuilder::new(w, &x).techniques(&set).build().into_report();
+    let pooled =
+        SessionBuilder::new(w, &x).techniques(&set).with_pool(Pool::new(3)).build().into_report();
+    assert_runs_bit_identical(&serial, &pooled, "pooled live session vs serial");
+
+    let (_, trace) = record_shared(w, &x, &set);
+    let r_serial = ReplaySession::new(&trace, &x, &set).into_report();
+    let r_pooled = ReplaySession::new(&trace, &x, &set).with_pool(Pool::new(3)).into_report();
+    assert_runs_bit_identical(&r_serial, &r_pooled, "pooled replay vs serial");
 }

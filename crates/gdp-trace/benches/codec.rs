@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use gdp_core::model::PrivateModeEstimator;
+use gdp_core::model::EstimatorBank;
 use gdp_core::{GdpEstimator, GdpVariant};
 use gdp_sim::mem::Interference;
 use gdp_sim::probe::{ProbeEvent, StallCause};
@@ -100,11 +100,11 @@ fn synthetic_trace(intervals: usize, events_per_interval: usize) -> SharedTrace 
     }
 }
 
-fn estimators() -> Vec<Box<dyn PrivateModeEstimator>> {
-    vec![
+fn estimators() -> EstimatorBank {
+    EstimatorBank::all_subscribed(vec![
         Box::new(GdpEstimator::new(GdpVariant::Gdp, 2, 32)),
         Box::new(GdpEstimator::new(GdpVariant::GdpO, 2, 32)),
-    ]
+    ])
 }
 
 fn bench_codec(c: &mut Criterion) {
@@ -127,16 +127,16 @@ fn bench_codec(c: &mut Criterion) {
     c.bench_function(&format!("replay_gdp_gdpo/{events}_events"), |b| {
         b.iter_batched(
             estimators,
-            |mut est| black_box(replay_estimates(black_box(&trace), &mut est)),
+            |mut bank| black_box(replay_estimates(black_box(&trace), &mut bank)),
             BatchSize::SmallInput,
         )
     });
     c.bench_function(&format!("decode_and_replay/{events}_events"), |b| {
         b.iter_batched(
             estimators,
-            |mut est| {
+            |mut bank| {
                 let t = decode_shared(black_box(&bytes)).expect("decodes");
-                black_box(replay_estimates(&t, &mut est))
+                black_box(replay_estimates(&t, &mut bank))
             },
             BatchSize::SmallInput,
         )

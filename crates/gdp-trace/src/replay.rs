@@ -2,18 +2,18 @@
 //!
 //! The engine drives estimators through the exact same interface calls —
 //! in the exact same order — as the live shared-mode run, via the shared
-//! driving helpers extracted into `gdp_core::model` ([`observe_all`],
-//! [`estimate_all`]). Because every estimator is a pure function of its
-//! observed stream and the boundary measurements, replayed estimates are
-//! **bit-identical** to the live ones, at memory speed instead of
-//! simulation speed.
+//! dispatch type extracted into `gdp_core::model`
+//! ([`gdp_core::model::EstimatorBank`]). Because every estimator is a
+//! pure function of its observed stream and the boundary measurements,
+//! replayed estimates are **bit-identical** to the live ones, at memory
+//! speed instead of simulation speed.
 
-use gdp_core::model::{estimate_all, observe_all, PrivateEstimate, PrivateModeEstimator};
+use gdp_core::model::{EstimatorBank, PrivateEstimate};
 use gdp_sim::types::CoreId;
 
 use crate::model::SharedTrace;
 
-/// Re-evaluate `estimators` over `trace`.
+/// Re-evaluate `bank`'s estimators over `trace`.
 ///
 /// Returns `rows[interval][core]` = one [`PrivateEstimate`] per estimator
 /// (in estimator order) — the same shape as the live run's per-interval
@@ -24,15 +24,15 @@ use crate::model::SharedTrace;
 /// claims (a malformed trace; the strict decoder never produces one).
 pub fn replay_estimates(
     trace: &SharedTrace,
-    estimators: &mut [Box<dyn PrivateModeEstimator>],
+    bank: &mut EstimatorBank,
 ) -> Vec<Vec<Vec<PrivateEstimate>>> {
     let mut rows = Vec::with_capacity(trace.intervals.len());
     for iv in &trace.intervals {
-        observe_all(estimators, &iv.events);
+        bank.observe_interval(&iv.events);
         let mut row = Vec::with_capacity(iv.boundaries.len());
         for (c, b) in iv.boundaries.iter().enumerate() {
             assert!(c < trace.cores, "boundary for core {c} in a {}-core trace", trace.cores);
-            row.push(estimate_all(estimators, CoreId(c as u8), &b.measurement()));
+            row.push(bank.estimate_row(CoreId(c as u8), &b.measurement()));
         }
         rows.push(row);
     }
@@ -93,9 +93,12 @@ mod tests {
                 }],
             }],
         };
-        let mut est: Vec<Box<dyn PrivateModeEstimator>> =
-            vec![Box::new(GdpEstimator::new(GdpVariant::Gdp, 1, 32))];
-        let rows = replay_estimates(&trace, &mut est);
+        let mut bank = EstimatorBank::all_subscribed(vec![Box::new(GdpEstimator::new(
+            GdpVariant::Gdp,
+            1,
+            32,
+        ))]);
+        let rows = replay_estimates(&trace, &mut bank);
         assert_eq!(rows.len(), 1);
         let e = rows[0][0][0];
         assert_eq!(e.cpl, 2);
@@ -106,11 +109,11 @@ mod tests {
     fn replay_twice_is_bit_identical() {
         let trace = tiny_trace();
         let run = |t: &SharedTrace| {
-            let mut est: Vec<Box<dyn PrivateModeEstimator>> = vec![
+            let mut bank = EstimatorBank::all_subscribed(vec![
                 Box::new(GdpEstimator::new(GdpVariant::Gdp, 1, 8)),
                 Box::new(GdpEstimator::new(GdpVariant::GdpO, 1, 8)),
-            ];
-            replay_estimates(t, &mut est)
+            ]);
+            replay_estimates(t, &mut bank)
         };
         let a = run(&trace);
         let b = run(&trace);
