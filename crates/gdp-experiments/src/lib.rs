@@ -50,11 +50,13 @@ pub use interval::IntervalSchedule;
 pub use metrics::export_engine_counters;
 pub use policy_run::{run_policy_study, PolicyKind, PolicyOutcome};
 pub use private::{run_private, run_private_metered, PrivateCheckpoint, PrivateRun};
-pub use session::{EstimationSession, ParallelReplaySession, ReplaySession, SessionBuilder};
+pub use session::{
+    EstimationSession, ParallelReplaySession, ReplaySession, SessionBuilder, StreamSession,
+};
 pub use shared::{run_shared, run_shared_metered, run_shared_with_sink, CoreInterval, SharedRun};
 pub use techniques::{registry, transparent_subset, Technique};
 pub use trace::{
     checkpoint_key, evaluate_workload_traced, private_from_trace, private_to_trace,
-    private_trace_key, record_shared, record_shared_metered, replay_shared, shared_trace_key,
-    shared_trace_key_for, summarize_checkpoints, CampaignTraces,
+    private_trace_key, record_shared, record_shared_metered, replay_shared, session_state_key,
+    shared_trace_key, shared_trace_key_for, summarize_checkpoints, CampaignTraces,
 };

@@ -659,6 +659,51 @@ impl EstimationSession<'_> {
         &self.intervals
     }
 
+    /// Snapshot every attached estimator, keyed by stable technique id —
+    /// the same bundle [`ReplaySession::snapshot_states`] produces, so a
+    /// live session's estimator state can seed a replay (or a
+    /// [`StreamSession`]) that continues the stream bit-exactly.
+    pub fn snapshot_states(&self) -> Vec<(String, EstimatorState)> {
+        self.techniques
+            .iter()
+            .zip(self.bank.estimators())
+            .map(|(t, e)| (t.id().to_string(), e.snapshot()))
+            .collect()
+    }
+
+    /// Suspend the estimation stack into a [`StateCheckpoint`] at the
+    /// current boundary count: every estimator's state, stamped with the
+    /// number of rows emitted so far. Feeding the same post-suspend
+    /// stream to a session resumed from this checkpoint produces rows
+    /// bit-identical to never having suspended (the contract
+    /// `tests/suspend_resume.rs` pins).
+    ///
+    /// Only the *estimator* side is captured — the simulator and DIEF
+    /// live on the engine side of the recording surface and are not part
+    /// of the bundle. The intended resume targets are stream-fed
+    /// consumers ([`StreamSession`], [`ReplaySession`]) that receive
+    /// events and boundary measurements from outside.
+    pub fn suspend(&self) -> StateCheckpoint {
+        StateCheckpoint { at: self.emitted, states: self.snapshot_states() }
+    }
+
+    /// Restore every attached estimator from `cp` and continue the
+    /// flight-recorder interval index from `cp.at`, mirroring
+    /// [`ReplaySession::restore_checkpoint`]. Fails — leaving the bank
+    /// unsuitable for bit-exact work until re-restored or rebuilt — when
+    /// the checkpoint lacks any attached technique's state or a state
+    /// does not fit this configuration.
+    pub fn resume_from(&mut self, cp: &StateCheckpoint) -> Result<(), StateError> {
+        for (t, e) in self.techniques.iter().zip(self.bank.estimators_mut()) {
+            let state = cp
+                .state(t.id())
+                .ok_or(StateError::Malformed("checkpoint lacks a technique's state"))?;
+            e.restore(state)?;
+        }
+        self.emitted = cp.at;
+        Ok(())
+    }
+
     /// Finish the run (if not already at its end condition), record the
     /// final statistics with any attached sink, and assemble the
     /// [`SharedRun`] report.
@@ -881,6 +926,182 @@ impl<'t> ReplaySession<'t> {
             e.restore(state)?;
         }
         self.next = (cp.at as usize).min(self.trace.intervals.len());
+        Ok(())
+    }
+}
+
+/// A push-fed streaming session: the same estimator bank and dispatch
+/// as [`EstimationSession`]/[`ReplaySession`], fed one interval at a
+/// time from *outside* — the estimation core of a serving host, where
+/// each tenant's probe stream arrives over a wire rather than from a
+/// local simulator or an in-memory trace.
+///
+/// Each [`StreamSession::feed_interval`] call returns that interval's
+/// row *by value* and retains nothing, so a long-running host's memory
+/// stays bounded by construction. Because estimators are pure functions
+/// of their observed stream, the rows are bit-identical to a
+/// [`ReplaySession`] over the same intervals — for any technique subset
+/// and any chunking of the transport that delivered them (the serve
+/// correctness contract, pinned from both ends by
+/// `tests/suspend_resume.rs` and the `gdp-serve` suite).
+///
+/// Suspend/resume round-trips through the same [`StateCheckpoint`]
+/// bundle as PR 6's checkpoint files: an idle tenant's session can be
+/// snapshotted, dropped, and rebuilt later with
+/// [`StreamSession::resume_from`], after which the continued stream is
+/// bit-identical to never having suspended.
+pub struct StreamSession {
+    techniques: Vec<Technique>,
+    bank: EstimatorBank,
+    cores: usize,
+    /// Intervals fed so far — the flight-recorder interval index and the
+    /// `at` stamp of [`StreamSession::suspend`].
+    fed: u64,
+    metrics: Option<SessionMetrics>,
+    pool: Option<Pool>,
+}
+
+impl StreamSession {
+    /// Build a stream session for a (canonicalized) technique set under
+    /// `xcfg`. The invasiveness caveat of [`ReplaySession::new`] applies:
+    /// the fed stream must come from a run whose kind matches the set.
+    pub fn new(xcfg: &ExperimentConfig, techniques: &[Technique]) -> StreamSession {
+        let techniques = Technique::canonical(techniques);
+        let tcfg = xcfg.technique_config();
+        let estimators = build_estimator_set(&techniques, &tcfg);
+        let needs_probe = techniques.iter().map(|t| t.caps().needs_probe_stream).collect();
+        StreamSession {
+            techniques,
+            bank: EstimatorBank::new(estimators, needs_probe),
+            cores: xcfg.sim.cores,
+            fed: 0,
+            metrics: None,
+            pool: None,
+        }
+    }
+
+    /// Attach a worker pool (see [`SessionBuilder::with_pool`]) —
+    /// bit-identical to serial dispatch for any worker count.
+    pub fn with_pool(mut self, pool: Pool) -> StreamSession {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Force a dispatch mode, overriding the `GDP_ESTIMATOR` hatch (see
+    /// [`SessionBuilder::dispatch`]).
+    pub fn with_dispatch(mut self, mode: DispatchMode) -> StreamSession {
+        self.bank.set_mode(mode);
+        self
+    }
+
+    /// Attach a metrics registry: the fed stream drives the same
+    /// `session.*` counters and estimate spans a replay would. Estimates
+    /// are unaffected.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> StreamSession {
+        self.metrics = Some(SessionMetrics::new(registry, &self.techniques));
+        self
+    }
+
+    /// The canonical technique set attached to this session.
+    pub fn techniques(&self) -> &[Technique] {
+        &self.techniques
+    }
+
+    /// The core count this session expects per fed interval.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Intervals fed so far (the next interval's flight-recorder index).
+    pub fn intervals_fed(&self) -> u64 {
+        self.fed
+    }
+
+    /// Feed one accounting interval — the event batch and one
+    /// [`Boundary`] per core, in core order — and return its estimate
+    /// row: `row[core]` carries the boundary measurement plus one
+    /// estimate per attached technique, in registry order. Nothing is
+    /// retained.
+    ///
+    /// # Panics
+    /// Panics if `boundaries` does not hold exactly one entry per core —
+    /// a malformed interval would silently desynchronize every later
+    /// estimate, so the caller (the serve shard) must validate tenant
+    /// input *before* feeding it.
+    pub fn feed_interval(
+        &mut self,
+        events: &[ProbeEvent],
+        boundaries: &[Boundary],
+    ) -> Vec<CoreInterval> {
+        assert_eq!(boundaries.len(), self.cores, "fed interval must carry one boundary per core");
+        let idx = self.fed;
+        self.fed += 1;
+        if let Some(mx) = &self.metrics {
+            mx.count_events(events.len(), self.bank.subscribed(), idx);
+        }
+        let mut measurements = Vec::with_capacity(boundaries.len());
+        let (mut llc_accesses, mut llc_misses) = (0u64, 0u64);
+        for b in boundaries {
+            llc_accesses += b.stats.llc_accesses;
+            llc_misses += b.stats.llc_misses;
+            measurements.push(b.measurement());
+        }
+        let estimates = dispatch_interval(
+            self.metrics.as_ref(),
+            &mut self.bank,
+            self.pool.as_ref(),
+            events,
+            &measurements,
+            idx,
+        );
+        let row = boundaries
+            .iter()
+            .zip(estimates)
+            .map(|(b, estimates)| CoreInterval {
+                instr_start: b.instr_start,
+                instr_end: b.instr_end,
+                stats: b.stats,
+                lambda: b.lambda,
+                shared_latency: b.shared_latency,
+                estimates,
+            })
+            .collect();
+        if let Some(mx) = &self.metrics {
+            mx.record_boundary(idx, llc_accesses, llc_misses);
+        }
+        row
+    }
+
+    /// Snapshot every attached estimator, keyed by stable technique id
+    /// (see [`ReplaySession::snapshot_states`]).
+    pub fn snapshot_states(&self) -> Vec<(String, EstimatorState)> {
+        self.techniques
+            .iter()
+            .zip(self.bank.estimators())
+            .map(|(t, e)| (t.id().to_string(), e.snapshot()))
+            .collect()
+    }
+
+    /// Suspend into a [`StateCheckpoint`] stamped with the number of
+    /// intervals fed. A fresh session resumed from the checkpoint
+    /// continues the stream bit-exactly (the serve evict/resume path).
+    pub fn suspend(&self) -> StateCheckpoint {
+        StateCheckpoint { at: self.fed, states: self.snapshot_states() }
+    }
+
+    /// Restore every attached estimator from `cp` and continue feeding
+    /// from interval `cp.at`. Fails — leaving the bank unsuitable for
+    /// bit-exact work until re-restored or rebuilt — when the checkpoint
+    /// lacks any attached technique's state or a state does not fit this
+    /// configuration.
+    pub fn resume_from(&mut self, cp: &StateCheckpoint) -> Result<(), StateError> {
+        for (t, e) in self.techniques.iter().zip(self.bank.estimators_mut()) {
+            let state = cp
+                .state(t.id())
+                .ok_or(StateError::Malformed("checkpoint lacks a technique's state"))?;
+            e.restore(state)?;
+        }
+        self.fed = cp.at;
         Ok(())
     }
 }

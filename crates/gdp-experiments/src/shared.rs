@@ -19,7 +19,11 @@ use crate::session::SessionBuilder;
 use crate::techniques::Technique;
 
 /// One core's record for one accounting interval.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares `f64` fields by value (the derive): equality
+/// suites that need *bit* comparison (the replay/serve contracts)
+/// compare `to_bits()` explicitly instead.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreInterval {
     /// Committed-instruction count at the interval start.
     pub instr_start: u64,

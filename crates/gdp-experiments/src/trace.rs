@@ -241,6 +241,29 @@ pub fn checkpoint_key(xcfg: &ExperimentConfig, workload: &Workload, invasive: bo
     k
 }
 
+/// Cache key of a *serving tenant's* suspended estimator state: the
+/// state-schema material of [`checkpoint_key`] plus the tenant id and
+/// the exact (canonical) technique set. Unlike trace keys, the technique
+/// ids **must** feed this key — a suspended bundle is the estimator
+/// layout itself, so sessions with different sets must never collide —
+/// and the tenant id keeps concurrent tenants with identical
+/// configurations in separate entries.
+pub fn session_state_key(
+    xcfg: &ExperimentConfig,
+    tenant: u64,
+    techniques: &[Technique],
+) -> CacheKey {
+    let mut k = key_material("serve-session", xcfg);
+    k.u64(u64::from(gdp_core::STATE_VERSION));
+    k.u64(tenant);
+    let canon = Technique::canonical(techniques);
+    k.usize(canon.len());
+    for t in &canon {
+        k.str(t.id());
+    }
+    k
+}
+
 /// Cache key of a private ground-truth run: configuration + benchmark +
 /// address base + the exact checkpoint list (checkpoints come from the
 /// shared runs, so a changed shared trace invalidates its private runs).

@@ -1,0 +1,362 @@
+//! The transport seam: byte-chunk connections behind one trait surface,
+//! with a TCP implementation and an in-process channel implementation.
+//!
+//! The server never sees which transport produced a connection — both
+//! deliver arbitrary byte chunks into the same
+//! [`FrameAssembler`](gdp_trace::FrameAssembler), so the protocol and
+//! every bit-equality property are transport-invariant by construction.
+//! The channel transport exists for tests and embedded hosts (a
+//! scheduler linking the server in-process pays no socket tax); TCP is
+//! the deployment path.
+//!
+//! Backpressure: both transports are *bounded*. TCP inherits the kernel
+//! socket buffers; the channel pipe is a `sync_channel` of
+//! [`PIPE_CHUNKS`] chunks. A slow consumer therefore blocks the
+//! producer's `send` — admitted tenants experience backpressure, never
+//! message loss.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Chunk capacity of one in-process pipe direction (bounded memory:
+/// at most `PIPE_CHUNKS` in-flight chunks per direction per tenant).
+pub const PIPE_CHUNKS: usize = 64;
+
+/// Receiving half of a connection: blocking, chunk-oriented.
+pub trait ConnRead: Send {
+    /// Receive the next byte chunk; `Ok(None)` is end-of-stream. Chunk
+    /// boundaries carry no meaning — the frame assembler reassembles.
+    fn recv_chunk(&mut self) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// Sending half of a connection: blocking, bounded.
+pub trait ConnWrite: Send {
+    /// Send one byte chunk, blocking while the peer's buffer is full.
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()>;
+}
+
+/// Hard-closes both directions of a connection from any thread —
+/// unblocks a reader stuck in [`ConnRead::recv_chunk`] (shutdown/drain).
+pub type Closer = Arc<dyn Fn() + Send + Sync>;
+
+/// One accepted (or dialed) connection: two independent halves plus an
+/// out-of-band closer.
+pub struct Connection {
+    /// Receiving half.
+    pub rx: Box<dyn ConnRead>,
+    /// Sending half.
+    pub tx: Box<dyn ConnWrite>,
+    /// Out-of-band hard close (idempotent).
+    pub closer: Closer,
+}
+
+/// A transport listener the server polls for new connections.
+pub trait Listener: Send {
+    /// Poll for a pending connection; `Ok(None)` when none is waiting.
+    fn poll_accept(&mut self) -> io::Result<Option<Connection>>;
+}
+
+// ------------------------------------------------------- channel pipes
+
+fn pipe_pair() -> (PipeWrite, PipeRead, Arc<AtomicBool>) {
+    let (tx, rx) = mpsc::sync_channel(PIPE_CHUNKS);
+    let closed = Arc::new(AtomicBool::new(false));
+    (
+        PipeWrite { tx, closed: Arc::clone(&closed) },
+        PipeRead { rx, closed: Arc::clone(&closed) },
+        closed,
+    )
+}
+
+struct PipeRead {
+    rx: Receiver<Vec<u8>>,
+    closed: Arc<AtomicBool>,
+}
+
+impl ConnRead for PipeRead {
+    fn recv_chunk(&mut self) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            // Drain anything already queued even after a close — a
+            // half-sent stream stays readable to its end, like a TCP
+            // FIN — then report end-of-stream.
+            match self.rx.try_recv() {
+                Ok(chunk) => return Ok(Some(chunk)),
+                Err(TryRecvError::Disconnected) => return Ok(None),
+                Err(TryRecvError::Empty) => {
+                    if self.closed.load(Ordering::Acquire) {
+                        return Ok(None);
+                    }
+                }
+            }
+            match self.rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(chunk) => return Ok(Some(chunk)),
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(None),
+            }
+        }
+    }
+}
+
+struct PipeWrite {
+    tx: SyncSender<Vec<u8>>,
+    closed: Arc<AtomicBool>,
+}
+
+impl ConnWrite for PipeWrite {
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut chunk = bytes.to_vec();
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+            }
+            match self.tx.try_send(chunk) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(_)) => {
+                    return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"));
+                }
+                Err(TrySendError::Full(back)) => {
+                    // Bounded pipe full: block (backpressure), polling
+                    // the closed flag so a hard close unblocks us.
+                    chunk = back;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+}
+
+/// Build one in-process duplex connection pair: `(client, server)`
+/// ends. Each end's closer hard-closes **both** directions.
+pub fn duplex() -> (Connection, Connection) {
+    let (c2s_tx, c2s_rx, c2s_closed) = pipe_pair();
+    let (s2c_tx, s2c_rx, s2c_closed) = pipe_pair();
+    let closer: Closer = {
+        let a = Arc::clone(&c2s_closed);
+        let b = Arc::clone(&s2c_closed);
+        Arc::new(move || {
+            a.store(true, Ordering::Release);
+            b.store(true, Ordering::Release);
+        })
+    };
+    let client =
+        Connection { rx: Box::new(s2c_rx), tx: Box::new(c2s_tx), closer: Arc::clone(&closer) };
+    let server = Connection { rx: Box::new(c2s_rx), tx: Box::new(s2c_tx), closer };
+    (client, server)
+}
+
+/// The in-process transport: a [`Listener`] plus a cloneable connector.
+pub struct ChannelTransport;
+
+/// Dials new in-process connections into a [`ChannelTransport`]
+/// listener. Clone freely across tenant threads.
+#[derive(Clone)]
+pub struct ChannelConnector {
+    tx: SyncSender<Connection>,
+}
+
+/// The listener half of a [`ChannelTransport`].
+pub struct ChannelListener {
+    rx: Receiver<Connection>,
+}
+
+impl ChannelTransport {
+    /// Create the in-process transport: `(listener, connector)`.
+    pub fn pair() -> (ChannelListener, ChannelConnector) {
+        let (tx, rx) = mpsc::sync_channel(PIPE_CHUNKS);
+        (ChannelListener { rx }, ChannelConnector { tx })
+    }
+}
+
+impl ChannelConnector {
+    /// Dial a new connection; errors when the server is gone.
+    pub fn connect(&self) -> io::Result<Connection> {
+        let (client, server) = duplex();
+        self.tx
+            .send(server)
+            .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "server stopped"))?;
+        Ok(client)
+    }
+}
+
+impl Listener for ChannelListener {
+    fn poll_accept(&mut self) -> io::Result<Option<Connection>> {
+        match self.rx.try_recv() {
+            Ok(c) => Ok(Some(c)),
+            Err(TryRecvError::Empty) => Ok(None),
+            // Every connector dropped: no more connections will ever
+            // arrive, but the server decides when to stop serving.
+            Err(TryRecvError::Disconnected) => Ok(None),
+        }
+    }
+}
+
+// --------------------------------------------------------------- TCP
+
+struct TcpRead {
+    stream: TcpStream,
+}
+
+impl ConnRead for TcpRead {
+    fn recv_chunk(&mut self) -> io::Result<Option<Vec<u8>>> {
+        use std::io::Read;
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(None),
+                Ok(n) => {
+                    buf.truncate(n);
+                    return Ok(Some(buf));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // A hard local close (shutdown) surfaces as reset/not-
+                // connected on some platforms; report end-of-stream so
+                // the reader runs its normal hangup path.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionReset
+                            | io::ErrorKind::ConnectionAborted
+                            | io::ErrorKind::NotConnected
+                    ) =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+struct TcpWrite {
+    stream: TcpStream,
+}
+
+impl ConnWrite for TcpWrite {
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        self.stream.write_all(bytes)
+    }
+}
+
+/// Wrap an established TCP stream as a [`Connection`].
+pub fn tcp_connection(stream: TcpStream) -> io::Result<Connection> {
+    stream.set_nodelay(true)?;
+    let rd = stream.try_clone()?;
+    let wr = stream.try_clone()?;
+    let closer: Closer = Arc::new(move || {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    });
+    Ok(Connection {
+        rx: Box::new(TcpRead { stream: rd }),
+        tx: Box::new(TcpWrite { stream: wr }),
+        closer,
+    })
+}
+
+/// A TCP [`Listener`] (non-blocking accept; the server's accept loop
+/// polls).
+pub struct TcpTransport {
+    listener: TcpListener,
+    /// Bound address (use with port 0 binds).
+    pub addr: SocketAddr,
+}
+
+impl TcpTransport {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<TcpTransport> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(TcpTransport { listener, addr })
+    }
+
+    /// Dial a serving [`TcpTransport`] as a tenant.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Connection> {
+        tcp_connection(TcpStream::connect(addr)?)
+    }
+}
+
+impl Listener for TcpTransport {
+    fn poll_accept(&mut self) -> io::Result<Option<Connection>> {
+        match self.listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nonblocking(false)?;
+                Ok(Some(tcp_connection(stream)?))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_round_trips_chunks_in_both_directions() {
+        let (mut client, mut server) = duplex();
+        client.tx.send(b"hello").unwrap();
+        assert_eq!(server.rx.recv_chunk().unwrap().unwrap(), b"hello");
+        server.tx.send(b"world").unwrap();
+        assert_eq!(client.rx.recv_chunk().unwrap().unwrap(), b"world");
+    }
+
+    #[test]
+    fn close_unblocks_reader_and_fails_writer() {
+        let (client, mut server) = duplex();
+        (client.closer)();
+        assert!(server.rx.recv_chunk().unwrap().is_none(), "reader sees EOF after close");
+        let mut tx = client.tx;
+        assert!(tx.send(b"late").is_err(), "writes after close fail");
+    }
+
+    #[test]
+    fn queued_chunks_survive_a_close() {
+        let (mut client, mut server) = duplex();
+        client.tx.send(b"in-flight").unwrap();
+        (client.closer)();
+        assert_eq!(
+            server.rx.recv_chunk().unwrap().unwrap(),
+            b"in-flight",
+            "close drains like FIN, not RST"
+        );
+        assert!(server.rx.recv_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn channel_listener_hands_out_dialed_connections() {
+        let (mut listener, connector) = ChannelTransport::pair();
+        assert!(listener.poll_accept().unwrap().is_none());
+        let mut client = connector.connect().unwrap();
+        let mut server = listener.poll_accept().unwrap().expect("dialed connection");
+        client.tx.send(b"ping").unwrap();
+        assert_eq!(server.rx.recv_chunk().unwrap().unwrap(), b"ping");
+    }
+
+    #[test]
+    fn tcp_transport_round_trips() {
+        let mut t = TcpTransport::bind("127.0.0.1:0").expect("bind");
+        let addr = t.addr;
+        let h = std::thread::spawn(move || {
+            let mut c = TcpTransport::connect(addr).expect("connect");
+            c.tx.send(b"over tcp").unwrap();
+            let echo = c.rx.recv_chunk().unwrap().unwrap();
+            assert_eq!(echo, b"tcp over");
+        });
+        let mut server = loop {
+            if let Some(c) = t.poll_accept().expect("accept") {
+                break c;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(server.rx.recv_chunk().unwrap().unwrap(), b"over tcp");
+        server.tx.send(b"tcp over").unwrap();
+        h.join().unwrap();
+    }
+}

@@ -117,11 +117,37 @@ const CRC_TABLE: [u32; 256] = crc32_table();
 
 /// CRC-32 (IEEE 802.3 polynomial) of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// Incremental CRC-32 (IEEE 802.3): feed discontiguous pieces and
+/// finish once — bit-identical to [`crc32`] over their concatenation.
+/// The stream framing layer needs this because a frame's checksum
+/// covers the tag byte *and* the payload, which are separated by the
+/// length varint in the buffered bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// A fresh checksum state.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
     }
-    c ^ 0xFFFF_FFFF
+
+    /// Fold `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = CRC_TABLE[((self.0 ^ b as u32) & 0xFF) as usize] ^ (self.0 >> 8);
+        }
+    }
+
+    /// The final checksum value.
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
 }
 
 // --------------------------------------------------------------- writer

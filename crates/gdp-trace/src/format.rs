@@ -58,7 +58,10 @@ fn write_section(out: &mut Writer, tag: u8, payload: Writer) {
     out.u32_le(crc);
 }
 
-fn encode_stats(w: &mut Writer, s: &CoreStats) {
+/// Encode one [`CoreStats`] record (16 varints, fixed field order).
+/// Public for the serve wire protocol, which transports boundary rows
+/// outside a trace file; the encoding is the file format's.
+pub fn encode_stats(w: &mut Writer, s: &CoreStats) {
     w.varint(s.committed_instrs);
     w.varint(s.commit_cycles);
     w.varint(s.stall_ind);
@@ -77,7 +80,8 @@ fn encode_stats(w: &mut Writer, s: &CoreStats) {
     w.varint(s.interference_sum);
 }
 
-fn decode_stats(r: &mut Reader<'_>) -> Result<CoreStats, TraceError> {
+/// Decode one [`CoreStats`] record (inverse of [`encode_stats`]).
+pub fn decode_stats(r: &mut Reader<'_>) -> Result<CoreStats, TraceError> {
     Ok(CoreStats {
         committed_instrs: r.varint()?,
         commit_cycles: r.varint()?,
@@ -339,7 +343,9 @@ fn decode_event(r: &mut Reader<'_>, prev: &mut u64) -> Result<ProbeEvent, TraceE
     }
 }
 
-fn encode_boundary(w: &mut Writer, b: &Boundary) {
+/// Encode one [`Boundary`] record (instruction window, stats delta,
+/// exact λ̂ and shared-latency bits). Public for the serve wire protocol.
+pub fn encode_boundary(w: &mut Writer, b: &Boundary) {
     w.varint(b.instr_start);
     w.varint(b.instr_end);
     encode_stats(w, &b.stats);
@@ -347,7 +353,8 @@ fn encode_boundary(w: &mut Writer, b: &Boundary) {
     w.f64_bits(b.shared_latency);
 }
 
-fn decode_boundary(r: &mut Reader<'_>) -> Result<Boundary, TraceError> {
+/// Decode one [`Boundary`] record (inverse of [`encode_boundary`]).
+pub fn decode_boundary(r: &mut Reader<'_>) -> Result<Boundary, TraceError> {
     Ok(Boundary {
         instr_start: r.varint()?,
         instr_end: r.varint()?,
@@ -355,6 +362,55 @@ fn decode_boundary(r: &mut Reader<'_>) -> Result<Boundary, TraceError> {
         lambda: r.f64_bits()?,
         shared_latency: r.f64_bits()?,
     })
+}
+
+/// Encode one accounting interval as a **self-contained** payload for
+/// the stream protocol: events (timestamps delta-encoded against a base
+/// that resets to zero per payload, unlike the file's section-wide
+/// running base — a stream frame must decode without its predecessors)
+/// followed by the per-core boundary records.
+pub fn encode_interval_payload(iv: &TraceInterval) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.varint(iv.events.len() as u64);
+    let mut prev = 0u64;
+    for ev in &iv.events {
+        encode_event(&mut w, ev, &mut prev);
+    }
+    w.varint(iv.boundaries.len() as u64);
+    for b in &iv.boundaries {
+        encode_boundary(&mut w, b);
+    }
+    w.into_bytes()
+}
+
+/// Decode one self-contained interval payload (inverse of
+/// [`encode_interval_payload`]); strict — every byte accounted for,
+/// instruction windows non-negative, at most `max_cores` boundaries.
+pub fn decode_interval_payload(
+    bytes: &[u8],
+    max_cores: usize,
+) -> Result<TraceInterval, TraceError> {
+    let mut r = Reader::new(bytes);
+    let n_events = r.varint()? as usize;
+    let mut events = Vec::with_capacity(n_events.min(1 << 22));
+    let mut prev = 0u64;
+    for _ in 0..n_events {
+        events.push(decode_event(&mut r, &mut prev)?);
+    }
+    let n_bounds = r.varint()? as usize;
+    if n_bounds > max_cores {
+        return Err(TraceError::BadSection { section: "INTERVAL" });
+    }
+    let mut boundaries = Vec::with_capacity(n_bounds);
+    for _ in 0..n_bounds {
+        let b = decode_boundary(&mut r)?;
+        if b.instr_end < b.instr_start {
+            return Err(TraceError::BadSection { section: "INTERVAL" });
+        }
+        boundaries.push(b);
+    }
+    expect_drained(&r, "INTERVAL")?;
+    Ok(TraceInterval { events, boundaries })
 }
 
 /// Encode a shared-mode trace to bytes.
@@ -856,6 +912,37 @@ mod tests {
         let bytes = encode_shared(&t);
         let back = decode_shared(&bytes).expect("decodes");
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn interval_payloads_are_self_contained() {
+        // Each interval must decode alone (stream frames have no
+        // predecessor context), exactly, including the delta-encoded
+        // event timestamps re-based per payload.
+        let t = sample_shared();
+        for iv in &t.intervals {
+            let bytes = encode_interval_payload(iv);
+            let back = decode_interval_payload(&bytes, t.cores).expect("decodes");
+            assert_eq!(&back, iv);
+        }
+        // Boundary-count and window sanity are enforced.
+        let iv = &t.intervals[0];
+        let bytes = encode_interval_payload(iv);
+        assert_eq!(
+            decode_interval_payload(&bytes, 1),
+            Err(TraceError::BadSection { section: "INTERVAL" }),
+            "more boundaries than cores must be rejected"
+        );
+        let mut bad = iv.clone();
+        bad.boundaries[0].instr_start = bad.boundaries[0].instr_end + 1;
+        assert_eq!(
+            decode_interval_payload(&encode_interval_payload(&bad), 2),
+            Err(TraceError::BadSection { section: "INTERVAL" }),
+            "a backwards instruction window must be rejected"
+        );
+        let mut trailing = encode_interval_payload(iv);
+        trailing.push(0);
+        assert!(decode_interval_payload(&trailing, 2).is_err(), "trailing bytes rejected");
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   hand-rolled discipline as `gdp-runner::json`).
 //! * [`format`] — the versioned, sectioned binary file format with
 //!   per-section CRCs and a strict decoder.
+//! * [`frame`] — the section discipline over a byte *stream*: an
+//!   incremental [`FrameAssembler`](frame::FrameAssembler) reassembling
+//!   CRC-checked frames from arbitrarily-chunked reads (the serve wire
+//!   protocol's receive half).
 //! * [`replay`] — re-evaluates any [`PrivateModeEstimator`] from a trace,
 //!   producing estimates bit-identical to the live run.
 //! * [`cache`] — the content-addressed trace store under
@@ -32,15 +36,18 @@
 pub mod cache;
 pub mod codec;
 pub mod format;
+pub mod frame;
 pub mod model;
 pub mod replay;
 
 pub use cache::{CacheKey, CacheStatsSnapshot, TraceCache};
 pub use codec::TraceError;
 pub use format::{
-    decode_checkpoints, decode_checkpoints_salvage, decode_private, decode_shared,
-    encode_checkpoints, encode_private, encode_shared, FORMAT_VERSION,
+    decode_checkpoints, decode_checkpoints_salvage, decode_interval_payload, decode_private,
+    decode_shared, encode_checkpoints, encode_interval_payload, encode_private, encode_shared,
+    FORMAT_VERSION,
 };
+pub use frame::{encode_frame, Frame, FrameAssembler};
 pub use model::{
     Boundary, CheckpointFile, NullSink, PrivateTrace, Recorder, SharedTrace, StateCheckpoint,
     TraceCheckpoint, TraceInterval, TraceSink,

@@ -1,0 +1,130 @@
+//! Property tests for the incremental stream framing: a valid frame
+//! stream reassembles identically for *any* chunking, and corruption is
+//! always observable.
+
+use gdp_trace::codec::TraceError;
+use gdp_trace::frame::{encode_frame, Frame, FrameAssembler};
+use proptest::prelude::*;
+
+/// Build frames from (tag, payload-bytes) specs and the concatenated
+/// wire stream.
+fn build(specs: &[(u64, Vec<u16>)]) -> (Vec<Frame>, Vec<u8>) {
+    let frames: Vec<Frame> = specs
+        .iter()
+        .map(|(tag, payload)| Frame {
+            tag: (tag % 250) as u8,
+            payload: payload.iter().map(|&b| (b % 256) as u8).collect(),
+        })
+        .collect();
+    let stream: Vec<u8> = frames.iter().flat_map(|f| encode_frame(f.tag, &f.payload)).collect();
+    (frames, stream)
+}
+
+/// Feed `stream` split at the positions drawn from `cuts` (arbitrary
+/// byte boundaries, including empty chunks); return reassembled frames.
+fn feed_split(stream: &[u8], cuts: &[u64]) -> Result<(Vec<Frame>, usize), TraceError> {
+    let mut positions: Vec<usize> =
+        cuts.iter().map(|&c| (c as usize) % (stream.len() + 1)).collect();
+    positions.sort_unstable();
+    let mut asm = FrameAssembler::new();
+    let mut out = Vec::new();
+    let mut prev = 0usize;
+    for &p in positions.iter().chain([stream.len()].iter()) {
+        asm.push(&stream[prev..p]);
+        prev = p;
+        while let Some(f) = asm.next_frame()? {
+            out.push(f);
+        }
+    }
+    let leftover = asm.buffered();
+    Ok((out, leftover))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn any_chunking_reassembles_the_same_frames(
+        specs in proptest::collection::vec(
+            (0u64..1024, proptest::collection::vec(0u16..256, 0..96)), 1..8),
+        cuts in proptest::collection::vec(0u64..4096, 0..40),
+    ) {
+        let (frames, stream) = build(&specs);
+        let (got, leftover) = feed_split(&stream, &cuts).expect("valid stream");
+        prop_assert_eq!(leftover, 0, "no residue after a complete stream");
+        prop_assert_eq!(got.len(), frames.len());
+        for (g, f) in got.iter().zip(&frames) {
+            prop_assert_eq!(g.tag, f.tag);
+            prop_assert_eq!(&g.payload, &f.payload);
+        }
+    }
+
+    #[test]
+    fn chunked_equals_oneshot(
+        specs in proptest::collection::vec(
+            (0u64..1024, proptest::collection::vec(0u16..256, 0..64)), 1..6),
+        cuts in proptest::collection::vec(0u64..4096, 0..24),
+    ) {
+        let (_, stream) = build(&specs);
+        let (oneshot, l0) = feed_split(&stream, &[]).expect("valid");
+        let (chunked, l1) = feed_split(&stream, &cuts).expect("valid");
+        prop_assert_eq!((l0, l1), (0, 0));
+        prop_assert_eq!(oneshot, chunked);
+    }
+
+    #[test]
+    fn random_bitflips_never_pass_unnoticed(
+        specs in proptest::collection::vec(
+            (0u64..1024, proptest::collection::vec(0u16..256, 0..64)), 1..6),
+        pos in 0u64..65536,
+        bit in 0u64..8,
+    ) {
+        let (frames, stream) = build(&specs);
+        let mut corrupt = stream.clone();
+        let p = (pos as usize) % corrupt.len();
+        corrupt[p] ^= 1u8 << bit;
+        let mut asm = FrameAssembler::new();
+        asm.push(&corrupt);
+        let mut got = Vec::new();
+        let errored = loop {
+            match asm.next_frame() {
+                Err(_) => break true,
+                Ok(None) => break false,
+                Ok(Some(f)) => got.push(f),
+            }
+        };
+        let clean_reassembly = !errored
+            && asm.buffered() == 0
+            && got.len() == frames.len()
+            && got.iter().zip(&frames).all(|(g, f)| g.tag == f.tag && g.payload == f.payload);
+        prop_assert!(!clean_reassembly, "bitflip at byte {} bit {} went unnoticed", p, bit);
+    }
+
+    #[test]
+    fn truncated_streams_starve_instead_of_erroring(
+        specs in proptest::collection::vec(
+            (0u64..1024, proptest::collection::vec(0u16..256, 1..64)), 1..4),
+        cut in 0u64..65536,
+    ) {
+        // Cutting a valid stream anywhere strictly inside a frame must
+        // leave the assembler waiting (buffered > 0), never erroring:
+        // truncation is indistinguishable from a slow peer until EOF,
+        // where the caller checks buffered().
+        let (_, stream) = build(&specs);
+        let p = (cut as usize) % stream.len();
+        prop_assume!(p > 0);
+        let mut asm = FrameAssembler::new();
+        asm.push(&stream[..p]);
+        let mut errored = false;
+        loop {
+            match asm.next_frame() {
+                Err(_) => { errored = true; break; }
+                Ok(None) => break,
+                Ok(Some(_)) => {}
+            }
+        }
+        // Either the cut landed exactly between frames (no residue) or
+        // mid-frame (residue pending) — both are non-errors.
+        prop_assert!(!errored, "truncation at byte {} was reported as corruption", p);
+    }
+}

@@ -16,6 +16,8 @@
 //!   shared CLI, machine-readable JSON results).
 //! * [`trace`] — event-trace capture & replay with a content-addressed
 //!   campaign cache (simulate once, estimate many).
+//! * [`serve`] — sharded, multi-tenant estimation-as-a-service over the
+//!   trace wire format (TCP or in-process), with snapshot/evict/resume.
 //!
 //! ## Embedding GDP at runtime
 //!
@@ -53,6 +55,7 @@ pub use gdp_experiments as experiments;
 pub use gdp_metrics as metrics;
 pub use gdp_partition as partition;
 pub use gdp_runner as runner;
+pub use gdp_serve as serve;
 pub use gdp_sim as sim;
 pub use gdp_trace as trace;
 pub use gdp_workloads as workloads;
